@@ -1,0 +1,360 @@
+// Package asm provides a small program builder ("assembler") used to
+// construct the legacy binary corpus in internal/legacy.
+//
+// The builder assigns virtual addresses, resolves labels, lays out data
+// segments and produces an isa.Program.  It is deliberately low level: the
+// legacy kernels are written instruction by instruction, with the loop
+// unrolling, peeling and tile-driver structure of the optimized binaries
+// Helium targets, so that the dynamic analyses face the same obfuscation
+// the paper describes.
+package asm
+
+import (
+	"fmt"
+
+	"helium/internal/isa"
+)
+
+// CodeBase is the virtual address where program text is laid out.
+const CodeBase uint32 = 0x00401000
+
+// DataBase is the virtual address where read-only data segments are laid
+// out.
+const DataBase uint32 = 0x00600000
+
+// pendingInst is an instruction whose branch target may still be a label.
+type pendingInst struct {
+	inst  isa.Inst
+	label string // non-empty for unresolved branch/call targets
+}
+
+// Builder accumulates instructions and data and produces an isa.Program.
+type Builder struct {
+	name     string
+	insts    []pendingInst
+	labels   map[string]int // label -> instruction index
+	data     []isa.Segment
+	dataNext uint32
+	err      error
+}
+
+// New returns a builder for a program with the given name.
+func New(name string) *Builder {
+	return &Builder{
+		name:     name,
+		labels:   make(map[string]int),
+		dataNext: DataBase,
+	}
+}
+
+// Err returns the first error recorded while building, if any.
+func (b *Builder) Err() error { return b.err }
+
+func (b *Builder) setErr(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Label defines a label at the current position.  Branches may reference
+// labels before or after their definition.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.setErr(fmt.Errorf("asm: duplicate label %q", name))
+		return
+	}
+	b.labels[name] = len(b.insts)
+}
+
+// Data appends a read-only data segment and returns its virtual address.
+func (b *Builder) Data(bytes []byte) uint32 {
+	addr := b.dataNext
+	seg := isa.Segment{Addr: addr, Data: append([]byte(nil), bytes...)}
+	b.data = append(b.data, seg)
+	// Round the next segment up to a 64-byte boundary so segments never
+	// touch, which keeps buffer structure reconstruction honest.
+	sz := uint32(len(bytes))
+	b.dataNext += (sz + 63) &^ 63
+	if sz == 0 {
+		b.dataNext += 64
+	}
+	return addr
+}
+
+// Emit appends a fully formed instruction.
+func (b *Builder) Emit(in isa.Inst) {
+	b.insts = append(b.insts, pendingInst{inst: in})
+}
+
+// emit2 appends a two-operand instruction.
+func (b *Builder) emit2(op isa.Opcode, dst, src isa.Operand) {
+	b.Emit(isa.Inst{Op: op, Dst: dst, Src: src})
+}
+
+// emit1 appends a one-operand instruction.
+func (b *Builder) emit1(op isa.Opcode, dst isa.Operand) {
+	b.Emit(isa.Inst{Op: op, Dst: dst})
+}
+
+// Mov emits mov dst, src.
+func (b *Builder) Mov(dst, src isa.Operand) { b.emit2(isa.MOV, dst, src) }
+
+// Movzx emits movzx dst, src (zero extension).
+func (b *Builder) Movzx(dst, src isa.Operand) { b.emit2(isa.MOVZX, dst, src) }
+
+// Movsx emits movsx dst, src (sign extension).
+func (b *Builder) Movsx(dst, src isa.Operand) { b.emit2(isa.MOVSX, dst, src) }
+
+// Lea emits lea dst, [mem].
+func (b *Builder) Lea(dst isa.Reg, mem isa.Operand) { b.emit2(isa.LEA, isa.RegOp(dst), mem) }
+
+// Add emits add dst, src.
+func (b *Builder) Add(dst, src isa.Operand) { b.emit2(isa.ADD, dst, src) }
+
+// Adc emits adc dst, src.
+func (b *Builder) Adc(dst, src isa.Operand) { b.emit2(isa.ADC, dst, src) }
+
+// Sub emits sub dst, src.
+func (b *Builder) Sub(dst, src isa.Operand) { b.emit2(isa.SUB, dst, src) }
+
+// Sbb emits sbb dst, src.
+func (b *Builder) Sbb(dst, src isa.Operand) { b.emit2(isa.SBB, dst, src) }
+
+// Imul emits imul dst, src.
+func (b *Builder) Imul(dst, src isa.Operand) { b.emit2(isa.IMUL, dst, src) }
+
+// Imul3 emits the three operand form imul dst, src, imm.
+func (b *Builder) Imul3(dst isa.Reg, src isa.Operand, imm int64) {
+	b.Emit(isa.Inst{Op: isa.IMUL, Dst: isa.RegOp(dst), Src: src, Src2: isa.ImmOp(imm)})
+}
+
+// And emits and dst, src.
+func (b *Builder) And(dst, src isa.Operand) { b.emit2(isa.AND, dst, src) }
+
+// Or emits or dst, src.
+func (b *Builder) Or(dst, src isa.Operand) { b.emit2(isa.OR, dst, src) }
+
+// Xor emits xor dst, src.
+func (b *Builder) Xor(dst, src isa.Operand) { b.emit2(isa.XOR, dst, src) }
+
+// Not emits not dst.
+func (b *Builder) Not(dst isa.Operand) { b.emit1(isa.NOT, dst) }
+
+// Neg emits neg dst.
+func (b *Builder) Neg(dst isa.Operand) { b.emit1(isa.NEG, dst) }
+
+// Inc emits inc dst.
+func (b *Builder) Inc(dst isa.Operand) { b.emit1(isa.INC, dst) }
+
+// Dec emits dec dst.
+func (b *Builder) Dec(dst isa.Operand) { b.emit1(isa.DEC, dst) }
+
+// Shl emits shl dst, imm.
+func (b *Builder) Shl(dst isa.Operand, imm int64) { b.emit2(isa.SHL, dst, isa.ImmOp(imm)) }
+
+// Shr emits shr dst, imm.
+func (b *Builder) Shr(dst isa.Operand, imm int64) { b.emit2(isa.SHR, dst, isa.ImmOp(imm)) }
+
+// Sar emits sar dst, imm.
+func (b *Builder) Sar(dst isa.Operand, imm int64) { b.emit2(isa.SAR, dst, isa.ImmOp(imm)) }
+
+// Cmp emits cmp a, b.
+func (b *Builder) Cmp(a, c isa.Operand) { b.emit2(isa.CMP, a, c) }
+
+// Test emits test a, b.
+func (b *Builder) Test(a, c isa.Operand) { b.emit2(isa.TEST, a, c) }
+
+// Push emits push src.
+func (b *Builder) Push(src isa.Operand) { b.emit1(isa.PUSH, src) }
+
+// Pop emits pop dst.
+func (b *Builder) Pop(dst isa.Operand) { b.emit1(isa.POP, dst) }
+
+// Nop emits a nop.
+func (b *Builder) Nop() { b.Emit(isa.Inst{Op: isa.NOP}) }
+
+// Cpuid emits cpuid.
+func (b *Builder) Cpuid() { b.Emit(isa.Inst{Op: isa.CPUID}) }
+
+// Ret emits ret.
+func (b *Builder) Ret() { b.Emit(isa.Inst{Op: isa.RET}) }
+
+// Jmp emits an unconditional jump to the label.
+func (b *Builder) Jmp(label string) { b.jump(isa.JMP, label) }
+
+// Jcc emits a conditional jump with the given opcode to the label.
+func (b *Builder) Jcc(op isa.Opcode, label string) {
+	if !op.IsCondJump() {
+		b.setErr(fmt.Errorf("asm: %v is not a conditional jump", op))
+		return
+	}
+	b.jump(op, label)
+}
+
+func (b *Builder) jump(op isa.Opcode, label string) {
+	b.insts = append(b.insts, pendingInst{inst: isa.Inst{Op: op}, label: label})
+}
+
+// Call emits a call to the label (an internal function).
+func (b *Builder) Call(label string) {
+	b.insts = append(b.insts, pendingInst{inst: isa.Inst{Op: isa.CALL}, label: label})
+}
+
+// CallSym emits a call to an imported external function such as "sqrt".
+func (b *Builder) CallSym(sym string) {
+	b.Emit(isa.Inst{Op: isa.CALL, Sym: sym})
+}
+
+// Fld emits fld src (push floating point value).
+func (b *Builder) Fld(src isa.Operand) { b.emit1(isa.FLD, src) }
+
+// Fild emits fild src (push integer converted to floating point).
+func (b *Builder) Fild(src isa.Operand) { b.emit1(isa.FILD, src) }
+
+// Fstp emits fstp dst (store top of stack and pop).
+func (b *Builder) Fstp(dst isa.Operand) { b.emit1(isa.FSTP, dst) }
+
+// Fistp emits fistp dst (store rounded integer and pop).
+func (b *Builder) Fistp(dst isa.Operand) { b.emit1(isa.FISTP, dst) }
+
+// Fadd emits fadd src (st0 += src).
+func (b *Builder) Fadd(src isa.Operand) { b.emit1(isa.FADD, src) }
+
+// Fsub emits fsub src (st0 -= src).
+func (b *Builder) Fsub(src isa.Operand) { b.emit1(isa.FSUB, src) }
+
+// Fmul emits fmul src (st0 *= src).
+func (b *Builder) Fmul(src isa.Operand) { b.emit1(isa.FMUL, src) }
+
+// Fdiv emits fdiv src (st0 /= src).
+func (b *Builder) Fdiv(src isa.Operand) { b.emit1(isa.FDIV, src) }
+
+// Fldz emits fldz (push +0.0).
+func (b *Builder) Fldz() { b.Emit(isa.Inst{Op: isa.FLDZ}) }
+
+// Prologue emits the conventional function prologue
+//
+//	push ebp; mov ebp, esp; sub esp, frameSize
+//
+// used by the legacy kernels so arguments are at [ebp+8], [ebp+12], ... and
+// locals below ebp.
+func (b *Builder) Prologue(frameSize int32) {
+	b.Push(isa.RegOp(isa.EBP))
+	b.Mov(isa.RegOp(isa.EBP), isa.RegOp(isa.ESP))
+	if frameSize > 0 {
+		b.Sub(isa.RegOp(isa.ESP), isa.ImmOp(int64(frameSize)))
+	}
+}
+
+// Epilogue emits the matching epilogue: mov esp, ebp; pop ebp; ret.
+func (b *Builder) Epilogue() {
+	b.Mov(isa.RegOp(isa.ESP), isa.RegOp(isa.EBP))
+	b.Pop(isa.RegOp(isa.EBP))
+	b.Ret()
+}
+
+// Arg returns the memory operand of the n-th (0-based) 32-bit stack
+// argument of a function built with Prologue.
+func Arg(n int) isa.Operand {
+	return isa.Mem(isa.EBP, int32(8+4*n), 4)
+}
+
+// Local returns the memory operand of a 32-bit local at the given negative
+// frame offset (1 => [ebp-4], 2 => [ebp-8], ...).
+func Local(n int) isa.Operand {
+	return isa.Mem(isa.EBP, int32(-4*n), 4)
+}
+
+// instLen returns the pseudo encoded length of an instruction.  The exact
+// values are unimportant; they only need to be stable so addresses look
+// like real, variable-length x86.
+func instLen(in isa.Inst) uint32 {
+	n := uint32(1)
+	for _, o := range []isa.Operand{in.Dst, in.Src, in.Src2} {
+		switch o.Kind {
+		case isa.KindReg:
+			n++
+		case isa.KindImm:
+			n += 4
+		case isa.KindMem:
+			n += 2
+			if o.Disp != 0 {
+				n += 2
+			}
+		}
+	}
+	if in.Op.IsJump() || in.Op == isa.CALL {
+		n += 4
+	}
+	return n
+}
+
+// Build assigns addresses, resolves labels and returns the finished
+// program.  The entry point is the first instruction unless a label named
+// "main" exists, in which case that label is the entry point.
+func (b *Builder) Build() (*isa.Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.insts) == 0 {
+		return nil, fmt.Errorf("asm: program %q has no instructions", b.name)
+	}
+	// Assign addresses.
+	addrs := make([]uint32, len(b.insts))
+	addr := CodeBase
+	for i, pi := range b.insts {
+		addrs[i] = addr
+		addr += instLen(pi.inst)
+	}
+	// Resolve labels.
+	insts := make([]isa.Inst, len(b.insts))
+	for i, pi := range b.insts {
+		in := pi.inst
+		in.Addr = addrs[i]
+		if pi.label != "" {
+			idx, ok := b.labels[pi.label]
+			if !ok {
+				return nil, fmt.Errorf("asm: undefined label %q in %s", pi.label, b.name)
+			}
+			if idx >= len(addrs) {
+				return nil, fmt.Errorf("asm: label %q points past end of program", pi.label)
+			}
+			in.Target = addrs[idx]
+		}
+		insts[i] = in
+	}
+	entry := addrs[0]
+	if idx, ok := b.labels["main"]; ok {
+		entry = addrs[idx]
+	}
+	p := &isa.Program{
+		Name:  b.name,
+		Entry: entry,
+		Insts: insts,
+		Data:  b.data,
+	}
+	p.BuildIndex()
+	return p, nil
+}
+
+// MustBuild is like Build but panics on error.  The legacy corpus is
+// constructed from literal builder code, so a failure is a programming
+// error in this repository, not a runtime condition.
+func (b *Builder) MustBuild() *isa.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// LabelAddr returns the resolved address of a label in a built program.  It
+// is a convenience for tests and the legacy corpus, which need to know
+// function entry addresses (for example to check localization results).
+func LabelAddr(b *Builder, p *isa.Program, label string) (uint32, bool) {
+	idx, ok := b.labels[label]
+	if !ok || idx >= len(p.Insts) {
+		return 0, false
+	}
+	return p.Insts[idx].Addr, true
+}

@@ -1,0 +1,302 @@
+// Package image provides the pixel buffer layouts used by the legacy
+// applications in this reproduction and by the lifted kernels: padded planar
+// 8-bit planes (the Photoshop-like layout described in paper section 4.3)
+// and interleaved RGB rows (the IrfanView-like layout).
+//
+// All content is generated deterministically so analyses and tests are
+// reproducible without external image files.
+package image
+
+import "fmt"
+
+// Align is the scanline alignment in bytes used by the planar layout.
+const Align = 16
+
+// Plane is a single 8-bit channel with optional edge padding and scanlines
+// rounded up to Align bytes, exactly the layout Helium reverse engineers
+// for Photoshop ("pads each edge by one pixel, then rounds each scanline up
+// ... for 16-byte alignment").
+type Plane struct {
+	// Width and Height are the interior (unpadded) extents in pixels.
+	Width, Height int
+	// Pad is the edge padding in pixels on every side.
+	Pad int
+	// Stride is the distance in bytes between the starts of consecutive
+	// scanlines (covers interior plus padding, rounded up to Align).
+	Stride int
+	// Pix holds Stride*(Height+2*Pad) bytes.
+	Pix []byte
+}
+
+// NewPlane allocates a plane with the given interior size and edge padding.
+func NewPlane(width, height, pad int) *Plane {
+	if width <= 0 || height <= 0 || pad < 0 {
+		panic(fmt.Sprintf("image: invalid plane dimensions %dx%d pad %d", width, height, pad))
+	}
+	stride := (width + 2*pad + Align - 1) / Align * Align
+	return &Plane{
+		Width:  width,
+		Height: height,
+		Pad:    pad,
+		Stride: stride,
+		Pix:    make([]byte, stride*(height+2*pad)),
+	}
+}
+
+// Index returns the offset into Pix of interior pixel (x, y).  Coordinates
+// may extend into the padding (negative or >= extent) by up to Pad pixels.
+func (p *Plane) Index(x, y int) int {
+	return (y+p.Pad)*p.Stride + (x + p.Pad)
+}
+
+// At returns the pixel at interior coordinates (x, y).
+func (p *Plane) At(x, y int) byte { return p.Pix[p.Index(x, y)] }
+
+// Set stores a pixel at interior coordinates (x, y).
+func (p *Plane) Set(x, y int, v byte) { p.Pix[p.Index(x, y)] = v }
+
+// Interior returns a copy of the interior pixels in row-major order,
+// without padding.  This is the "known input data" Helium searches for in
+// the memory dump during dimensionality inference.
+func (p *Plane) Interior() []byte {
+	out := make([]byte, 0, p.Width*p.Height)
+	for y := 0; y < p.Height; y++ {
+		row := p.Index(0, y)
+		out = append(out, p.Pix[row:row+p.Width]...)
+	}
+	return out
+}
+
+// SetInterior fills the interior from row-major data of size Width*Height.
+func (p *Plane) SetInterior(data []byte) {
+	if len(data) != p.Width*p.Height {
+		panic(fmt.Sprintf("image: interior size mismatch: got %d want %d", len(data), p.Width*p.Height))
+	}
+	for y := 0; y < p.Height; y++ {
+		copy(p.Pix[p.Index(0, y):], data[y*p.Width:(y+1)*p.Width])
+	}
+}
+
+// FillPattern fills the interior with a deterministic pseudo-random pattern
+// derived from seed and replicates edge pixels into the padding.
+func (p *Plane) FillPattern(seed uint64) {
+	r := rng(seed)
+	for y := 0; y < p.Height; y++ {
+		for x := 0; x < p.Width; x++ {
+			p.Set(x, y, byte(r.next()))
+		}
+	}
+	p.PadEdges()
+}
+
+// PadEdges replicates the nearest interior pixel into the padding region
+// (clamp-to-edge), the boundary handling the Photoshop-like host uses.
+func (p *Plane) PadEdges() {
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	for y := -p.Pad; y < p.Height+p.Pad; y++ {
+		for x := -p.Pad; x < p.Width+p.Pad; x++ {
+			if x >= 0 && x < p.Width && y >= 0 && y < p.Height {
+				continue
+			}
+			p.Set(x, y, p.At(clamp(x, 0, p.Width-1), clamp(y, 0, p.Height-1)))
+		}
+	}
+}
+
+// Clone returns a deep copy of the plane.
+func (p *Plane) Clone() *Plane {
+	q := *p
+	q.Pix = append([]byte(nil), p.Pix...)
+	return &q
+}
+
+// Equal reports whether two planes have identical geometry and interior
+// pixels (padding is ignored).
+func (p *Plane) Equal(q *Plane) bool {
+	if p.Width != q.Width || p.Height != q.Height {
+		return false
+	}
+	for y := 0; y < p.Height; y++ {
+		for x := 0; x < p.Width; x++ {
+			if p.At(x, y) != q.At(x, y) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DiffCount returns the number of interior pixels whose absolute difference
+// exceeds tol.
+func (p *Plane) DiffCount(q *Plane, tol int) int {
+	n := 0
+	for y := 0; y < p.Height; y++ {
+		for x := 0; x < p.Width; x++ {
+			d := int(p.At(x, y)) - int(q.At(x, y))
+			if d < 0 {
+				d = -d
+			}
+			if d > tol {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// PlanarImage is a set of planes (one per channel) stored consecutively in
+// memory, the Photoshop-like layout ("stores the R, G and B planes of a
+// color image separately").
+type PlanarImage struct {
+	Planes []*Plane
+}
+
+// NewPlanarImage allocates channels planes of the given geometry.
+func NewPlanarImage(width, height, pad, channels int) *PlanarImage {
+	img := &PlanarImage{}
+	for i := 0; i < channels; i++ {
+		img.Planes = append(img.Planes, NewPlane(width, height, pad))
+	}
+	return img
+}
+
+// FillPattern fills every plane with a deterministic pattern.
+func (img *PlanarImage) FillPattern(seed uint64) {
+	for i, p := range img.Planes {
+		p.FillPattern(seed + uint64(i)*7919)
+	}
+}
+
+// PlaneSize returns the byte size of a single plane buffer.
+func (img *PlanarImage) PlaneSize() int {
+	p := img.Planes[0]
+	return p.Stride * (p.Height + 2*p.Pad)
+}
+
+// Bytes concatenates all plane buffers (padding included) in channel order,
+// which is exactly how the planar image is laid out in the emulated heap.
+func (img *PlanarImage) Bytes() []byte {
+	out := make([]byte, 0, img.PlaneSize()*len(img.Planes))
+	for _, p := range img.Planes {
+		out = append(out, p.Pix...)
+	}
+	return out
+}
+
+// SetBytes overwrites all plane buffers from a concatenated layout produced
+// by Bytes.
+func (img *PlanarImage) SetBytes(data []byte) {
+	sz := img.PlaneSize()
+	if len(data) != sz*len(img.Planes) {
+		panic(fmt.Sprintf("image: planar byte size mismatch: got %d want %d", len(data), sz*len(img.Planes)))
+	}
+	for i, p := range img.Planes {
+		copy(p.Pix, data[i*sz:(i+1)*sz])
+	}
+}
+
+// Interleaved is an interleaved multi-channel 8-bit image (RGBRGB...), the
+// IrfanView-like layout, with scanlines rounded up to Align bytes.
+type Interleaved struct {
+	// Width and Height are the extents in pixels; Channels is the number of
+	// interleaved samples per pixel.
+	Width, Height, Channels int
+	// Stride is the distance in bytes between scanline starts.
+	Stride int
+	// Pix holds Stride*Height bytes.
+	Pix []byte
+}
+
+// NewInterleaved allocates an interleaved image.
+func NewInterleaved(width, height, channels int) *Interleaved {
+	if width <= 0 || height <= 0 || channels <= 0 {
+		panic(fmt.Sprintf("image: invalid interleaved dimensions %dx%dx%d", width, height, channels))
+	}
+	stride := (width*channels + Align - 1) / Align * Align
+	return &Interleaved{
+		Width: width, Height: height, Channels: channels,
+		Stride: stride,
+		Pix:    make([]byte, stride*height),
+	}
+}
+
+// Index returns the offset of channel c of pixel (x, y).
+func (im *Interleaved) Index(x, y, c int) int {
+	return y*im.Stride + x*im.Channels + c
+}
+
+// At returns channel c of pixel (x, y).
+func (im *Interleaved) At(x, y, c int) byte { return im.Pix[im.Index(x, y, c)] }
+
+// Set stores channel c of pixel (x, y).
+func (im *Interleaved) Set(x, y, c int, v byte) { im.Pix[im.Index(x, y, c)] = v }
+
+// FillPattern fills the image with a deterministic pseudo-random pattern.
+func (im *Interleaved) FillPattern(seed uint64) {
+	r := rng(seed)
+	for y := 0; y < im.Height; y++ {
+		for x := 0; x < im.Width; x++ {
+			for c := 0; c < im.Channels; c++ {
+				im.Set(x, y, c, byte(r.next()))
+			}
+		}
+	}
+}
+
+// Interior returns a copy of the pixel samples in row-major order without
+// the alignment padding at the end of each scanline.
+func (im *Interleaved) Interior() []byte {
+	out := make([]byte, 0, im.Width*im.Height*im.Channels)
+	for y := 0; y < im.Height; y++ {
+		row := y * im.Stride
+		out = append(out, im.Pix[row:row+im.Width*im.Channels]...)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the image.
+func (im *Interleaved) Clone() *Interleaved {
+	q := *im
+	q.Pix = append([]byte(nil), im.Pix...)
+	return &q
+}
+
+// DiffCount returns the number of samples whose absolute difference
+// exceeds tol.
+func (im *Interleaved) DiffCount(q *Interleaved, tol int) int {
+	n := 0
+	for y := 0; y < im.Height; y++ {
+		for x := 0; x < im.Width; x++ {
+			for c := 0; c < im.Channels; c++ {
+				d := int(im.At(x, y, c)) - int(q.At(x, y, c))
+				if d < 0 {
+					d = -d
+				}
+				if d > tol {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// rng is a tiny splitmix64 generator so image content is deterministic and
+// independent of math/rand behaviour across Go versions.
+type rng uint64
+
+func (r *rng) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,344 @@
+// Package trace defines the dynamically captured artifacts the Helium
+// analyses consume: basic-block coverage records, memory access traces,
+// full dynamic instruction traces and page-granularity memory dumps.
+//
+// These mirror the data the original system collects with DynamoRIO clients
+// (paper sections 3.1 and 4.1).  All analyses downstream of the VM operate
+// purely on these records; nothing else about the emulator leaks out.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"helium/internal/isa"
+)
+
+// Space identifies the kind of location a Ref denotes.  Helium maps
+// registers into a unified address space so that partial register reads and
+// writes can be handled with the same byte-granularity overlap logic as
+// memory (paper section 4.5); Addr below is always a unified address.
+type Space uint8
+
+// Location spaces.
+const (
+	SpaceNone  Space = iota
+	SpaceMem         // an absolute memory address
+	SpaceReg         // a register byte range mapped into the unified space
+	SpaceFlags       // the flags register
+	SpaceImm         // an immediate constant (no location)
+)
+
+// Unified address space layout.  Memory occupies the low 2^32 addresses;
+// registers and flags are mapped above it.
+const (
+	// RegSpaceBase is the unified address of the first register byte.
+	RegSpaceBase uint64 = 1 << 32
+	// FlagsAddr is the unified address of the flags register.
+	FlagsAddr uint64 = RegSpaceBase + uint64(isa.NumRegs)*8
+)
+
+// RegAddr returns the unified address of the first byte of register r,
+// accounting for sub-register views (AH maps one byte above EAX).
+func RegAddr(r isa.Reg) uint64 {
+	return RegSpaceBase + uint64(r.Full())*8 + uint64(r.Offset())
+}
+
+// IsRegAddr reports whether a unified address refers to register space.
+func IsRegAddr(addr uint64) bool { return addr >= RegSpaceBase }
+
+// Ref is a single resolved operand reference in a dynamic instruction: a
+// byte range in the unified address space together with the value observed
+// there, or an immediate.
+type Ref struct {
+	Space Space
+	// Addr is the unified address of the first byte (unused for SpaceImm).
+	Addr uint64
+	// Width is the width of the reference in bytes.
+	Width uint8
+	// Val is the integer value read or written (zero-extended), or the
+	// immediate value for SpaceImm.
+	Val uint64
+	// FVal is the floating point value for float references.
+	FVal float64
+	// Float marks references to floating point data.
+	Float bool
+}
+
+// Overlaps reports whether the byte ranges of r and other intersect.
+func (r Ref) Overlaps(other Ref) bool {
+	if r.Space == SpaceImm || other.Space == SpaceImm {
+		return false
+	}
+	return r.Addr < other.Addr+uint64(other.Width) && other.Addr < r.Addr+uint64(r.Width)
+}
+
+// Contains reports whether r fully contains other's byte range.
+func (r Ref) Contains(other Ref) bool {
+	if r.Space == SpaceImm || other.Space == SpaceImm {
+		return false
+	}
+	return r.Addr <= other.Addr && other.Addr+uint64(other.Width) <= r.Addr+uint64(r.Width)
+}
+
+// String renders the reference for debugging.
+func (r Ref) String() string {
+	switch r.Space {
+	case SpaceImm:
+		return fmt.Sprintf("imm:%d", int64(r.Val))
+	case SpaceFlags:
+		return "flags"
+	case SpaceReg:
+		return fmt.Sprintf("reg@%#x/%d=%d", r.Addr, r.Width, r.Val)
+	case SpaceMem:
+		return fmt.Sprintf("mem@%#x/%d=%d", r.Addr, r.Width, r.Val)
+	}
+	return "none"
+}
+
+// MemAccess is one entry of the lightweight memory trace collected during
+// code localization (paper section 3.1): the static instruction address,
+// the absolute address touched, the access width and the direction.
+type MemAccess struct {
+	InstAddr uint32
+	Addr     uint64
+	Width    uint8
+	Write    bool
+}
+
+// ExprOp is the semantic operation of a single effect.  The backward
+// analysis turns effects directly into expression tree nodes, so ExprOp is
+// deliberately at the level of the lifted expression language rather than
+// the ISA: instruction selection details (two-address forms, lea tricks,
+// partial registers) are already erased by the tracer.
+type ExprOp uint8
+
+// Effect operations.
+const (
+	OpNone ExprOp = iota
+	OpIdentity
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd
+	OpOr
+	OpXor
+	OpNot
+	OpNeg
+	OpShl
+	OpShr // logical shift right
+	OpSar // arithmetic shift right
+	OpZExt
+	OpSExt
+	OpLea  // srcs = [base, index, scale, disp]; expands to base+index*scale+disp
+	OpCmp  // flag producer: srcs = [a, b]
+	OpTest // flag producer: srcs = [a, b]
+	OpBranch
+	OpCall      // external call; Sym on the DynInst names the function
+	OpIntToFP   // integer to floating point conversion
+	OpFPToInt   // floating point to integer conversion (round)
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpSelectSet // setcc: srcs = [flags]
+)
+
+var exprOpNames = map[ExprOp]string{
+	OpNone: "none", OpIdentity: "id", OpAdd: "+", OpSub: "-", OpMul: "*",
+	OpDiv: "/", OpMod: "%", OpAnd: "&", OpOr: "|", OpXor: "^", OpNot: "~",
+	OpNeg: "neg", OpShl: "<<", OpShr: ">>", OpSar: ">>a", OpZExt: "zext",
+	OpSExt: "sext", OpLea: "lea", OpCmp: "cmp", OpTest: "test",
+	OpBranch: "branch", OpCall: "call", OpIntToFP: "i2f", OpFPToInt: "f2i",
+	OpFAdd: "+f", OpFSub: "-f", OpFMul: "*f", OpFDiv: "/f", OpSelectSet: "setcc",
+}
+
+// String returns a compact spelling of the operation.
+func (op ExprOp) String() string {
+	if s, ok := exprOpNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("exprop(%d)", uint8(op))
+}
+
+// Effect is one architectural assignment performed by a dynamic
+// instruction: Dst receives Op applied to Srcs.  An instruction may have
+// several effects (a result register, the flags register, a stack pointer
+// update); keeping them separate lets the analyses reason about each
+// assignment independently of x86 instruction packaging.
+type Effect struct {
+	Dst  Ref
+	Op   ExprOp
+	Srcs []Ref
+}
+
+// DynInst is one entry of the detailed dynamic instruction trace collected
+// during expression extraction (paper section 4.1).
+type DynInst struct {
+	// Seq is the position of the record in the trace.
+	Seq int
+	// Addr is the static instruction address.
+	Addr uint32
+	// Op is the ISA operation executed.
+	Op isa.Opcode
+	// Width is the operation width in bytes.
+	Width uint8
+	// Effects are the architectural assignments the instruction performed.
+	Effects []Effect
+	// AddrRefs are the register references used to form memory operand
+	// addresses (base and index registers with their observed values).  The
+	// forward analysis uses them to flag indirect buffer accesses and the
+	// backward analysis uses them to expand address expressions for table
+	// lookups (paper sections 4.6 and 4.7).
+	AddrRefs []Ref
+	// MemAddr is the absolute address of the memory operand, if any.
+	MemAddr uint64
+	// HasMem reports whether the instruction had a memory operand.
+	HasMem bool
+	// Taken records the outcome of conditional jumps.
+	Taken bool
+	// Sym is the imported symbol for external calls.
+	Sym string
+}
+
+// InstTrace is a captured instruction trace together with the write index
+// needed by the backward analysis.
+type InstTrace struct {
+	Insts []DynInst
+
+	// writesAt maps a unified byte address to the ordered list of trace
+	// sequence numbers that wrote that byte.
+	writesAt map[uint64][]int
+}
+
+// BuildWriteIndex constructs the per-byte write index used by
+// LastWriteBefore.  It must be called once after the trace is complete.
+func (t *InstTrace) BuildWriteIndex() {
+	t.writesAt = make(map[uint64][]int)
+	for _, di := range t.Insts {
+		for _, ef := range di.Effects {
+			d := ef.Dst
+			if d.Space == SpaceImm || d.Space == SpaceNone {
+				continue
+			}
+			for b := uint64(0); b < uint64(d.Width); b++ {
+				a := d.Addr + b
+				t.writesAt[a] = append(t.writesAt[a], di.Seq)
+			}
+		}
+	}
+}
+
+// LastWriteBefore returns the sequence number of the most recent instruction
+// before seq that wrote any byte in [addr, addr+width), and whether one
+// exists.  When several bytes were last written by different instructions
+// the latest of them is returned; the backward analysis then discovers the
+// partial overlap while matching widths.
+func (t *InstTrace) LastWriteBefore(seq int, addr uint64, width uint8) (int, bool) {
+	if t.writesAt == nil {
+		t.BuildWriteIndex()
+	}
+	best := -1
+	for b := uint64(0); b < uint64(width); b++ {
+		ws := t.writesAt[addr+b]
+		// Binary search for the last write strictly before seq.
+		i := sort.SearchInts(ws, seq)
+		if i > 0 && ws[i-1] > best {
+			best = ws[i-1]
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// WritesTo returns all trace sequence numbers that wrote the exact byte
+// address, in order.
+func (t *InstTrace) WritesTo(addr uint64) []int {
+	if t.writesAt == nil {
+		t.BuildWriteIndex()
+	}
+	return t.writesAt[addr]
+}
+
+// MemDump is a page-granularity dump of the memory touched by candidate
+// instructions.  Read pages are captured eagerly, written pages at filter
+// function exit (paper section 4.1).
+type MemDump struct {
+	// Pages maps page-aligned addresses to page contents.
+	Pages map[uint64][]byte
+	// PageSize is the dump granularity in bytes.
+	PageSize uint64
+}
+
+// NewMemDump returns an empty dump with the given page size.
+func NewMemDump(pageSize uint64) *MemDump {
+	return &MemDump{Pages: make(map[uint64][]byte), PageSize: pageSize}
+}
+
+// Size returns the total number of bytes captured.
+func (d *MemDump) Size() int {
+	return len(d.Pages) * int(d.PageSize)
+}
+
+// Byte returns the byte at addr and whether the page containing it was
+// dumped.
+func (d *MemDump) Byte(addr uint64) (byte, bool) {
+	page := addr &^ (d.PageSize - 1)
+	p, ok := d.Pages[page]
+	if !ok {
+		return 0, false
+	}
+	return p[addr-page], true
+}
+
+// Bytes copies n bytes starting at addr out of the dump.  The second result
+// is false if any byte falls outside the dumped pages.
+func (d *MemDump) Bytes(addr uint64, n int) ([]byte, bool) {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		b, ok := d.Byte(addr + uint64(i))
+		if !ok {
+			return nil, false
+		}
+		out[i] = b
+	}
+	return out, true
+}
+
+// Find searches the dump for the byte pattern and returns the addresses at
+// which it occurs, in increasing order.  Helium uses this to locate known
+// input and output data when inferring buffer dimensions (paper section
+// 4.3).
+func (d *MemDump) Find(pattern []byte) []uint64 {
+	if len(pattern) == 0 {
+		return nil
+	}
+	pages := make([]uint64, 0, len(d.Pages))
+	for p := range d.Pages {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	var hits []uint64
+	for _, page := range pages {
+		data := d.Pages[page]
+		for off := 0; off < len(data); off++ {
+			addr := page + uint64(off)
+			ok := true
+			for i := 0; i < len(pattern); i++ {
+				b, have := d.Byte(addr + uint64(i))
+				if !have || b != pattern[i] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				hits = append(hits, addr)
+			}
+		}
+	}
+	return hits
+}

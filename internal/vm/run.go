@@ -1,0 +1,247 @@
+package vm
+
+import (
+	"fmt"
+
+	"helium/internal/isa"
+	"helium/internal/trace"
+)
+
+// DefaultMaxSteps bounds a run when the caller does not specify a limit.
+const DefaultMaxSteps uint64 = 500_000_000
+
+// Edge is a dynamic control-flow edge between two basic block leaders.
+type Edge struct {
+	From, To uint32
+}
+
+// CoverageOptions configures an instrumented coverage/profiling run
+// (paper section 3.1).
+type CoverageOptions struct {
+	// MaxSteps bounds the number of executed instructions (0 = default).
+	MaxSteps uint64
+	// InstrumentBlocks restricts instrumentation to the given block leaders.
+	// A nil map instruments every block (used for the initial coverage
+	// screening runs); the second profiling run passes the coverage
+	// difference here.
+	InstrumentBlocks map[uint32]bool
+	// TraceMemory collects a memory access trace for instrumented blocks.
+	TraceMemory bool
+}
+
+// CoverageResult is the outcome of a coverage/profiling run.
+type CoverageResult struct {
+	// Blocks maps basic block leader addresses to execution counts.
+	Blocks map[uint32]uint64
+	// Edges maps predecessor edges between instrumented blocks to counts.
+	Edges map[Edge]uint64
+	// CallTargets maps call instruction addresses to the set of dynamic
+	// callee entry addresses.
+	CallTargets map[uint32]map[uint32]bool
+	// MemTrace is the memory access trace of instrumented blocks (only when
+	// TraceMemory was set).
+	MemTrace []trace.MemAccess
+	// Steps is the number of instructions executed.
+	Steps uint64
+}
+
+// Covered returns the set of covered block leaders.
+func (r *CoverageResult) Covered() map[uint32]bool {
+	out := make(map[uint32]bool, len(r.Blocks))
+	for b := range r.Blocks {
+		out[b] = true
+	}
+	return out
+}
+
+// RunCoverage executes the program from its current state until it halts,
+// collecting basic block coverage, dynamic control-flow edges, call targets
+// and (optionally) a memory trace.
+func (m *Machine) RunCoverage(opts CoverageOptions) (*CoverageResult, error) {
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	leaders := m.Prog.Leaders()
+	res := &CoverageResult{
+		Blocks:      make(map[uint32]uint64),
+		Edges:       make(map[Edge]uint64),
+		CallTargets: make(map[uint32]map[uint32]bool),
+	}
+	rec := &stepRecord{}
+	var curBlock uint32
+	var haveBlock bool
+	curInstrumented := true
+
+	for !m.halted {
+		if m.steps >= maxSteps {
+			return nil, fmt.Errorf("vm: %s exceeded %d steps during coverage run", m.Prog.Name, maxSteps)
+		}
+		eip := m.eip
+		if leaders[eip] {
+			instrumented := opts.InstrumentBlocks == nil || opts.InstrumentBlocks[eip]
+			if instrumented {
+				res.Blocks[eip]++
+				if haveBlock && curInstrumented {
+					res.Edges[Edge{From: curBlock, To: eip}]++
+				}
+			}
+			curBlock, haveBlock, curInstrumented = eip, true, instrumented
+		}
+		idx, ok := m.Prog.Lookup(eip)
+		if !ok {
+			return nil, m.faultf("no instruction at eip")
+		}
+		in := m.Prog.Insts[idx]
+		if in.Op == isa.CALL && in.Sym == "" && curInstrumented {
+			if res.CallTargets[in.Addr] == nil {
+				res.CallTargets[in.Addr] = make(map[uint32]bool)
+			}
+			res.CallTargets[in.Addr][in.Target] = true
+		}
+
+		var r *stepRecord
+		if opts.TraceMemory && curInstrumented {
+			rec.reset()
+			r = rec
+		}
+		if err := m.step(r); err != nil {
+			return nil, err
+		}
+		if r != nil && len(r.accesses) > 0 {
+			res.MemTrace = append(res.MemTrace, r.accesses...)
+		}
+	}
+	res.Steps = m.steps
+	return res, nil
+}
+
+// TraceOptions configures a detailed instruction trace capture run
+// (paper section 4.1).
+type TraceOptions struct {
+	// MaxSteps bounds the number of executed instructions (0 = default).
+	MaxSteps uint64
+	// FilterEntry is the entry address of the filter function selected by
+	// code localization.  Tracing is active from each entry to the matching
+	// return and includes functions the filter calls.
+	FilterEntry uint32
+	// MaxTraceInsts bounds the number of captured dynamic instructions
+	// (0 = unlimited).
+	MaxTraceInsts int
+}
+
+// TraceResult is the outcome of a trace capture run.
+type TraceResult struct {
+	// Trace is the captured dynamic instruction trace.
+	Trace *trace.InstTrace
+	// Dump is the page-granularity memory dump of memory touched by the
+	// filter function: read pages captured eagerly, written pages at filter
+	// exit.
+	Dump *trace.MemDump
+	// FilterCalls is the number of times the filter function was entered.
+	FilterCalls int
+	// Steps is the total number of instructions executed (traced or not).
+	Steps uint64
+}
+
+// RunTrace executes the program from its current state until it halts,
+// capturing a detailed trace of every dynamic instruction executed inside
+// the filter function (including its callees) together with a memory dump.
+func (m *Machine) RunTrace(opts TraceOptions) (*TraceResult, error) {
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	res := &TraceResult{
+		Trace: &trace.InstTrace{},
+		Dump:  trace.NewMemDump(pageSize),
+	}
+	writtenPages := make(map[uint64]bool)
+	dumpWritten := func() {
+		for page := range writtenPages {
+			res.Dump.Pages[page] = m.Mem.PageBytes(uint32(page))
+		}
+	}
+
+	rec := &stepRecord{}
+	tracing := false
+	entryDepth := 0
+
+	for !m.halted {
+		if m.steps >= maxSteps {
+			return nil, fmt.Errorf("vm: %s exceeded %d steps during trace run", m.Prog.Name, maxSteps)
+		}
+		if !tracing && m.eip == opts.FilterEntry {
+			tracing = true
+			entryDepth = m.callDepth
+			res.FilterCalls++
+		}
+		var r *stepRecord
+		if tracing {
+			rec.reset()
+			r = rec
+		}
+		if err := m.step(r); err != nil {
+			return nil, err
+		}
+		if r != nil {
+			seq := len(res.Trace.Insts)
+			di := trace.DynInst{
+				Seq:     seq,
+				Addr:    r.instAddr,
+				Op:      r.op,
+				Width:   r.width,
+				Taken:   r.taken,
+				Sym:     r.sym,
+				MemAddr: r.memAddr,
+				HasMem:  r.hasMem,
+			}
+			if len(r.effects) > 0 {
+				di.Effects = append([]trace.Effect(nil), r.effects...)
+			}
+			if len(r.addrRefs) > 0 {
+				di.AddrRefs = append([]trace.Ref(nil), r.addrRefs...)
+			}
+			res.Trace.Insts = append(res.Trace.Insts, di)
+			if opts.MaxTraceInsts > 0 && len(res.Trace.Insts) > opts.MaxTraceInsts {
+				return nil, fmt.Errorf("vm: trace exceeded %d instructions", opts.MaxTraceInsts)
+			}
+			// Memory dump: read pages are captured eagerly (before any later
+			// write can disturb them), written pages at filter exit.
+			for _, acc := range r.accesses {
+				page := acc.Addr &^ uint64(pageSize-1)
+				if acc.Write {
+					writtenPages[page] = true
+				} else if _, ok := res.Dump.Pages[page]; !ok {
+					res.Dump.Pages[page] = m.Mem.PageBytes(uint32(page))
+				}
+			}
+			if tracing && m.callDepth < entryDepth {
+				tracing = false
+				dumpWritten()
+			}
+		}
+	}
+	dumpWritten()
+	res.Trace.BuildWriteIndex()
+	res.Steps = m.steps
+	return res, nil
+}
+
+// Run executes the program from its current state until it halts, without
+// instrumentation.  It is used by harnesses that only need the program's
+// output (for example to validate lifted kernels against the original).
+func (m *Machine) Run(maxSteps uint64) error {
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	for !m.halted {
+		if m.steps >= maxSteps {
+			return fmt.Errorf("vm: %s exceeded %d steps", m.Prog.Name, maxSteps)
+		}
+		if err := m.step(nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
