@@ -1,0 +1,3 @@
+module helium
+
+go 1.24

@@ -1,12 +1,13 @@
 // Package asm provides a small program builder ("assembler") used to
-// construct the legacy binary corpus in internal/legacy.
+// construct the legacy binary corpus in internal/legacy (brighten, boxblur3
+// and sharpen, each wrapped in a host-application-like main).
 //
 // The builder assigns virtual addresses, resolves labels, lays out data
 // segments and produces an isa.Program.  It is deliberately low level: the
 // legacy kernels are written instruction by instruction, with the loop
 // unrolling, peeling and tile-driver structure of the optimized binaries
-// Helium targets, so that the dynamic analyses face the same obfuscation
-// the paper describes.
+// Helium targets, so that the dynamic analyses in internal/lift face the
+// same obfuscation the paper describes.
 package asm
 
 import (
@@ -158,6 +159,12 @@ func (b *Builder) Shr(dst isa.Operand, imm int64) { b.emit2(isa.SHR, dst, isa.Im
 // Sar emits sar dst, imm.
 func (b *Builder) Sar(dst isa.Operand, imm int64) { b.emit2(isa.SAR, dst, isa.ImmOp(imm)) }
 
+// Mul emits mul src (unsigned EDX:EAX = EAX * src).
+func (b *Builder) Mul(src isa.Operand) { b.emit1(isa.MUL, src) }
+
+// Div emits div src (unsigned EAX = EAX / src, EDX = remainder).
+func (b *Builder) Div(src isa.Operand) { b.emit1(isa.DIV, src) }
+
 // Cmp emits cmp a, b.
 func (b *Builder) Cmp(a, c isa.Operand) { b.emit2(isa.CMP, a, c) }
 
@@ -228,6 +235,12 @@ func (b *Builder) Fmul(src isa.Operand) { b.emit1(isa.FMUL, src) }
 
 // Fdiv emits fdiv src (st0 /= src).
 func (b *Builder) Fdiv(src isa.Operand) { b.emit1(isa.FDIV, src) }
+
+// Faddp emits faddp (st1 = st1 + st0, pop).
+func (b *Builder) Faddp() { b.Emit(isa.Inst{Op: isa.FADDP}) }
+
+// Fmulp emits fmulp (st1 = st1 * st0, pop).
+func (b *Builder) Fmulp() { b.Emit(isa.Inst{Op: isa.FMULP}) }
 
 // Fldz emits fldz (push +0.0).
 func (b *Builder) Fldz() { b.Emit(isa.Inst{Op: isa.FLDZ}) }

@@ -1,0 +1,254 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+
+	"helium/internal/image"
+)
+
+// Source supplies input samples to the evaluator.  Coordinates may reach
+// outside the interior when the lifted kernel reads edge padding; sources
+// backed by padded planes resolve those reads from the padding bytes.
+type Source interface {
+	Sample(x, y, c int) uint8
+}
+
+// PlaneSource adapts a single padded plane.  The channel coordinate is
+// ignored.
+type PlaneSource struct {
+	P *image.Plane
+}
+
+// Sample returns the plane byte at (x, y), which may lie in the padding.
+func (s PlaneSource) Sample(x, y, _ int) uint8 { return s.P.At(x, y) }
+
+// InterleavedSource adapts an interleaved image.
+type InterleavedSource struct {
+	Im *image.Interleaved
+}
+
+// Sample returns channel c of pixel (x, y).
+func (s InterleavedSource) Sample(x, y, c int) uint8 { return s.Im.At(x, y, c) }
+
+// KnownCalls maps the library functions Helium special-cases to their
+// implementations; it mirrors the import table of the emulated host.
+var KnownCalls = map[string]func(float64) float64{
+	"sqrt":  math.Sqrt,
+	"floor": math.Floor,
+	"ceil":  math.Ceil,
+	"exp":   math.Exp,
+	"log":   math.Log,
+}
+
+// value is the evaluator's runtime value: a zero-extended integer or a
+// float64, matching the two value domains of the traced machine.
+type value struct {
+	i  uint64
+	f  float64
+	fl bool
+}
+
+func maskW(v uint64, width int) uint64 {
+	switch width {
+	case 1:
+		return v & 0xff
+	case 2:
+		return v & 0xffff
+	case 4:
+		return v & 0xffffffff
+	}
+	return v
+}
+
+func signExt(v uint64, width int) int64 {
+	switch width {
+	case 1:
+		return int64(int8(v))
+	case 2:
+		return int64(int16(v))
+	case 4:
+		return int64(int32(v))
+	}
+	return int64(v)
+}
+
+// Eval computes the expression for output coordinate (x, y, c) against src.
+func (e *Expr) Eval(src Source, x, y, c int) (uint64, error) {
+	v, err := e.eval(src, x, y, c)
+	if err != nil {
+		return 0, err
+	}
+	if v.fl {
+		return math.Float64bits(v.f), nil
+	}
+	return v.i, nil
+}
+
+func (e *Expr) eval(src Source, x, y, c int) (value, error) {
+	switch e.Op {
+	case OpLoad:
+		return value{i: uint64(src.Sample(x+e.DX, y+e.DY, c+e.DC))}, nil
+	case OpConst:
+		return value{i: uint64(e.Val)}, nil
+	case OpConstF:
+		return value{f: e.F, fl: true}, nil
+	}
+
+	args := make([]value, len(e.Args))
+	for i, a := range e.Args {
+		v, err := a.eval(src, x, y, c)
+		if err != nil {
+			return value{}, err
+		}
+		args[i] = v
+	}
+
+	w := e.Width
+	switch e.Op {
+	case OpAdd:
+		r := uint64(0)
+		for _, a := range args {
+			r += a.i
+		}
+		return value{i: maskW(r, w)}, nil
+	case OpSub:
+		return value{i: maskW(args[0].i-args[1].i, w)}, nil
+	case OpMul:
+		r := uint64(1)
+		for _, a := range args {
+			r *= a.i
+		}
+		return value{i: maskW(r, w)}, nil
+	case OpMulHi:
+		return value{i: maskW((maskW(args[0].i, 4)*maskW(args[1].i, 4))>>32, w)}, nil
+	case OpDiv:
+		d := maskW(args[1].i, w)
+		if d == 0 {
+			return value{}, fmt.Errorf("ir: division by zero")
+		}
+		return value{i: maskW(args[0].i, w) / d}, nil
+	case OpMod:
+		d := maskW(args[1].i, w)
+		if d == 0 {
+			return value{}, fmt.Errorf("ir: modulo by zero")
+		}
+		return value{i: maskW(args[0].i, w) % d}, nil
+	case OpAnd:
+		r := ^uint64(0)
+		for _, a := range args {
+			r &= a.i
+		}
+		return value{i: maskW(r, w)}, nil
+	case OpOr:
+		r := uint64(0)
+		for _, a := range args {
+			r |= a.i
+		}
+		return value{i: maskW(r, w)}, nil
+	case OpXor:
+		r := uint64(0)
+		for _, a := range args {
+			r ^= a.i
+		}
+		return value{i: maskW(r, w)}, nil
+	case OpNot:
+		return value{i: maskW(^args[0].i, w)}, nil
+	case OpNeg:
+		return value{i: maskW(-args[0].i, w)}, nil
+	case OpShl:
+		return value{i: maskW(args[0].i<<(args[1].i&31), w)}, nil
+	case OpShr:
+		return value{i: maskW(args[0].i, w) >> (args[1].i & 31)}, nil
+	case OpSar:
+		return value{i: maskW(uint64(signExt(args[0].i, w)>>(args[1].i&31)), w)}, nil
+	case OpZExt:
+		return value{i: maskW(args[0].i, e.SrcWidth)}, nil
+	case OpSExt:
+		return value{i: maskW(uint64(signExt(args[0].i, e.SrcWidth)), w)}, nil
+	case OpExtract:
+		return value{i: maskW(args[0].i>>(8*uint(e.Val)), w)}, nil
+	case OpMin:
+		r := signExt(args[0].i, w)
+		for _, a := range args[1:] {
+			if s := signExt(a.i, w); s < r {
+				r = s
+			}
+		}
+		return value{i: maskW(uint64(r), w)}, nil
+	case OpMax:
+		r := signExt(args[0].i, w)
+		for _, a := range args[1:] {
+			if s := signExt(a.i, w); s > r {
+				r = s
+			}
+		}
+		return value{i: maskW(uint64(r), w)}, nil
+	case OpSelect:
+		if args[0].i != 0 {
+			return args[1], nil
+		}
+		return args[2], nil
+	case OpTable:
+		idx := int64(args[0].i)
+		off := idx * int64(e.Elem)
+		if off < 0 || off+int64(e.Elem) > int64(len(e.Table)) {
+			return value{}, fmt.Errorf("ir: table index %d out of range (%d elements)", idx, len(e.Table)/e.Elem)
+		}
+		var r uint64
+		for i := 0; i < e.Elem; i++ {
+			r |= uint64(e.Table[off+int64(i)]) << (8 * i)
+		}
+		return value{i: r}, nil
+	case OpIntToFP:
+		return value{f: float64(signExt(args[0].i, e.SrcWidth)), fl: true}, nil
+	case OpFPToInt:
+		return value{i: maskW(uint64(int64(math.RoundToEven(args[0].f))), w)}, nil
+	case OpFAdd:
+		return value{f: args[0].f + args[1].f, fl: true}, nil
+	case OpFSub:
+		return value{f: args[0].f - args[1].f, fl: true}, nil
+	case OpFMul:
+		return value{f: args[0].f * args[1].f, fl: true}, nil
+	case OpFDiv:
+		return value{f: args[0].f / args[1].f, fl: true}, nil
+	case OpCall:
+		fn, ok := KnownCalls[e.Sym]
+		if !ok {
+			return value{}, fmt.Errorf("ir: unknown library call %q", e.Sym)
+		}
+		return value{f: fn(args[0].f), fl: true}, nil
+	}
+	return value{}, fmt.Errorf("ir: cannot evaluate op %v", e.Op)
+}
+
+// EvalAt evaluates channel c of output pixel (x, y) and narrows the result
+// to one sample byte, exactly as the legacy kernel's final store does.
+func (k *Kernel) EvalAt(src Source, x, y, c int) (uint8, error) {
+	v, err := k.Trees[c].Eval(src, x+k.OriginX, y+k.OriginY, c)
+	if err != nil {
+		return 0, err
+	}
+	return uint8(v), nil
+}
+
+// Eval renders the whole output region in row-major sample order
+// (OutWidth*Channels samples per row, OutHeight rows).
+func (k *Kernel) Eval(src Source) ([]byte, error) {
+	if len(k.Trees) != k.Channels {
+		return nil, fmt.Errorf("ir: kernel %s has %d trees for %d channels", k.Name, len(k.Trees), k.Channels)
+	}
+	out := make([]byte, 0, k.OutWidth*k.OutHeight*k.Channels)
+	for y := 0; y < k.OutHeight; y++ {
+		for x := 0; x < k.OutWidth; x++ {
+			for c := 0; c < k.Channels; c++ {
+				s, err := k.EvalAt(src, x, y, c)
+				if err != nil {
+					return nil, fmt.Errorf("ir: kernel %s at (%d,%d,%d): %w", k.Name, x, y, c, err)
+				}
+				out = append(out, s)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,387 @@
+// Package ir defines the Halide-like stencil expression language lifted
+// kernels are expressed in, together with an evaluator that executes a
+// lifted kernel directly against image buffers (paper section 5: the
+// expression trees extracted from the dynamic trace are the bodies of
+// Halide update definitions).
+//
+// An expression computes one output sample as a function of input samples
+// at constant offsets from the output coordinate (x, y, c), constants,
+// read-only table lookups and known library calls.  Integer operations
+// carry an explicit byte width and wrap exactly like the 32-bit machine the
+// tree was lifted from, so evaluating a lifted kernel reproduces the legacy
+// binary's output bit for bit.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op enumerates the expression node kinds.
+type Op uint8
+
+// Expression operations.
+const (
+	OpInvalid Op = iota
+
+	// Leaves.
+	OpLoad   // input sample at (x+DX, y+DY, c+DC)
+	OpConst  // integer constant (Val)
+	OpConstF // floating point constant (F)
+
+	// Integer arithmetic, masked to Width bytes.
+	OpAdd
+	OpSub
+	OpMul
+	OpMulHi // high 32 bits of a widening 32x32 unsigned multiply
+	OpDiv   // unsigned
+	OpMod   // unsigned
+	OpAnd
+	OpOr
+	OpXor
+	OpNot
+	OpNeg
+	OpShl
+	OpShr // logical shift right
+	OpSar // arithmetic shift right
+
+	// Width changes.
+	OpZExt    // zero extend (child masked at SrcWidth)
+	OpSExt    // sign extend from SrcWidth to Width
+	OpExtract // byte-extract Width bytes at byte offset Val from the child
+
+	// High-level operations introduced by canonicalization.
+	OpMin    // signed minimum
+	OpMax    // signed maximum
+	OpSelect // Args[0] != 0 ? Args[1] : Args[2]
+
+	// Table lookup: Table[index * Elem .. ), Args[0] is the index.
+	OpTable
+
+	// Floating point.
+	OpIntToFP // signed SrcWidth-byte integer to float64
+	OpFPToInt // round float64 to nearest-even integer, masked to Width
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpCall // known library call Sym(Args[0])
+)
+
+var opNames = map[Op]string{
+	OpLoad: "in", OpConst: "const", OpConstF: "constf",
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpMulHi: "*hi", OpDiv: "/", OpMod: "%",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpNot: "~", OpNeg: "neg",
+	OpShl: "<<", OpShr: ">>", OpSar: ">>a",
+	OpZExt: "zext", OpSExt: "sext", OpExtract: "extract",
+	OpMin: "min", OpMax: "max", OpSelect: "select", OpTable: "table",
+	OpIntToFP: "i2f", OpFPToInt: "f2i",
+	OpFAdd: "+.", OpFSub: "-.", OpFMul: "*.", OpFDiv: "/.",
+	OpCall: "call",
+}
+
+// String returns the compact spelling of the operation.
+func (op Op) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("irop(%d)", uint8(op))
+}
+
+// IsFloat reports whether the operation produces a floating point value.
+func (op Op) IsFloat() bool {
+	switch op {
+	case OpConstF, OpIntToFP, OpFAdd, OpFSub, OpFMul, OpFDiv, OpCall:
+		return true
+	}
+	return false
+}
+
+// Commutative reports whether the operation's integer arguments may be
+// reordered without changing the result.  Floating point operations are
+// excluded: reassociating or reordering them changes rounding.
+func (op Op) Commutative() bool {
+	switch op {
+	case OpAdd, OpMul, OpAnd, OpOr, OpXor, OpMin, OpMax:
+		return true
+	}
+	return false
+}
+
+// Associative reports whether chains of the operation may be flattened.
+func (op Op) Associative() bool {
+	return op.Commutative()
+}
+
+// Expr is one node of a lifted stencil expression tree.
+type Expr struct {
+	Op Op
+
+	// DX, DY, DC are the load offsets relative to the output coordinate
+	// (OpLoad only).
+	DX, DY, DC int
+
+	// Val is the integer constant for OpConst and the byte offset for
+	// OpExtract.
+	Val int64
+	// F is the floating point constant for OpConstF.
+	F float64
+
+	// Width is the result width in bytes for integer operations; results
+	// wrap at this width exactly like the lifted machine code.  Zero means
+	// "no masking" (leaves, float ops).
+	Width int
+	// SrcWidth is the source width in bytes for OpZExt, OpSExt, OpIntToFP
+	// and OpExtract.
+	SrcWidth int
+
+	// Sym is the library function name for OpCall.
+	Sym string
+
+	// Table holds the read-only table contents for OpTable; Elem is the
+	// element width in bytes.
+	Table []byte
+	Elem  int
+
+	// Args are the operand subtrees.
+	Args []*Expr
+}
+
+// Load returns an input-sample leaf at offset (dx, dy, dc).
+func Load(dx, dy, dc int) *Expr { return &Expr{Op: OpLoad, DX: dx, DY: dy, DC: dc} }
+
+// Const returns an integer constant leaf.
+func Const(v int64) *Expr { return &Expr{Op: OpConst, Val: v} }
+
+// ConstF returns a floating point constant leaf.
+func ConstF(f float64) *Expr { return &Expr{Op: OpConstF, F: f} }
+
+// Bin returns a width-masked binary integer node.
+func Bin(op Op, width int, a, b *Expr) *Expr {
+	return &Expr{Op: op, Width: width, Args: []*Expr{a, b}}
+}
+
+// Clone returns a deep copy of the expression.
+func (e *Expr) Clone() *Expr {
+	c := *e
+	if e.Args != nil {
+		c.Args = make([]*Expr, len(e.Args))
+		for i, a := range e.Args {
+			c.Args[i] = a.Clone()
+		}
+	}
+	return &c
+}
+
+// Size returns the number of nodes in the tree.
+func (e *Expr) Size() int {
+	n := 1
+	for _, a := range e.Args {
+		n += a.Size()
+	}
+	return n
+}
+
+// Key returns a canonical structural key for the tree: two trees compute
+// the same function iff (after canonicalization) their keys are equal.
+// Unlike String it encodes widths and table identities, so it is the
+// equality the lifting pipeline uses to collapse unrolled copies.
+func (e *Expr) Key() string {
+	var b strings.Builder
+	e.key(&b)
+	return b.String()
+}
+
+func (e *Expr) key(b *strings.Builder) {
+	switch e.Op {
+	case OpLoad:
+		fmt.Fprintf(b, "in(%d,%d,%d)", e.DX, e.DY, e.DC)
+		return
+	case OpConst:
+		fmt.Fprintf(b, "%d", e.Val)
+		return
+	case OpConstF:
+		fmt.Fprintf(b, "%g", e.F)
+		return
+	}
+	b.WriteString(e.Op.String())
+	switch e.Op {
+	case OpZExt, OpSExt, OpIntToFP:
+		fmt.Fprintf(b, "%d>%d", e.SrcWidth, e.Width)
+	case OpExtract:
+		fmt.Fprintf(b, "@%d w%d", e.Val, e.Width)
+	case OpTable:
+		fmt.Fprintf(b, "#%x/%d", tableFingerprint(e.Table), e.Elem)
+	case OpCall:
+		fmt.Fprintf(b, ":%s", e.Sym)
+	default:
+		if e.Width != 0 {
+			fmt.Fprintf(b, "w%d", e.Width)
+		}
+	}
+	b.WriteString("(")
+	for i, a := range e.Args {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		a.key(b)
+	}
+	b.WriteString(")")
+}
+
+// tableFingerprint hashes table contents (FNV-1a) so distinct tables get
+// distinct keys without embedding the whole table in the key.
+func tableFingerprint(data []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range data {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// String renders the expression in a compact Halide-like syntax, e.g.
+//
+//	min(max(5*in(x, y) - (in(x-1, y) + in(x+1, y)), 0), 255)
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.print(&b)
+	return b.String()
+}
+
+func coord(base string, d int) string {
+	switch {
+	case d > 0:
+		return fmt.Sprintf("%s+%d", base, d)
+	case d < 0:
+		return fmt.Sprintf("%s-%d", base, -d)
+	}
+	return base
+}
+
+func (e *Expr) print(b *strings.Builder) {
+	switch e.Op {
+	case OpLoad:
+		fmt.Fprintf(b, "in(%s, %s", coord("x", e.DX), coord("y", e.DY))
+		if e.DC != 0 {
+			fmt.Fprintf(b, ", %s", coord("c", e.DC))
+		}
+		b.WriteString(")")
+	case OpConst:
+		fmt.Fprintf(b, "%d", e.Val)
+	case OpConstF:
+		fmt.Fprintf(b, "%g", e.F)
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor,
+		OpShl, OpShr, OpSar, OpFAdd, OpFSub, OpFMul, OpFDiv, OpMulHi:
+		b.WriteString("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				fmt.Fprintf(b, " %s ", e.Op)
+			}
+			a.print(b)
+		}
+		b.WriteString(")")
+	case OpNot, OpNeg:
+		fmt.Fprintf(b, "%s(", e.Op)
+		e.Args[0].print(b)
+		b.WriteString(")")
+	case OpZExt, OpSExt:
+		// Width changes are semantically important but noisy; render the
+		// child with a light annotation only for sign extension.
+		if e.Op == OpSExt {
+			fmt.Fprintf(b, "i%d(", e.SrcWidth*8)
+			e.Args[0].print(b)
+			b.WriteString(")")
+		} else {
+			e.Args[0].print(b)
+		}
+	case OpExtract:
+		fmt.Fprintf(b, "byte%d(", e.Val)
+		e.Args[0].print(b)
+		b.WriteString(")")
+	case OpMin, OpMax:
+		fmt.Fprintf(b, "%s(", e.Op)
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			a.print(b)
+		}
+		b.WriteString(")")
+	case OpSelect:
+		b.WriteString("select(")
+		e.Args[0].print(b)
+		b.WriteString(", ")
+		e.Args[1].print(b)
+		b.WriteString(", ")
+		e.Args[2].print(b)
+		b.WriteString(")")
+	case OpTable:
+		b.WriteString("lut[")
+		e.Args[0].print(b)
+		b.WriteString("]")
+	case OpIntToFP:
+		b.WriteString("float(")
+		e.Args[0].print(b)
+		b.WriteString(")")
+	case OpFPToInt:
+		b.WriteString("round(")
+		e.Args[0].print(b)
+		b.WriteString(")")
+	case OpCall:
+		fmt.Fprintf(b, "%s(", e.Sym)
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			a.print(b)
+		}
+		b.WriteString(")")
+	default:
+		fmt.Fprintf(b, "%s(", e.Op)
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			a.print(b)
+		}
+		b.WriteString(")")
+	}
+}
+
+// Kernel is a lifted stencil kernel: one expression tree per output channel
+// over an output grid.  The output coordinate frame is the written region
+// discovered by buffer reconstruction; load offsets are relative to it.
+type Kernel struct {
+	Name string
+	// OutWidth and OutHeight are the extents of the written output region
+	// in pixels; Channels is the number of samples per pixel.
+	OutWidth, OutHeight, Channels int
+	// OriginX and OriginY map output coordinates into the input: output
+	// pixel (x, y) is centered on input pixel (x+OriginX, y+OriginY).  A
+	// filter that only writes an interior window (like the sharpen kernel)
+	// has a nonzero origin; full-frame filters have origin (0, 0).
+	OriginX, OriginY int
+	// Trees holds the per-channel expression trees (len == Channels).
+	Trees []*Expr
+}
+
+// String renders the kernel as Halide-like update definitions.
+func (k *Kernel) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// %s: %dx%dx%d\n", k.Name, k.OutWidth, k.OutHeight, k.Channels)
+	uniform := true
+	for _, t := range k.Trees[1:] {
+		if t.Key() != k.Trees[0].Key() {
+			uniform = false
+		}
+	}
+	if uniform {
+		fmt.Fprintf(&b, "out(x, y, c) = %s\n", k.Trees[0])
+	} else {
+		for c, t := range k.Trees {
+			fmt.Fprintf(&b, "out(x, y, %d) = %s\n", c, t)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,169 @@
+package ir
+
+import (
+	"math"
+	"testing"
+
+	"helium/internal/image"
+)
+
+// constSource returns a fixed sample everywhere.
+type constSource uint8
+
+func (s constSource) Sample(x, y, c int) uint8 { return uint8(s) }
+
+func evalInt(t *testing.T, e *Expr, src Source) int64 {
+	t.Helper()
+	v, err := e.Eval(src, 0, 0, 0)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e, err)
+	}
+	return int64(v)
+}
+
+func TestIntegerWidthSemantics(t *testing.T) {
+	// 32-bit wraparound: 0xffffffff + 1 == 0.
+	add := Bin(OpAdd, 4, Const(0xffffffff), Const(1))
+	if got := evalInt(t, add, nil); got != 0 {
+		t.Errorf("32-bit add wrap = %d, want 0", got)
+	}
+	// Byte-width subtraction wraps at 8 bits.
+	sub := Bin(OpSub, 1, Const(0), Const(1))
+	if got := evalInt(t, sub, nil); got != 0xff {
+		t.Errorf("8-bit sub wrap = %d, want 255", got)
+	}
+	// Arithmetic shift preserves the width-4 sign.
+	sar := Bin(OpSar, 4, Const(-8&0xffffffff), Const(2))
+	if got := evalInt(t, sar, nil); got != int64(uint32(0xfffffffe)) {
+		t.Errorf("sar = %#x, want 0xfffffffe", got)
+	}
+	// Logical shift does not.
+	shr := Bin(OpShr, 4, Const(-8&0xffffffff), Const(2))
+	if got := evalInt(t, shr, nil); got != 0x3ffffffe {
+		t.Errorf("shr = %#x, want 0x3ffffffe", got)
+	}
+	// MulHi returns the high half of the widening product.
+	hi := Bin(OpMulHi, 4, Const(0x80000000), Const(4))
+	if got := evalInt(t, hi, nil); got != 2 {
+		t.Errorf("mulhi = %d, want 2", got)
+	}
+	// Sign extension from a byte.
+	sx := &Expr{Op: OpSExt, Width: 4, SrcWidth: 1, Args: []*Expr{Const(0x80)}}
+	if got := evalInt(t, sx, nil); got != int64(uint32(0xffffff80)) {
+		t.Errorf("sext = %#x, want 0xffffff80", got)
+	}
+	// Extract pulls out an interior byte.
+	ext := &Expr{Op: OpExtract, Width: 1, SrcWidth: 4, Val: 1, Args: []*Expr{Const(0xa1b2c3d4)}}
+	if got := evalInt(t, ext, nil); got != 0xc3 {
+		t.Errorf("extract byte 1 = %#x, want 0xc3", got)
+	}
+}
+
+func TestMinMaxSelectSemantics(t *testing.T) {
+	// Min/max compare signed at the node width: 0xffffffff is -1.
+	minE := &Expr{Op: OpMin, Width: 4, Args: []*Expr{Const(0xffffffff), Const(3)}}
+	if got := evalInt(t, minE, nil); got != int64(uint32(0xffffffff)) {
+		t.Errorf("min(-1, 3) = %#x, want -1 (masked)", got)
+	}
+	maxE := &Expr{Op: OpMax, Width: 4, Args: []*Expr{Const(0xffffffff), Const(3)}}
+	if got := evalInt(t, maxE, nil); got != 3 {
+		t.Errorf("max(-1, 3) = %d, want 3", got)
+	}
+	sel := &Expr{Op: OpSelect, Args: []*Expr{Const(0), Const(10), Const(20)}}
+	if got := evalInt(t, sel, nil); got != 20 {
+		t.Errorf("select(0, 10, 20) = %d, want 20", got)
+	}
+}
+
+func TestTableAndCall(t *testing.T) {
+	table := &Expr{Op: OpTable, Table: []byte{10, 20, 30}, Elem: 1, Args: []*Expr{Load(0, 0, 0)}}
+	if got := evalInt(t, table, constSource(2)); got != 30 {
+		t.Errorf("table[2] = %d, want 30", got)
+	}
+	if _, err := table.Eval(constSource(3), 0, 0, 0); err == nil {
+		t.Error("out-of-range table index must error")
+	}
+
+	call := &Expr{Op: OpCall, Sym: "sqrt", Args: []*Expr{ConstF(81)}}
+	v, err := call.Eval(nil, 0, 0, 0)
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if f := math.Float64frombits(v); f != 9 {
+		t.Errorf("sqrt(81) = %g, want 9", f)
+	}
+	bad := &Expr{Op: OpCall, Sym: "nope", Args: []*Expr{ConstF(1)}}
+	if _, err := bad.Eval(nil, 0, 0, 0); err == nil {
+		t.Error("unknown call symbol must error")
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	// round(float(200) * 1.5) via the float pipeline.
+	e := &Expr{Op: OpFPToInt, Width: 4, Args: []*Expr{
+		{Op: OpFMul, Args: []*Expr{
+			{Op: OpIntToFP, SrcWidth: 4, Args: []*Expr{Const(200)}},
+			ConstF(1.5),
+		}},
+	}}
+	if got := evalInt(t, e, nil); got != 300 {
+		t.Errorf("round(200*1.5) = %d, want 300", got)
+	}
+	// Round-to-even at the .5 boundary, like the VM's FISTP.
+	half := &Expr{Op: OpFPToInt, Width: 4, Args: []*Expr{ConstF(2.5)}}
+	if got := evalInt(t, half, nil); got != 2 {
+		t.Errorf("round(2.5) = %d, want 2 (round to even)", got)
+	}
+}
+
+func TestKernelEvalOriginAndOffsets(t *testing.T) {
+	p := image.NewPlane(4, 3, 1)
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 4; x++ {
+			p.Set(x, y, byte(10*y+x))
+		}
+	}
+	p.PadEdges()
+	// out(x,y) = in(x+1, y) with origin (1, 0): reads two columns right.
+	k := &Kernel{
+		Name: "shift", OutWidth: 2, OutHeight: 3, Channels: 1,
+		OriginX: 1,
+		Trees:   []*Expr{Load(1, 0, 0)},
+	}
+	out, err := k.Eval(PlaneSource{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{2, 3, 12, 13, 22, 23}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestKeyDistinguishesWidthAndTables(t *testing.T) {
+	a := Bin(OpAdd, 4, Load(0, 0, 0), Const(1))
+	b := Bin(OpAdd, 2, Load(0, 0, 0), Const(1))
+	if a.Key() == b.Key() {
+		t.Error("keys must encode operation width")
+	}
+	t1 := &Expr{Op: OpTable, Table: []byte{1, 2}, Elem: 1, Args: []*Expr{Load(0, 0, 0)}}
+	t2 := &Expr{Op: OpTable, Table: []byte{1, 3}, Elem: 1, Args: []*Expr{Load(0, 0, 0)}}
+	if t1.Key() == t2.Key() {
+		t.Error("keys must distinguish table contents")
+	}
+	if t1.Key() != t1.Clone().Key() {
+		t.Error("cloning must preserve the key")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := &Expr{Op: OpMin, Width: 4, Args: []*Expr{
+		{Op: OpMax, Width: 4, Args: []*Expr{Load(-1, 2, 0), Const(0)}},
+		Const(255),
+	}}
+	if got, want := e.String(), "min(max(in(x-1, y+2), 0), 255)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

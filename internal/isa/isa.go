@@ -9,9 +9,11 @@
 // (AL/AH/AX inside EAX), complex memory operands (base + index*scale +
 // disp), a flags register written implicitly by arithmetic, an x87-style
 // floating-point register stack, and external calls resolved through import
-// symbols.  Legacy kernels in internal/legacy are "compiled" to this ISA
-// with the same optimizations the paper encounters (unrolling, peeling,
-// tiling, sliding windows).
+// symbols.  The legacy corpus in internal/legacy is "compiled" to this ISA
+// with the same optimizations the paper encounters: the brighten kernel is
+// unrolled with a peeled remainder loop, the box blur runs under a tiled
+// column driver, and the sharpen kernel mixes unrolled x87 float code with
+// branch-free clamping.
 package isa
 
 import (

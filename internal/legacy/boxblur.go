@@ -1,0 +1,183 @@
+package legacy
+
+import (
+	"helium/internal/asm"
+	"helium/internal/image"
+	"helium/internal/isa"
+	"helium/internal/vm"
+)
+
+// buildBoxBlur assembles the 3x3 box blur legacy binary.  The filter is a
+// tile driver: it splits the image into two column tiles and calls the
+// worker once per tile, the structure optimizing compilers and hand-tuned
+// libraries give blocked stencils.  The worker's inner loop is unrolled two
+// ways with a peeled remainder pixel.  The source plane carries one pixel
+// of edge padding (clamp-to-edge, prepared by the host), so every output
+// pixel — edges included — computes the same expression.
+func buildBoxBlur() (*asm.Builder, *isa.Program) {
+	b := asm.New("boxblur3")
+
+	emitMain(b)
+	emitCopy(b)
+
+	eax := isa.RegOp(isa.EAX)
+	ebx := isa.RegOp(isa.EBX)
+	ecx := isa.RegOp(isa.ECX)
+	edx := isa.RegOp(isa.EDX)
+	esi := isa.RegOp(isa.ESI)
+	edi := isa.RegOp(isa.EDI)
+	esp := isa.RegOp(isa.ESP)
+
+	// filter(src, dst, w, h, stride): the tile driver.
+	{
+		src, dst, w, h, stride := asm.Arg(0), asm.Arg(1), asm.Arg(2), asm.Arg(3), asm.Arg(4)
+		xmid := asm.Local(1)
+		b.Label("filter")
+		b.Prologue(8)
+		b.Mov(eax, w)
+		b.Shr(eax, 1)
+		b.Mov(xmid, eax)
+		// tile(src, dst, 0, xmid, h, stride)
+		b.Push(stride)
+		b.Push(h)
+		b.Push(xmid)
+		b.Push(isa.ImmOp(0))
+		b.Push(dst)
+		b.Push(src)
+		b.Call("blur_tile")
+		b.Add(esp, isa.ImmOp(24))
+		// tile(src, dst, xmid, w, h, stride)
+		b.Push(stride)
+		b.Push(h)
+		b.Push(w)
+		b.Push(xmid)
+		b.Push(dst)
+		b.Push(src)
+		b.Call("blur_tile")
+		b.Add(esp, isa.ImmOp(24))
+		b.Epilogue()
+	}
+
+	// blur_tile(src, dst, x0, x1, h, stride): blur columns [x0, x1).
+	{
+		src, dst, x0, x1, h, stride := asm.Arg(0), asm.Arg(1), asm.Arg(2), asm.Arg(3), asm.Arg(4), asm.Arg(5)
+		y := asm.Local(1)
+
+		// lane emits one pixel at x = ecx+k: a nine-sample sum rounded and
+		// divided by nine.  esi/edi point at the current source/dest rows.
+		lane := func(k int32) {
+			// edx walks the three source rows around the pixel.
+			b.Lea(isa.EDX, isa.MemOp(isa.ESI, isa.ECX, 1, k, 4))
+			b.Sub(edx, stride)
+			b.Xor(eax, eax)
+			for row := 0; row < 3; row++ {
+				if row > 0 {
+					b.Add(edx, stride)
+				}
+				for d := int32(-1); d <= 1; d++ {
+					b.Movzx(ebx, isa.Mem(isa.EDX, d, 1))
+					b.Add(eax, ebx)
+				}
+			}
+			b.Add(eax, isa.ImmOp(4))
+			b.Mov(ebx, isa.ImmOp(9))
+			b.Div(ebx)
+			b.Mov(isa.MemOp(isa.EDI, isa.ECX, 1, k, 1), isa.RegOp(isa.AL))
+		}
+
+		b.Label("blur_tile")
+		b.Prologue(8)
+		b.Mov(y, isa.ImmOp(0))
+
+		b.Label("t_row")
+		b.Mov(eax, y)
+		b.Cmp(eax, h)
+		b.Jcc(isa.JGE, "t_done")
+		b.Mov(eax, y)
+		b.Imul(eax, stride)
+		b.Mov(esi, src)
+		b.Add(esi, eax)
+		b.Mov(edi, dst)
+		b.Add(edi, eax)
+		b.Mov(ecx, x0)
+
+		b.Label("t_x2") // unrolled x2: while x+1 < x1
+		b.Lea(isa.EAX, isa.Mem(isa.ECX, 1, 4))
+		b.Cmp(eax, x1)
+		b.Jcc(isa.JGE, "t_xrem")
+		lane(0)
+		lane(1)
+		b.Add(ecx, isa.ImmOp(2))
+		b.Jmp("t_x2")
+
+		b.Label("t_xrem") // peeled remainder: at most one pixel
+		b.Cmp(ecx, x1)
+		b.Jcc(isa.JGE, "t_rownext")
+		lane(0)
+		b.Inc(ecx)
+
+		b.Label("t_rownext")
+		b.Inc(y)
+		b.Jmp("t_row")
+
+		b.Label("t_done")
+		b.Epilogue()
+	}
+
+	return b, b.MustBuild()
+}
+
+func boxBlurKernel() Kernel {
+	return Kernel{
+		Name:        "boxblur3",
+		Description: "3x3 box blur over a padded planar plane, tiled column driver with an unrolled x2 worker",
+		Instantiate: func(cfg Config) *Instance {
+			builder, prog := buildBoxBlur()
+			pl := image.NewPlane(cfg.Width, cfg.Height, 1)
+			pl.FillPattern(cfg.Seed) // fills interior and clamps the padding
+			srcBytes := append([]byte(nil), pl.Pix...)
+			srcAddr, dstAddr := bufAddrs(len(srcBytes))
+			origin := pl.Index(0, 0) // interior origin offset inside the buffer
+
+			ref := make([]byte, 0, cfg.Width*cfg.Height)
+			for yy := 0; yy < cfg.Height; yy++ {
+				for xx := 0; xx < cfg.Width; xx++ {
+					sum := 0
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							sum += int(pl.At(xx+dx, yy+dy))
+						}
+					}
+					ref = append(ref, byte((sum+4)/9))
+				}
+			}
+
+			inst := &Instance{
+				Name:          "boxblur3",
+				Prog:          prog,
+				FilterEntry:   mustFilterEntry(builder, prog),
+				Width:         cfg.Width,
+				Height:        cfg.Height,
+				Channels:      1,
+				InputInterior: pl.Interior(),
+				Reference:     ref,
+			}
+			inst.setup = func(m *vm.Machine, apply bool) {
+				m.Reset()
+				m.Mem.WriteBytes(srcAddr, srcBytes)
+				writeParams(m, apply, srcAddr, dstAddr,
+					cfg.Width, cfg.Height, pl.Stride,
+					srcAddr+uint32(origin), dstAddr+uint32(origin), len(srcBytes))
+			}
+			inst.readOutput = func(m *vm.Machine) []byte {
+				out := make([]byte, 0, cfg.Width*cfg.Height)
+				for yy := 0; yy < cfg.Height; yy++ {
+					row := m.Mem.ReadBytes(dstAddr+uint32(pl.Index(0, yy)), cfg.Width)
+					out = append(out, row...)
+				}
+				return out
+			}
+			return inst
+		},
+	}
+}

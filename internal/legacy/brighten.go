@@ -1,0 +1,149 @@
+package legacy
+
+import (
+	"helium/internal/asm"
+	"helium/internal/image"
+	"helium/internal/isa"
+	"helium/internal/vm"
+)
+
+// brightenAmount is baked into the lookup table at "compile" time, the way
+// a shipped legacy binary bakes in its tuning constants.
+const brightenAmount = 48
+
+// brightenLUT is the clamped brighten table: lut[v] = min(v+amount, 255).
+func brightenLUT() []byte {
+	lut := make([]byte, 256)
+	for i := range lut {
+		v := i + brightenAmount
+		if v > 255 {
+			v = 255
+		}
+		lut[i] = byte(v)
+	}
+	return lut
+}
+
+// buildBrighten assembles the brighten legacy binary: a planar 8-bit plane
+// is brightened through a 256-entry lookup table, with the inner loop
+// unrolled four ways and a peeled remainder loop — the classic shape of an
+// optimized table-mapping kernel.
+func buildBrighten() (*asm.Builder, *isa.Program) {
+	b := asm.New("brighten")
+	lutAddr := b.Data(brightenLUT())
+
+	emitMain(b)
+	emitCopy(b)
+
+	eax := isa.RegOp(isa.EAX)
+	ebx := isa.RegOp(isa.EBX)
+	ecx := isa.RegOp(isa.ECX)
+	esi := isa.RegOp(isa.ESI)
+	edi := isa.RegOp(isa.EDI)
+	src, dst, w, h, stride := asm.Arg(0), asm.Arg(1), asm.Arg(2), asm.Arg(3), asm.Arg(4)
+	y, rowSrc, rowDst := asm.Local(1), asm.Local(2), asm.Local(3)
+
+	// lane emits one pixel: dst[x+k] = lut[src[x+k]] with x in ecx.
+	lane := func(k int32) {
+		b.Movzx(eax, isa.MemOp(isa.ESI, isa.ECX, 1, k, 1))
+		b.Movzx(eax, isa.MemOp(isa.EAX, isa.RegNone, 0, int32(lutAddr), 1))
+		b.Mov(isa.MemOp(isa.EDI, isa.ECX, 1, k, 1), isa.RegOp(isa.AL))
+	}
+
+	b.Label("filter") // filter(src, dst, w, h, stride)
+	b.Prologue(16)
+	b.Mov(eax, src)
+	b.Mov(rowSrc, eax)
+	b.Mov(eax, dst)
+	b.Mov(rowDst, eax)
+	b.Mov(y, isa.ImmOp(0))
+
+	b.Label("b_row")
+	b.Mov(eax, y)
+	b.Cmp(eax, h)
+	b.Jcc(isa.JGE, "b_done")
+	b.Mov(esi, rowSrc)
+	b.Mov(edi, rowDst)
+	b.Mov(ecx, isa.ImmOp(0))
+	b.Mov(ebx, w)
+	b.And(ebx, isa.ImmOp(-4)) // unrolled trip limit w&^3
+
+	b.Label("b_x4")
+	b.Cmp(ecx, ebx)
+	b.Jcc(isa.JGE, "b_xrem")
+	lane(0)
+	lane(1)
+	lane(2)
+	lane(3)
+	b.Add(ecx, isa.ImmOp(4))
+	b.Jmp("b_x4")
+
+	b.Label("b_xrem") // peeled remainder: up to three trailing pixels
+	b.Cmp(ecx, w)
+	b.Jcc(isa.JGE, "b_rownext")
+	lane(0)
+	b.Inc(ecx)
+	b.Jmp("b_xrem")
+
+	b.Label("b_rownext")
+	b.Mov(eax, rowSrc)
+	b.Add(eax, stride)
+	b.Mov(rowSrc, eax)
+	b.Mov(eax, rowDst)
+	b.Add(eax, stride)
+	b.Mov(rowDst, eax)
+	b.Inc(y)
+	b.Jmp("b_row")
+
+	b.Label("b_done")
+	b.Epilogue()
+
+	return b, b.MustBuild()
+}
+
+func brightenKernel() Kernel {
+	return Kernel{
+		Name:        "brighten",
+		Description: "LUT brighten over a planar 8-bit plane, unrolled x4 with a peeled remainder loop",
+		Instantiate: func(cfg Config) *Instance {
+			builder, prog := buildBrighten()
+			pl := image.NewPlane(cfg.Width, cfg.Height, 0)
+			pl.FillPattern(cfg.Seed)
+			srcBytes := append([]byte(nil), pl.Pix...)
+			srcAddr, dstAddr := bufAddrs(len(srcBytes))
+
+			lut := brightenLUT()
+			ref := make([]byte, 0, cfg.Width*cfg.Height)
+			for _, s := range pl.Interior() {
+				ref = append(ref, lut[s])
+			}
+
+			inst := &Instance{
+				Name:          "brighten",
+				Prog:          prog,
+				FilterEntry:   mustFilterEntry(builder, prog),
+				Width:         cfg.Width,
+				Height:        cfg.Height,
+				Channels:      1,
+				InputInterior: pl.Interior(),
+				Reference:     ref,
+			}
+			inst.setup = func(m *vm.Machine, apply bool) {
+				m.Reset()
+				m.Mem.WriteBytes(srcAddr, srcBytes)
+				writeParams(m, apply, srcAddr, dstAddr,
+					cfg.Width, cfg.Height, pl.Stride,
+					srcAddr, dstAddr, len(srcBytes))
+			}
+			inst.readOutput = func(m *vm.Machine) []byte {
+				out := make([]byte, 0, cfg.Width*cfg.Height)
+				for yy := 0; yy < cfg.Height; yy++ {
+					row := m.Mem.ReadBytes(dstAddr+uint32(yy*pl.Stride), cfg.Width)
+					out = append(out, row...)
+				}
+				return out
+			}
+			return inst
+		},
+	}
+}

@@ -1,0 +1,215 @@
+// Package legacy is the corpus of "legacy binaries" the lifting pipeline
+// is exercised against: optimized image-processing kernels hand-assembled
+// to the ISA in internal/isa, each wrapped in a host-application-like main
+// that always performs baseline work (a buffer copy) and applies the filter
+// only when the host parameter block requests it.  That on/off switch is
+// what lets the two-phase coverage diff of internal/lift localize the
+// filter code, exactly like running the real application with and without
+// the filter (paper section 3.1).
+//
+// The kernels exhibit the obfuscations the paper fights: brighten is a
+// lookup-table kernel unrolled four ways with a peeled remainder loop,
+// boxblur3 runs its unrolled inner loop under a tiled column driver, and
+// sharpen mixes unrolled x87 floating point code, a known library call and
+// branch-free clamping over an interleaved RGB layout.
+package legacy
+
+import (
+	"fmt"
+
+	"helium/internal/asm"
+	"helium/internal/isa"
+	"helium/internal/vm"
+)
+
+// Host parameter block layout (offsets from vm.ParamBlock).  The mains read
+// these the way a real legacy application reads its host state; the
+// analyses never look at them.
+const (
+	pbFlag    = 0  // nonzero: apply the filter after the baseline copy
+	pbSrcBase = 4  // source buffer base address
+	pbDstBase = 8  // destination buffer base address
+	pbWidth   = 12 // image width in pixels
+	pbHeight  = 16 // image height in pixels
+	pbStride  = 20 // scanline stride in bytes
+	pbSrcPtr  = 24 // source pointer handed to the filter (interior origin)
+	pbDstPtr  = 28 // destination pointer handed to the filter
+	pbTotal   = 32 // total buffer size in bytes, for the baseline copy
+)
+
+// pb returns the 32-bit memory operand of a parameter block field.
+func pb(off int32) isa.Operand {
+	return isa.Mem(isa.RegNone, int32(vm.ParamBlock)+off, 4)
+}
+
+// Config selects the deterministic workload an instance is built for.
+type Config struct {
+	Width, Height int
+	Seed          uint64
+}
+
+// String renders the config compactly for test names.
+func (c Config) String() string {
+	return fmt.Sprintf("%dx%d seed %d", c.Width, c.Height, c.Seed)
+}
+
+// Instance is one legacy binary instantiated for a concrete workload:
+// the program, its deterministic input, the harness that plays host, and
+// the ground-truth data tests validate the pipeline against.
+type Instance struct {
+	Name string
+	Prog *isa.Program
+
+	// FilterEntry is the ground-truth entry address of the filter function.
+	// Only tests may consult it; the pipeline must rediscover it.
+	FilterEntry uint32
+
+	// Width, Height and Channels describe the image; Interleaved selects
+	// between the planar and interleaved layouts.
+	Width, Height, Channels int
+	Interleaved             bool
+
+	// InputInterior is the row-major interior of the deterministic input
+	// (Width*Channels samples per row), the "known data" the buffer
+	// reconstruction searches for.
+	InputInterior []byte
+
+	// Reference is the expected full output interior (baseline copy plus
+	// filter), computed by a pure Go reimplementation.
+	Reference []byte
+
+	setup      func(m *vm.Machine, apply bool)
+	readOutput func(m *vm.Machine) []byte
+}
+
+// Setup resets the machine and plays host: it loads the input buffers and
+// fills the parameter block.  apply selects whether the filter runs.
+func (inst *Instance) Setup(m *vm.Machine, apply bool) { inst.setup(m, apply) }
+
+// ReadOutput extracts the full output interior from machine memory after a
+// run, in the same row-major sample order as Reference.
+func (inst *Instance) ReadOutput(m *vm.Machine) []byte { return inst.readOutput(m) }
+
+// RunVM executes the instance with the filter enabled and returns the
+// output interior.
+func (inst *Instance) RunVM() ([]byte, error) {
+	m := vm.NewMachine(inst.Prog)
+	inst.Setup(m, true)
+	if err := m.Run(0); err != nil {
+		return nil, err
+	}
+	return inst.ReadOutput(m), nil
+}
+
+// Kernel is one corpus entry.
+type Kernel struct {
+	Name        string
+	Description string
+	Instantiate func(cfg Config) *Instance
+}
+
+// Kernels returns the corpus in a stable order.
+func Kernels() []Kernel {
+	return []Kernel{brightenKernel(), boxBlurKernel(), sharpenKernel()}
+}
+
+// Lookup finds a corpus kernel by name.
+func Lookup(name string) (Kernel, bool) {
+	for _, k := range Kernels() {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Kernel{}, false
+}
+
+// bufAddrs places the source and destination buffers in the emulated heap
+// on separate pages, so trace memory dumps of the input are never disturbed
+// by output writes.
+func bufAddrs(srcSize int) (srcAddr, dstAddr uint32) {
+	srcAddr = vm.HeapBase
+	dstAddr = srcAddr + uint32((srcSize+0xfff)&^0xfff) + 0x1000
+	return srcAddr, dstAddr
+}
+
+// writeParams fills the host parameter block.
+func writeParams(m *vm.Machine, apply bool, srcBase, dstBase uint32, w, h, stride int, srcPtr, dstPtr uint32, total int) {
+	flag := uint64(0)
+	if apply {
+		flag = 1
+	}
+	base := vm.ParamBlock
+	m.Mem.Write(base+pbFlag, 4, flag)
+	m.Mem.Write(base+pbSrcBase, 4, uint64(srcBase))
+	m.Mem.Write(base+pbDstBase, 4, uint64(dstBase))
+	m.Mem.Write(base+pbWidth, 4, uint64(w))
+	m.Mem.Write(base+pbHeight, 4, uint64(h))
+	m.Mem.Write(base+pbStride, 4, uint64(stride))
+	m.Mem.Write(base+pbSrcPtr, 4, uint64(srcPtr))
+	m.Mem.Write(base+pbDstPtr, 4, uint64(dstPtr))
+	m.Mem.Write(base+pbTotal, 4, uint64(total))
+}
+
+// emitMain emits the host-like entry point: an unconditional baseline copy
+// of the whole source buffer, then a call to the filter only when the host
+// flag asks for it.  The filter receives (srcPtr, dstPtr, width, height,
+// stride) cdecl-style.
+func emitMain(b *asm.Builder) {
+	eax, esp := isa.RegOp(isa.EAX), isa.RegOp(isa.ESP)
+	b.Label("main")
+	b.Prologue(0)
+	// copy(srcBase, dstBase, total)
+	b.Push(pb(pbTotal))
+	b.Push(pb(pbDstBase))
+	b.Push(pb(pbSrcBase))
+	b.Call("copy")
+	b.Add(esp, isa.ImmOp(12))
+	// if (flag) filter(srcPtr, dstPtr, width, height, stride)
+	b.Mov(eax, pb(pbFlag))
+	b.Test(eax, eax)
+	b.Jcc(isa.JZ, "main_skip")
+	b.Push(pb(pbStride))
+	b.Push(pb(pbHeight))
+	b.Push(pb(pbWidth))
+	b.Push(pb(pbDstPtr))
+	b.Push(pb(pbSrcPtr))
+	b.Call("filter")
+	b.Add(esp, isa.ImmOp(20))
+	b.Label("main_skip")
+	b.Epilogue()
+}
+
+// emitCopy emits the baseline byte-copy routine copy(src, dst, n) shared by
+// all mains.  It runs in both the filter-on and filter-off executions, so
+// its blocks fall out of the coverage diff.
+func emitCopy(b *asm.Builder) {
+	eax := isa.RegOp(isa.EAX)
+	ecx := isa.RegOp(isa.ECX)
+	edx := isa.RegOp(isa.EDX)
+	esi := isa.RegOp(isa.ESI)
+	edi := isa.RegOp(isa.EDI)
+	b.Label("copy")
+	b.Prologue(0)
+	b.Mov(esi, asm.Arg(0))
+	b.Mov(edi, asm.Arg(1))
+	b.Mov(ecx, asm.Arg(2))
+	b.Mov(edx, isa.ImmOp(0))
+	b.Label("copy_loop")
+	b.Cmp(edx, ecx)
+	b.Jcc(isa.JGE, "copy_done")
+	b.Movzx(eax, isa.MemOp(isa.ESI, isa.EDX, 1, 0, 1))
+	b.Mov(isa.MemOp(isa.EDI, isa.EDX, 1, 0, 1), isa.RegOp(isa.AL))
+	b.Inc(edx)
+	b.Jmp("copy_loop")
+	b.Label("copy_done")
+	b.Epilogue()
+}
+
+// mustFilterEntry resolves the ground-truth filter entry after a build.
+func mustFilterEntry(b *asm.Builder, p *isa.Program) uint32 {
+	addr, ok := asm.LabelAddr(b, p, "filter")
+	if !ok {
+		panic("legacy: program has no filter label")
+	}
+	return addr
+}

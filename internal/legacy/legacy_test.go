@@ -1,0 +1,65 @@
+package legacy
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"helium/internal/vm"
+)
+
+var testConfigs = []Config{
+	{Width: 22, Height: 10, Seed: 1},
+	{Width: 21, Height: 9, Seed: 7}, // odd width exercises the peeled remainders
+}
+
+// TestKernelsMatchReference runs every corpus kernel on the VM and checks
+// the emulated output against the pure Go reference implementation.
+func TestKernelsMatchReference(t *testing.T) {
+	for _, k := range Kernels() {
+		for _, cfg := range testConfigs {
+			t.Run(fmt.Sprintf("%s/%s", k.Name, cfg), func(t *testing.T) {
+				inst := k.Instantiate(cfg)
+				got, err := inst.RunVM()
+				if err != nil {
+					t.Fatalf("RunVM: %v", err)
+				}
+				if !bytes.Equal(got, inst.Reference) {
+					t.Fatalf("VM output differs from reference (%d/%d samples differ)",
+						diffCount(got, inst.Reference), len(inst.Reference))
+				}
+			})
+		}
+	}
+}
+
+// TestFilterOffLeavesCopy checks the host harness contract the localization
+// relies on: with the filter flag off, the program still runs its baseline
+// copy, so the output equals the input.
+func TestFilterOffLeavesCopy(t *testing.T) {
+	for _, k := range Kernels() {
+		t.Run(k.Name, func(t *testing.T) {
+			inst := k.Instantiate(testConfigs[0])
+			m := vm.NewMachine(inst.Prog)
+			inst.Setup(m, false)
+			if err := m.Run(0); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			got := inst.ReadOutput(m)
+			if !bytes.Equal(got, inst.InputInterior) {
+				t.Fatalf("filter-off output is not the input copy (%d/%d samples differ)",
+					diffCount(got, inst.InputInterior), len(got))
+			}
+		})
+	}
+}
+
+func diffCount(a, b []byte) int {
+	n := 0
+	for i := range a {
+		if i >= len(b) || a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}

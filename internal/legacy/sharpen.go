@@ -1,0 +1,220 @@
+package legacy
+
+import (
+	"encoding/binary"
+	"math"
+
+	"helium/internal/asm"
+	"helium/internal/image"
+	"helium/internal/isa"
+	"helium/internal/vm"
+)
+
+// sharpenGain is the center coefficient of the unsharp kernel, stored in
+// the binary's data segment as a float64 the x87 code multiplies by.
+const sharpenGain = 5.0
+
+// buildSharpen assembles the sharpen legacy binary: an unsharp mask over
+// an interleaved RGB image, computed in x87 floating point with a known
+// library call (sqrt) on the center tap, rounded back to integer and
+// clamped branch-free with the sar/not/and idiom.  The sample loop is
+// unrolled two ways with a peeled remainder; only interior pixels are
+// filtered, so the host's baseline copy provides the border.
+func buildSharpen() (*asm.Builder, *isa.Program) {
+	b := asm.New("sharpen")
+	gain := make([]byte, 8)
+	binary.LittleEndian.PutUint64(gain, math.Float64bits(sharpenGain))
+	gainAddr := b.Data(gain)
+	gainOp := isa.Mem(isa.RegNone, int32(gainAddr), 8)
+
+	emitMain(b)
+	emitCopy(b)
+
+	eax := isa.RegOp(isa.EAX)
+	ebx := isa.RegOp(isa.EBX)
+	ecx := isa.RegOp(isa.ECX)
+	edx := isa.RegOp(isa.EDX)
+	esi := isa.RegOp(isa.ESI)
+	edi := isa.RegOp(isa.EDI)
+
+	src, dst, w, h, stride := asm.Arg(0), asm.Arg(1), asm.Arg(2), asm.Arg(3), asm.Arg(4)
+	y, n, pairEnd := asm.Local(1), asm.Local(2), asm.Local(3)
+	ftmp := isa.Mem(isa.EBP, -24, 8) // float64 spill slot
+	itmp := isa.Mem(isa.EBP, -28, 4) // integer<->x87 transfer slot
+
+	// lane emits one sample at offset esi/edi + ecx + k: the unsharp value
+	// 5*c - (l+r+u+d) with c routed through sqrt(c*c), then clamped to
+	// [0, 255] without branches.
+	lane := func(k int32) {
+		// center tap: sqrt(c*c) * gain
+		b.Movzx(eax, isa.MemOp(isa.ESI, isa.ECX, 1, k, 1))
+		b.Mov(itmp, eax)
+		b.Fild(itmp)
+		b.Fild(itmp)
+		b.Fmulp()
+		b.CallSym("sqrt")
+		b.Fmul(gainOp)
+		// horizontal neighbors via edx = &row[x]
+		b.Lea(isa.EDX, isa.MemOp(isa.ESI, isa.ECX, 1, 0, 4))
+		b.Movzx(eax, isa.Mem(isa.EDX, k-3, 1))
+		b.Mov(itmp, eax)
+		b.Fild(itmp)
+		b.Movzx(eax, isa.Mem(isa.EDX, k+3, 1))
+		b.Mov(itmp, eax)
+		b.Fild(itmp)
+		b.Faddp()
+		// vertical neighbors via ebx = row +/- stride
+		b.Mov(ebx, edx)
+		b.Sub(ebx, stride)
+		b.Movzx(eax, isa.Mem(isa.EBX, k, 1))
+		b.Mov(itmp, eax)
+		b.Fild(itmp)
+		b.Faddp()
+		b.Add(ebx, stride)
+		b.Add(ebx, stride)
+		b.Movzx(eax, isa.Mem(isa.EBX, k, 1))
+		b.Mov(itmp, eax)
+		b.Fild(itmp)
+		b.Faddp()
+		// v = round(5c - sum)
+		b.Fstp(ftmp)
+		b.Fsub(ftmp)
+		b.Fistp(itmp)
+		b.Mov(eax, itmp)
+		// v = max(v, 0): v &= ^(v >> 31)
+		b.Mov(ebx, eax)
+		b.Sar(ebx, 31)
+		b.Not(ebx)
+		b.And(eax, ebx)
+		// v = min(v, 255): 255 + ((v-255) & ((v-255) >> 31))
+		b.Mov(ebx, eax)
+		b.Sub(ebx, isa.ImmOp(255))
+		b.Mov(edx, ebx)
+		b.Sar(edx, 31)
+		b.And(ebx, edx)
+		b.Add(ebx, isa.ImmOp(255))
+		b.Mov(isa.MemOp(isa.EDI, isa.ECX, 1, k, 1), isa.RegOp(isa.BL))
+	}
+
+	b.Label("filter") // filter(src, dst, w, h, stride)
+	b.Prologue(32)
+	// n = 3*(w-2) interior samples per row
+	b.Mov(eax, w)
+	b.Sub(eax, isa.ImmOp(2))
+	b.Imul3(isa.EAX, eax, 3)
+	b.Mov(n, eax)
+	b.Mov(y, isa.ImmOp(1))
+
+	b.Label("s_row")
+	b.Mov(eax, y)
+	b.Mov(ebx, h)
+	b.Dec(ebx)
+	b.Cmp(eax, ebx)
+	b.Jcc(isa.JGE, "s_done")
+	b.Mov(eax, y)
+	b.Imul(eax, stride)
+	b.Mov(esi, src)
+	b.Add(esi, eax)
+	b.Mov(edi, dst)
+	b.Add(edi, eax)
+	// samples run from offset 3 to 3+n; pairs stop at 3 + (n & ^1)
+	b.Mov(eax, n)
+	b.And(eax, isa.ImmOp(-2))
+	b.Add(eax, isa.ImmOp(3))
+	b.Mov(pairEnd, eax)
+	b.Mov(ecx, isa.ImmOp(3))
+
+	b.Label("s_pair") // unrolled x2
+	b.Cmp(ecx, pairEnd)
+	b.Jcc(isa.JGE, "s_rem")
+	lane(0)
+	lane(1)
+	b.Add(ecx, isa.ImmOp(2))
+	b.Jmp("s_pair")
+
+	b.Label("s_rem") // peeled remainder: at most one sample
+	b.Mov(eax, n)
+	b.Add(eax, isa.ImmOp(3))
+	b.Cmp(ecx, eax)
+	b.Jcc(isa.JGE, "s_rownext")
+	lane(0)
+	b.Inc(ecx)
+
+	b.Label("s_rownext")
+	b.Inc(y)
+	b.Jmp("s_row")
+
+	b.Label("s_done")
+	b.Epilogue()
+
+	return b, b.MustBuild()
+}
+
+// sharpenReference computes the expected output in pure Go: the baseline
+// copy everywhere, the clamped unsharp value on interior pixels.  All the
+// float64 steps of the legacy code are exact on these integer inputs, so
+// integer arithmetic reproduces them bit for bit.
+func sharpenReference(im *image.Interleaved) []byte {
+	out := append([]byte(nil), im.Interior()...)
+	rowBytes := im.Width * im.Channels
+	for y := 1; y < im.Height-1; y++ {
+		for x := 1; x < im.Width-1; x++ {
+			for c := 0; c < im.Channels; c++ {
+				v := 5*int(im.At(x, y, c)) -
+					(int(im.At(x-1, y, c)) + int(im.At(x+1, y, c)) +
+						int(im.At(x, y-1, c)) + int(im.At(x, y+1, c)))
+				if v < 0 {
+					v = 0
+				}
+				if v > 255 {
+					v = 255
+				}
+				out[y*rowBytes+x*im.Channels+c] = byte(v)
+			}
+		}
+	}
+	return out
+}
+
+func sharpenKernel() Kernel {
+	return Kernel{
+		Name:        "sharpen",
+		Description: "x87 unsharp mask over interleaved RGB with a sqrt library call and branch-free clamping, unrolled x2",
+		Instantiate: func(cfg Config) *Instance {
+			builder, prog := buildSharpen()
+			im := image.NewInterleaved(cfg.Width, cfg.Height, 3)
+			im.FillPattern(cfg.Seed)
+			srcBytes := append([]byte(nil), im.Pix...)
+			srcAddr, dstAddr := bufAddrs(len(srcBytes))
+
+			inst := &Instance{
+				Name:          "sharpen",
+				Prog:          prog,
+				FilterEntry:   mustFilterEntry(builder, prog),
+				Width:         cfg.Width,
+				Height:        cfg.Height,
+				Channels:      3,
+				Interleaved:   true,
+				InputInterior: im.Interior(),
+				Reference:     sharpenReference(im),
+			}
+			inst.setup = func(m *vm.Machine, apply bool) {
+				m.Reset()
+				m.Mem.WriteBytes(srcAddr, srcBytes)
+				writeParams(m, apply, srcAddr, dstAddr,
+					cfg.Width, cfg.Height, im.Stride,
+					srcAddr, dstAddr, len(srcBytes))
+			}
+			inst.readOutput = func(m *vm.Machine) []byte {
+				rowBytes := cfg.Width * 3
+				out := make([]byte, 0, rowBytes*cfg.Height)
+				for yy := 0; yy < cfg.Height; yy++ {
+					row := m.Mem.ReadBytes(dstAddr+uint32(yy*im.Stride), rowBytes)
+					out = append(out, row...)
+				}
+				return out
+			}
+			return inst
+		},
+	}
+}

@@ -1,0 +1,230 @@
+package lift
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"helium/internal/trace"
+)
+
+// regionGap is the address distance that separates two buffer regions:
+// accesses further apart than one page belong to different buffers.
+const regionGap = 4096
+
+// InputDesc is the reconstructed geometry of the input buffer: where
+// sample (0, 0, channel 0) lives and how far apart scanlines are.  The
+// interior may be surrounded by edge padding; loads resolve through the
+// same geometry with negative or out-of-range coordinates.
+type InputDesc struct {
+	Base     uint64
+	Stride   int64
+	Channels int
+	// Interleaved mirrors the known-input layout.
+	Interleaved bool
+}
+
+// OutputDesc is the reconstructed geometry of the written output region.
+type OutputDesc struct {
+	// Base is the address of the first written sample.
+	Base uint64
+	// Stride is the byte distance between written scanlines.
+	Stride int64
+	// RowBytes is the number of bytes written per scanline.
+	RowBytes int
+	// Rows is the number of written scanlines.
+	Rows int
+	// Channels is the number of samples per pixel (from the known input:
+	// Helium injects images in a known format).
+	Channels int
+}
+
+// Width returns the written region's width in pixels.
+func (o OutputDesc) Width() int { return o.RowBytes / o.Channels }
+
+// Addr returns the address of channel c of written pixel (x, y).
+func (o OutputDesc) Addr(x, y, c int) uint64 {
+	return o.Base + uint64(y)*uint64(o.Stride) + uint64(x*o.Channels+c)
+}
+
+// Buffers is the outcome of buffer structure reconstruction.
+type Buffers struct {
+	In  InputDesc
+	Out OutputDesc
+}
+
+// ReconstructBuffers recovers the input and output buffer geometry (paper
+// section 4.3).  The output geometry comes from clustering the profiling
+// run's write addresses into regions and reading the row structure off the
+// largest one.  The input geometry comes from searching the trace memory
+// dump for the known injected rows: the pair of row-0 and row-1 locations
+// whose stride reproduces every remaining row is the input buffer — a copy
+// of the image elsewhere in memory (for example the host's baseline output
+// copy) fails the later rows because the filter overwrote them.
+func ReconstructBuffers(known KnownInput, memTrace []trace.MemAccess, dump *trace.MemDump) (*Buffers, error) {
+	out, err := reconstructOutput(known, memTrace)
+	if err != nil {
+		return nil, err
+	}
+	in, err := locateInput(known, dump)
+	if err != nil {
+		return nil, err
+	}
+	return &Buffers{In: *in, Out: *out}, nil
+}
+
+// writeBytes expands the write accesses of the memory trace into a sorted
+// set of unique byte addresses.
+func writeBytes(memTrace []trace.MemAccess) []uint64 {
+	set := make(map[uint64]bool)
+	for _, acc := range memTrace {
+		if !acc.Write {
+			continue
+		}
+		for i := uint64(0); i < uint64(acc.Width); i++ {
+			set[acc.Addr+i] = true
+		}
+	}
+	addrs := make([]uint64, 0, len(set))
+	for a := range set {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
+}
+
+// clusterRegions splits sorted addresses into regions at gaps of at least
+// regionGap bytes.
+func clusterRegions(addrs []uint64) [][]uint64 {
+	var regions [][]uint64
+	start := 0
+	for i := 1; i <= len(addrs); i++ {
+		if i == len(addrs) || addrs[i]-addrs[i-1] >= regionGap {
+			regions = append(regions, addrs[start:i])
+			start = i
+		}
+	}
+	return regions
+}
+
+// reconstructOutput finds the written image region and reads its row
+// structure: maximal contiguous runs are scanlines, the spacing of run
+// starts is the stride.
+func reconstructOutput(known KnownInput, memTrace []trace.MemAccess) (*OutputDesc, error) {
+	addrs := writeBytes(memTrace)
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("lift: profiling run recorded no writes")
+	}
+	regions := clusterRegions(addrs)
+	// The output image dwarfs every other written region (stack frames,
+	// spill slots), so pick the region with the most written bytes.
+	best := regions[0]
+	for _, r := range regions[1:] {
+		if len(r) > len(best) {
+			best = r
+		}
+	}
+
+	// Split the region into contiguous runs.
+	var runs [][2]uint64 // [start, length]
+	runStart := best[0]
+	runLen := uint64(1)
+	for i := 1; i <= len(best); i++ {
+		if i < len(best) && best[i] == best[i-1]+1 {
+			runLen++
+			continue
+		}
+		runs = append(runs, [2]uint64{runStart, runLen})
+		if i < len(best) {
+			runStart = best[i]
+			runLen = 1
+		}
+	}
+
+	if len(runs) == 1 {
+		// The buffer is tightly packed (stride equals the row length), so
+		// the writes are one contiguous run and carry no row structure.
+		// Fall back to dimensionality inference from the known injected
+		// image: Helium controls the input, so the output row length is
+		// known (paper section 4.3).
+		rb := known.RowBytes()
+		if int(runs[0][1])%rb != 0 {
+			return nil, fmt.Errorf("lift: contiguous %d-byte write region is not a multiple of the known %d-byte rows", runs[0][1], rb)
+		}
+		return &OutputDesc{
+			Base:     runs[0][0],
+			Stride:   int64(rb),
+			RowBytes: rb,
+			Rows:     int(runs[0][1]) / rb,
+			Channels: known.Channels,
+		}, nil
+	}
+
+	rowBytes := runs[0][1]
+	for _, r := range runs {
+		if r[1] != rowBytes {
+			return nil, fmt.Errorf("lift: written rows have unequal lengths (%d vs %d bytes)", r[1], rowBytes)
+		}
+	}
+	if int(rowBytes)%known.Channels != 0 {
+		return nil, fmt.Errorf("lift: written row length %d is not a multiple of %d channels", rowBytes, known.Channels)
+	}
+	stride := int64(runs[1][0] - runs[0][0])
+	for i := 1; i < len(runs); i++ {
+		if int64(runs[i][0]-runs[i-1][0]) != stride {
+			return nil, fmt.Errorf("lift: written rows are not evenly spaced")
+		}
+	}
+	return &OutputDesc{
+		Base:     runs[0][0],
+		Stride:   stride,
+		RowBytes: int(rowBytes),
+		Rows:     len(runs),
+		Channels: known.Channels,
+	}, nil
+}
+
+// locateInput searches the dump for the known input rows.
+func locateInput(known KnownInput, dump *trace.MemDump) (*InputDesc, error) {
+	if known.Height < 2 {
+		return nil, fmt.Errorf("lift: need at least two input rows to infer the stride")
+	}
+	hits0 := dump.Find(known.Row(0))
+	hits1 := dump.Find(known.Row(1))
+	var found *InputDesc
+	for _, a0 := range hits0 {
+		for _, a1 := range hits1 {
+			if a1 <= a0 {
+				continue
+			}
+			stride := int64(a1 - a0)
+			if stride < int64(known.RowBytes()) {
+				continue
+			}
+			ok := true
+			for y := 2; y < known.Height; y++ {
+				got, have := dump.Bytes(a0+uint64(y)*uint64(stride), known.RowBytes())
+				if !have || !bytes.Equal(got, known.Row(y)) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if found != nil && found.Base != a0 {
+				return nil, fmt.Errorf("lift: known input found at both %#x and %#x", found.Base, a0)
+			}
+			found = &InputDesc{
+				Base:        a0,
+				Stride:      stride,
+				Channels:    known.Channels,
+				Interleaved: known.Interleaved,
+			}
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("lift: known input rows not found in the memory dump")
+	}
+	return found, nil
+}

@@ -1,0 +1,368 @@
+package lift
+
+import (
+	"math"
+	"sort"
+
+	"helium/internal/ir"
+)
+
+// Canonicalize rewrites an extracted expression tree into the canonical
+// form the pipeline compares trees in (paper section 5): constants fold,
+// associative integer chains flatten and sort, branch-free clamp idioms
+// become min/max, and value-range analysis removes narrowing operations
+// that cannot change the value.  Distinct dynamic copies of the same
+// source computation — unrolled lanes, peeled remainder iterations, tile
+// positions — all canonicalize to the same tree.  Floating point chains
+// are never reassociated or reordered: that would change rounding.
+func Canonicalize(e *ir.Expr) *ir.Expr {
+	args := make([]*ir.Expr, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = Canonicalize(a)
+	}
+	n := &ir.Expr{
+		Op: e.Op, DX: e.DX, DY: e.DY, DC: e.DC,
+		Val: e.Val, F: e.F, Width: e.Width, SrcWidth: e.SrcWidth,
+		Sym: e.Sym, Table: e.Table, Elem: e.Elem, Args: args,
+	}
+	return rewrite(n)
+}
+
+func rewrite(e *ir.Expr) *ir.Expr {
+	e = foldConst(e)
+	if e.Op == ir.OpConst || e.Op == ir.OpConstF {
+		return e
+	}
+
+	switch e.Op {
+	case ir.OpZExt:
+		// Zero extension of a value that already fits its source width is
+		// the value itself.
+		if iv := bounds(e.Args[0]); iv.within(0, int64(maskOf(e.SrcWidth))) {
+			return e.Args[0]
+		}
+	case ir.OpSExt:
+		// Sign extension with a provably clear sign bit changes nothing.
+		if iv := bounds(e.Args[0]); iv.within(0, int64(maskOf(e.SrcWidth))>>1) {
+			return e.Args[0]
+		}
+	case ir.OpExtract:
+		// Extracting the low bytes of a value that fits in them is a no-op.
+		if e.Val == 0 {
+			if iv := bounds(e.Args[0]); iv.within(0, int64(maskOf(e.Width))) {
+				return e.Args[0]
+			}
+		}
+	case ir.OpShl, ir.OpShr, ir.OpSar:
+		if isConst(e.Args[1], 0) {
+			return e.Args[0]
+		}
+	case ir.OpSub:
+		if isConst(e.Args[1], 0) {
+			return e.Args[0]
+		}
+	}
+
+	if e.Op.Associative() {
+		e = flatten(e)
+		if e.Op == ir.OpConst || len(e.Args) == 1 {
+			if e.Op == ir.OpConst {
+				return e
+			}
+			return e.Args[0]
+		}
+		if m := matchMin(e); m != nil {
+			return m
+		}
+		if m := matchMax(e); m != nil {
+			return m
+		}
+	}
+	return e
+}
+
+// foldConst evaluates operations whose arguments are all constants.
+func foldConst(e *ir.Expr) *ir.Expr {
+	switch e.Op {
+	case ir.OpLoad, ir.OpConst, ir.OpConstF, ir.OpTable, ir.OpSelect:
+		return e
+	}
+	for _, a := range e.Args {
+		if a.Op != ir.OpConst && a.Op != ir.OpConstF {
+			return e
+		}
+	}
+	v, err := e.Eval(nil, 0, 0, 0)
+	if err != nil {
+		return e
+	}
+	if e.Op.IsFloat() {
+		return ir.ConstF(math.Float64frombits(v))
+	}
+	return ir.Const(int64(v))
+}
+
+// flatten merges nested chains of the same associative operation, combines
+// constant operands, drops identity elements and sorts the operands by
+// canonical key, so every unrolled copy of the same reduction linearizes
+// identically.
+func flatten(e *ir.Expr) *ir.Expr {
+	var args []*ir.Expr
+	var consts []int64
+	var walk func(n *ir.Expr)
+	walk = func(n *ir.Expr) {
+		if n.Op == e.Op && n.Width == e.Width {
+			for _, a := range n.Args {
+				walk(a)
+			}
+			return
+		}
+		if n.Op == ir.OpConst {
+			consts = append(consts, n.Val)
+			return
+		}
+		args = append(args, n)
+	}
+	for _, a := range e.Args {
+		walk(a)
+	}
+
+	if len(consts) > 0 {
+		cval := consts[0]
+		for _, c := range consts[1:] {
+			switch e.Op {
+			case ir.OpAdd:
+				cval += c
+			case ir.OpMul:
+				cval *= c
+			case ir.OpAnd:
+				cval &= c
+			case ir.OpOr:
+				cval |= c
+			case ir.OpXor:
+				cval ^= c
+			case ir.OpMin:
+				cval = min(cval, c)
+			case ir.OpMax:
+				cval = max(cval, c)
+			}
+		}
+		identity := false
+		switch e.Op {
+		case ir.OpAdd, ir.OpOr, ir.OpXor:
+			identity = cval == 0 && len(args) > 0
+		case ir.OpMul:
+			if cval == 0 {
+				return ir.Const(0)
+			}
+			identity = cval == 1 && len(args) > 0
+		case ir.OpAnd:
+			identity = e.Width > 0 && uint64(cval) == maskOf(e.Width) && len(args) > 0
+		}
+		if !identity {
+			args = append(args, ir.Const(cval))
+		}
+	}
+
+	// Canonical operand order: non-constants by key, constants last.
+	sort.SliceStable(args, func(i, j int) bool {
+		ci := args[i].Op == ir.OpConst || args[i].Op == ir.OpConstF
+		cj := args[j].Op == ir.OpConst || args[j].Op == ir.OpConstF
+		if ci != cj {
+			return cj
+		}
+		return args[i].Key() < args[j].Key()
+	})
+	if len(args) == 1 {
+		return args[0]
+	}
+	return &ir.Expr{Op: e.Op, Width: e.Width, Args: args}
+}
+
+func maskOf(width int) uint64 {
+	return 1<<(8*width) - 1
+}
+
+func isConst(e *ir.Expr, v int64) bool {
+	return e.Op == ir.OpConst && e.Val == v
+}
+
+// matchMax recognizes the branch-free lower clamp
+//
+//	x & ^(x >>a 31)  ==  max(x, 0)
+//
+// on a flattened, sorted AND node.
+func matchMax(e *ir.Expr) *ir.Expr {
+	if e.Op != ir.OpAnd || len(e.Args) != 2 || e.Width != 4 {
+		return nil
+	}
+	for i := 0; i < 2; i++ {
+		x, not := e.Args[i], e.Args[1-i]
+		if not.Op != ir.OpNot {
+			continue
+		}
+		sar := not.Args[0]
+		if sar.Op != ir.OpSar || !isConst(sar.Args[1], 31) {
+			continue
+		}
+		if sar.Args[0].Key() == x.Key() {
+			return &ir.Expr{Op: ir.OpMax, Width: 4, Args: []*ir.Expr{x, ir.Const(0)}}
+		}
+	}
+	return nil
+}
+
+// matchMin recognizes the branch-free upper clamp
+//
+//	c + ((x - c) & ((x - c) >>a 31))  ==  min(x, c)
+//
+// on a flattened, sorted ADD node.
+func matchMin(e *ir.Expr) *ir.Expr {
+	if e.Op != ir.OpAdd || len(e.Args) != 2 || e.Width != 4 {
+		return nil
+	}
+	for i := 0; i < 2; i++ {
+		c, and := e.Args[i], e.Args[1-i]
+		if c.Op != ir.OpConst || and.Op != ir.OpAnd || len(and.Args) != 2 {
+			continue
+		}
+		for j := 0; j < 2; j++ {
+			t, sar := and.Args[j], and.Args[1-j]
+			if sar.Op != ir.OpSar || !isConst(sar.Args[1], 31) || sar.Args[0].Key() != t.Key() {
+				continue
+			}
+			if t.Op != ir.OpSub || !isConst(t.Args[1], c.Val) {
+				continue
+			}
+			return &ir.Expr{Op: ir.OpMin, Width: 4, Args: []*ir.Expr{t.Args[0], ir.Const(c.Val)}}
+		}
+	}
+	return nil
+}
+
+// interval is a possibly one-sided conservative bound on the signed value
+// of an expression.  One-sided bounds matter for min/max: max(x, 0) has a
+// known lower bound even when x is unbounded.
+type interval struct {
+	lo, hi     int64
+	loOK, hiOK bool
+}
+
+func (iv interval) within(lo, hi int64) bool {
+	return iv.loOK && iv.hiOK && iv.lo >= lo && iv.hi <= hi
+}
+
+// bounds computes a conservative signed interval for e.  Arithmetic rules
+// require fully bounded operands and verify the result stays inside the
+// node width's signed range, so masking cannot have wrapped the value;
+// min/max propagate one-sided bounds.
+func bounds(e *ir.Expr) interval {
+	none := interval{}
+	// full demands both sides and no wrap at the node's width.
+	full := func(lo, hi int64) interval {
+		if lo > hi {
+			return none
+		}
+		if e.Width > 0 {
+			half := int64(maskOf(e.Width)) >> 1
+			if lo < -half-1 || hi > half {
+				return none
+			}
+		}
+		return interval{lo: lo, hi: hi, loOK: true, hiOK: true}
+	}
+
+	switch e.Op {
+	case ir.OpLoad:
+		return interval{lo: 0, hi: 255, loOK: true, hiOK: true}
+	case ir.OpConst:
+		return full(e.Val, e.Val)
+	case ir.OpTable:
+		if e.Elem >= 1 && e.Elem <= 4 {
+			return interval{lo: 0, hi: int64(maskOf(e.Elem)), loOK: true, hiOK: true}
+		}
+	case ir.OpZExt:
+		if iv := bounds(e.Args[0]); iv.within(0, int64(maskOf(e.SrcWidth))) {
+			return iv
+		}
+		return interval{lo: 0, hi: int64(maskOf(e.SrcWidth)), loOK: true, hiOK: true}
+	case ir.OpExtract:
+		if iv := bounds(e.Args[0]); e.Val == 0 && iv.within(0, int64(maskOf(e.Width))) {
+			return iv
+		}
+		return interval{lo: 0, hi: int64(maskOf(e.Width)), loOK: true, hiOK: true}
+	case ir.OpAdd:
+		lo, hi := int64(0), int64(0)
+		for _, a := range e.Args {
+			iv := bounds(a)
+			if !iv.loOK || !iv.hiOK {
+				return none
+			}
+			lo += iv.lo
+			hi += iv.hi
+		}
+		return full(lo, hi)
+	case ir.OpSub:
+		a, b := bounds(e.Args[0]), bounds(e.Args[1])
+		if a.loOK && a.hiOK && b.loOK && b.hiOK {
+			return full(a.lo-b.hi, a.hi-b.lo)
+		}
+	case ir.OpMul:
+		lo, hi := int64(1), int64(1)
+		for _, a := range e.Args {
+			iv := bounds(a)
+			if !iv.loOK || !iv.hiOK || iv.lo < 0 {
+				return none
+			}
+			lo *= iv.lo
+			hi *= iv.hi
+		}
+		return full(lo, hi)
+	case ir.OpDiv:
+		a := bounds(e.Args[0])
+		if a.loOK && a.hiOK && a.lo >= 0 && e.Args[1].Op == ir.OpConst && e.Args[1].Val > 0 {
+			return full(a.lo/e.Args[1].Val, a.hi/e.Args[1].Val)
+		}
+	case ir.OpMin:
+		// min(a, b) <= any single bounded argument; >= all lower bounds.
+		out := interval{loOK: true}
+		out.lo = math.MaxInt64
+		for _, a := range e.Args {
+			iv := bounds(a)
+			if iv.hiOK && (!out.hiOK || iv.hi < out.hi) {
+				out.hiOK = true
+				out.hi = iv.hi
+			}
+			if iv.loOK {
+				out.lo = min(out.lo, iv.lo)
+			} else {
+				out.loOK = false
+			}
+		}
+		if !out.loOK {
+			out.lo = 0
+		}
+		return out
+	case ir.OpMax:
+		// max(a, b) >= any single bounded argument; <= all upper bounds.
+		out := interval{hiOK: true}
+		out.hi = math.MinInt64
+		for _, a := range e.Args {
+			iv := bounds(a)
+			if iv.loOK && (!out.loOK || iv.lo > out.lo) {
+				out.loOK = true
+				out.lo = iv.lo
+			}
+			if iv.hiOK {
+				out.hi = max(out.hi, iv.hi)
+			} else {
+				out.hiOK = false
+			}
+		}
+		if !out.hiOK {
+			out.hi = 0
+		}
+		return out
+	}
+	return none
+}

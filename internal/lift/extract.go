@@ -1,0 +1,438 @@
+package lift
+
+import (
+	"fmt"
+
+	"helium/internal/ir"
+	"helium/internal/isa"
+	"helium/internal/trace"
+)
+
+// stencilRadius bounds how far (in pixels) an input load may sit from the
+// output pixel it feeds.  It resolves the inherent ambiguity of mapping a
+// padding byte to coordinates: a byte one position left of a row start is
+// both (x=-1, y) and (x=stride-1, y-1), and only the candidate near the
+// output pixel is a plausible stencil tap.
+const stencilRadius = 4
+
+// maxTreeNodes bounds the size of a single extracted expression tree.
+const maxTreeNodes = 1 << 16
+
+// SampleTree is the expression tree extracted for one output sample.
+type SampleTree struct {
+	X, Y, C int
+	Expr    *ir.Expr
+}
+
+// extractor performs backward slicing over one captured instruction trace.
+type extractor struct {
+	tr   *trace.InstTrace
+	prog *isa.Program
+	bufs *Buffers
+
+	// xo, yo, curChannel identify the output sample currently being
+	// sliced, used to pick input-coordinate candidates and channel deltas.
+	xo, yo     int
+	curChannel int
+
+	// memo caches resolved references by their defining write, so shared
+	// subexpressions become shared nodes within one sample's tree.
+	memo  map[memoKey]*ir.Expr
+	nodes int
+}
+
+type memoKey struct {
+	writeSeq int
+	addr     uint64
+	width    uint8
+}
+
+// Extract builds one expression tree per written output sample by slicing
+// backward from the final write to each sample through the dynamic
+// instruction trace (paper sections 4.5-4.7).  Trees terminate at input
+// buffer loads (turned into coordinate-relative taps), read-only data
+// segment accesses (constants when directly addressed, table lookups when
+// indexed), immediates, and values the host wrote before tracing began
+// (environment constants).
+func Extract(tr *trace.InstTrace, prog *isa.Program, bufs *Buffers) ([]SampleTree, error) {
+	ex := &extractor{tr: tr, prog: prog, bufs: bufs}
+	out := bufs.Out
+	trees := make([]SampleTree, 0, out.Rows*out.RowBytes)
+	for y := 0; y < out.Rows; y++ {
+		for b := 0; b < out.RowBytes; b++ {
+			x, c := b/out.Channels, b%out.Channels
+			e, err := ex.sample(x, y, c)
+			if err != nil {
+				return nil, fmt.Errorf("lift: extracting output sample (%d,%d,%d): %w", x, y, c, err)
+			}
+			trees = append(trees, SampleTree{X: x, Y: y, C: c, Expr: e})
+		}
+	}
+	return trees, nil
+}
+
+// sample slices the final write to output sample (x, y, c).
+func (ex *extractor) sample(x, y, c int) (*ir.Expr, error) {
+	addr := ex.bufs.Out.Addr(x, y, c)
+	writes := ex.tr.WritesTo(addr)
+	if len(writes) == 0 {
+		return nil, fmt.Errorf("no trace write to %#x", addr)
+	}
+	seq := writes[len(writes)-1]
+	di := &ex.tr.Insts[seq]
+	ef := findEffect(di, addr, 1)
+	if ef == nil {
+		return nil, fmt.Errorf("writer %v has no effect covering %#x", di.Op, addr)
+	}
+
+	ex.xo, ex.yo, ex.curChannel = x, y, c
+	ex.memo = make(map[memoKey]*ir.Expr)
+	ex.nodes = 0
+
+	e, err := ex.effectExpr(di, ef)
+	if err != nil {
+		return nil, err
+	}
+	// Narrow a wider store down to the addressed byte.
+	if off := addr - ef.Dst.Addr; off != 0 || ef.Dst.Width != 1 {
+		if ef.Dst.Float {
+			return nil, fmt.Errorf("output byte %#x is a narrow view of a %d-byte float store; float narrowing is not liftable", addr, ef.Dst.Width)
+		}
+		e = &ir.Expr{Op: ir.OpExtract, Val: int64(off), Width: 1, SrcWidth: int(ef.Dst.Width), Args: []*ir.Expr{e}}
+	}
+	return e, nil
+}
+
+// findEffect returns the effect of di whose destination covers the byte
+// range [addr, addr+width).
+func findEffect(di *trace.DynInst, addr uint64, width uint8) *trace.Effect {
+	want := trace.Ref{Space: trace.SpaceMem, Addr: addr, Width: width}
+	for i := range di.Effects {
+		ef := &di.Effects[i]
+		if ef.Dst.Space != trace.SpaceNone && ef.Dst.Space != trace.SpaceImm && ef.Dst.Contains(want) {
+			return ef
+		}
+	}
+	return nil
+}
+
+// refExpr resolves one operand reference observed at trace position seq.
+func (ex *extractor) refExpr(seq int, ref trace.Ref) (*ir.Expr, error) {
+	if ex.nodes > maxTreeNodes {
+		return nil, fmt.Errorf("expression tree exceeds %d nodes", maxTreeNodes)
+	}
+	switch ref.Space {
+	case trace.SpaceImm:
+		ex.nodes++
+		if ref.Float {
+			return ir.ConstF(ref.FVal), nil
+		}
+		return ir.Const(int64(ref.Val)), nil
+	case trace.SpaceFlags:
+		return nil, fmt.Errorf("flags dependence in a value slice (conditional data flow is not liftable here)")
+	}
+
+	// A previous traced write defines the value: slice through it.
+	if w, ok := ex.tr.LastWriteBefore(seq, ref.Addr, ref.Width); ok {
+		key := memoKey{writeSeq: w, addr: ref.Addr, width: ref.Width}
+		if e, hit := ex.memo[key]; hit {
+			return e, nil
+		}
+		e, err := ex.throughWrite(w, ref)
+		if err != nil {
+			return nil, err
+		}
+		ex.memo[key] = e
+		return e, nil
+	}
+
+	// No trace write: the value predates tracing.
+	if ref.Space == trace.SpaceMem {
+		if e, ok := ex.inputLoad(ref); ok {
+			ex.nodes++
+			return e, nil
+		}
+		if seg := ex.dataSegment(ref); seg != nil {
+			return ex.segmentRef(seq, ref, seg)
+		}
+	}
+	// Environment constant: host-initialized state (parameters, stack
+	// contents) observed with a fixed value.
+	ex.nodes++
+	if ref.Float {
+		return ir.ConstF(ref.FVal), nil
+	}
+	return ir.Const(int64(ref.Val)), nil
+}
+
+// throughWrite continues the slice through the effect that last wrote ref.
+func (ex *extractor) throughWrite(w int, ref trace.Ref) (*ir.Expr, error) {
+	di := &ex.tr.Insts[w]
+	ef := findEffect(di, ref.Addr, ref.Width)
+	if ef == nil {
+		return nil, fmt.Errorf("seq %d (%v) partially overlaps %v; partial-write slicing is unsupported", w, di.Op, ref)
+	}
+	e, err := ex.effectExpr(di, ef)
+	if err != nil {
+		return nil, err
+	}
+	// Reading a narrower view of a wider destination (AL out of EAX, a
+	// byte out of a dword store) extracts the addressed bytes.
+	if off := ref.Addr - ef.Dst.Addr; off != 0 || ref.Width != ef.Dst.Width {
+		if ef.Dst.Float {
+			return nil, fmt.Errorf("seq %d: narrow read of a %d-byte float value; float narrowing is not liftable", w, ef.Dst.Width)
+		}
+		ex.nodes++
+		e = &ir.Expr{Op: ir.OpExtract, Val: int64(off), Width: int(ref.Width), SrcWidth: int(ef.Dst.Width), Args: []*ir.Expr{e}}
+	}
+	return e, nil
+}
+
+// effectExpr turns one architectural assignment into an expression node.
+func (ex *extractor) effectExpr(di *trace.DynInst, ef *trace.Effect) (*ir.Expr, error) {
+	ex.nodes++
+	w := int(ef.Dst.Width)
+
+	simple := map[trace.ExprOp]ir.Op{
+		trace.OpAdd: ir.OpAdd, trace.OpSub: ir.OpSub, trace.OpMul: ir.OpMul,
+		trace.OpMulHi: ir.OpMulHi, trace.OpDiv: ir.OpDiv, trace.OpMod: ir.OpMod,
+		trace.OpAnd: ir.OpAnd, trace.OpOr: ir.OpOr, trace.OpXor: ir.OpXor,
+		trace.OpShl: ir.OpShl, trace.OpShr: ir.OpShr, trace.OpSar: ir.OpSar,
+		trace.OpNot: ir.OpNot, trace.OpNeg: ir.OpNeg,
+		trace.OpFAdd: ir.OpFAdd, trace.OpFSub: ir.OpFSub,
+		trace.OpFMul: ir.OpFMul, trace.OpFDiv: ir.OpFDiv,
+	}
+
+	switch ef.Op {
+	case trace.OpIdentity:
+		return ex.refExpr(di.Seq, ef.Srcs[0])
+
+	case trace.OpZExt, trace.OpSExt:
+		child, err := ex.refExpr(di.Seq, ef.Srcs[0])
+		if err != nil {
+			return nil, err
+		}
+		op := ir.OpZExt
+		if ef.Op == trace.OpSExt {
+			op = ir.OpSExt
+		}
+		return &ir.Expr{Op: op, Width: w, SrcWidth: int(ef.Srcs[0].Width), Args: []*ir.Expr{child}}, nil
+
+	case trace.OpLea:
+		// srcs = [base, index, scale, disp]: expand the address arithmetic.
+		base, err := ex.refExpr(di.Seq, ef.Srcs[0])
+		if err != nil {
+			return nil, err
+		}
+		index, err := ex.refExpr(di.Seq, ef.Srcs[1])
+		if err != nil {
+			return nil, err
+		}
+		scale := int64(ef.Srcs[2].Val)
+		disp := int64(int32(ef.Srcs[3].Val))
+		scaled := index
+		if scale != 1 {
+			scaled = ir.Bin(ir.OpMul, w, index, ir.Const(scale))
+		}
+		return ir.Bin(ir.OpAdd, w, ir.Bin(ir.OpAdd, w, base, scaled), ir.Const(disp)), nil
+
+	case trace.OpCall:
+		child, err := ex.refExpr(di.Seq, ef.Srcs[0])
+		if err != nil {
+			return nil, err
+		}
+		return &ir.Expr{Op: ir.OpCall, Sym: di.Sym, Args: []*ir.Expr{child}}, nil
+
+	case trace.OpIntToFP:
+		child, err := ex.refExpr(di.Seq, ef.Srcs[0])
+		if err != nil {
+			return nil, err
+		}
+		return &ir.Expr{Op: ir.OpIntToFP, SrcWidth: int(ef.Srcs[0].Width), Args: []*ir.Expr{child}}, nil
+
+	case trace.OpFPToInt:
+		child, err := ex.refExpr(di.Seq, ef.Srcs[0])
+		if err != nil {
+			return nil, err
+		}
+		return &ir.Expr{Op: ir.OpFPToInt, Width: w, Args: []*ir.Expr{child}}, nil
+	}
+
+	op, ok := simple[ef.Op]
+	if !ok {
+		return nil, fmt.Errorf("seq %d: effect op %v is not liftable", di.Seq, ef.Op)
+	}
+	if len(ef.Srcs) != arity(op) {
+		return nil, fmt.Errorf("seq %d: %v with %d operands (flag-carrying forms are not liftable)", di.Seq, ef.Op, len(ef.Srcs))
+	}
+	args := make([]*ir.Expr, len(ef.Srcs))
+	for i, src := range ef.Srcs {
+		child, err := ex.refExpr(di.Seq, src)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = child
+	}
+	return &ir.Expr{Op: op, Width: w, Args: args}, nil
+}
+
+func arity(op ir.Op) int {
+	switch op {
+	case ir.OpNot, ir.OpNeg:
+		return 1
+	}
+	return 2
+}
+
+// inputLoad tries to interpret a pre-trace memory read as an input buffer
+// tap.  The address maps to candidate (x, y) coordinates through the input
+// geometry; the candidate within stencilRadius of the output pixel wins.
+func (ex *extractor) inputLoad(ref trace.Ref) (*ir.Expr, bool) {
+	if ref.Width != 1 {
+		return nil, false
+	}
+	in := ex.bufs.In
+	t := int64(ref.Addr) - int64(in.Base)
+	y0 := floorDiv(t, in.Stride)
+	rem := t - y0*in.Stride
+
+	best := (*ir.Expr)(nil)
+	bestDist := stencilRadius*2 + 1
+	for _, cand := range [][2]int64{
+		{y0, rem},
+		{y0 + 1, rem - in.Stride},
+		{y0 - 1, rem + in.Stride},
+	} {
+		yi, xb := int(cand[0]), cand[1]
+		var xi, ci int
+		if in.Interleaved {
+			xi, ci = int(floorDiv(xb, int64(in.Channels))), int(xb-floorDiv(xb, int64(in.Channels))*int64(in.Channels))
+		} else {
+			xi, ci = int(xb), 0
+		}
+		dx, dy := xi-ex.xo, yi-ex.yo
+		if abs(dx) > stencilRadius || abs(dy) > stencilRadius {
+			continue
+		}
+		if d := abs(dx) + abs(dy); d < bestDist {
+			bestDist = d
+			best = ir.Load(dx, dy, ci-ex.curC())
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	return best, true
+}
+
+// curC returns the channel of the sample being sliced; for planar inputs
+// loads always carry channel 0, so the delta is taken against 0.
+func (ex *extractor) curC() int {
+	if !ex.bufs.In.Interleaved {
+		return 0
+	}
+	return ex.curChannel
+}
+
+// dataSegment returns the program data segment containing ref, if any.
+func (ex *extractor) dataSegment(ref trace.Ref) *isa.Segment {
+	for i := range ex.prog.Data {
+		seg := &ex.prog.Data[i]
+		base := uint64(seg.Addr)
+		if ref.Addr >= base && ref.Addr+uint64(ref.Width) <= base+uint64(len(seg.Data)) {
+			return seg
+		}
+	}
+	return nil
+}
+
+// segmentRef lifts a read-only data segment access: a fixed address is a
+// compiled-in constant, a register-indexed address is a table lookup whose
+// index expression is reconstructed from the address registers (paper
+// section 4.7, table lookups such as Photoshop's brightness LUT).
+func (ex *extractor) segmentRef(seq int, ref trace.Ref, seg *isa.Segment) (*ir.Expr, error) {
+	di := &ex.tr.Insts[seq]
+	if len(di.AddrRefs) == 0 || !di.HasMem || di.MemAddr != ref.Addr {
+		ex.nodes++
+		if ref.Float {
+			return ir.ConstF(ref.FVal), nil
+		}
+		return ir.Const(int64(ref.Val)), nil
+	}
+
+	// Rebuild the index expression from the static operand's address
+	// registers: index = base + index*scale + (disp - segment base).
+	inst := ex.prog.At(di.Addr)
+	var memOp *isa.Operand
+	for _, o := range []*isa.Operand{&inst.Dst, &inst.Src, &inst.Src2} {
+		if o.Kind == isa.KindMem {
+			memOp = o
+			break
+		}
+	}
+	if memOp == nil {
+		return nil, fmt.Errorf("seq %d: table access without a memory operand", seq)
+	}
+	var terms []*ir.Expr
+	if memOp.Base != isa.RegNone {
+		e, err := ex.addrRegExpr(seq, di, memOp.Base)
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, e)
+	}
+	if memOp.Index != isa.RegNone {
+		e, err := ex.addrRegExpr(seq, di, memOp.Index)
+		if err != nil {
+			return nil, err
+		}
+		if memOp.Scale != 1 {
+			e = ir.Bin(ir.OpMul, 4, e, ir.Const(int64(memOp.Scale)))
+		}
+		terms = append(terms, e)
+	}
+	if disp := int64(memOp.Disp) - int64(seg.Addr); disp != 0 || len(terms) == 0 {
+		terms = append(terms, ir.Const(disp))
+	}
+	index := terms[0]
+	for _, t := range terms[1:] {
+		index = ir.Bin(ir.OpAdd, 4, index, t)
+	}
+	if int(ref.Width) == 0 {
+		return nil, fmt.Errorf("seq %d: zero-width table access", seq)
+	}
+	ex.nodes++
+	return &ir.Expr{
+		Op:    ir.OpTable,
+		Table: seg.Data,
+		Elem:  int(ref.Width),
+		Args:  []*ir.Expr{index},
+	}, nil
+}
+
+// addrRegExpr resolves the captured pre-execution value reference of an
+// address register of instruction di.
+func (ex *extractor) addrRegExpr(seq int, di *trace.DynInst, r isa.Reg) (*ir.Expr, error) {
+	addr := trace.RegAddr(r)
+	for _, ref := range di.AddrRefs {
+		if ref.Space == trace.SpaceReg && ref.Addr == addr && int(ref.Width) == r.Width() {
+			return ex.refExpr(seq, ref)
+		}
+	}
+	return nil, fmt.Errorf("seq %d: address register %v not captured", seq, r)
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,231 @@
+package lift
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"helium/internal/ir"
+	"helium/internal/trace"
+	"helium/internal/vm"
+)
+
+// Result is the outcome of the full lifting pipeline.
+type Result struct {
+	// Loc is the code localization outcome.
+	Loc *Localization
+	// Bufs is the reconstructed buffer structure.
+	Bufs *Buffers
+	// Kernel is the lifted stencil kernel.
+	Kernel *ir.Kernel
+	// Dump is the memory dump captured alongside the instruction trace; it
+	// holds both the pristine input pages and the final output pages, so
+	// verification needs no further VM runs.
+	Dump *trace.MemDump
+	// TraceInsts and TraceSteps count the captured dynamic instructions
+	// and total executed instructions of the trace run.
+	TraceInsts int
+	TraceSteps uint64
+	// Samples is the number of output samples whose trees were extracted.
+	Samples int
+}
+
+// Lift runs the whole pipeline against a target: localize the filter by
+// coverage diffing, capture a detailed instruction trace of it, rebuild
+// the buffer structure, extract one expression tree per output sample, and
+// canonicalize the trees.  Lifting succeeds only if, per channel, every
+// output sample canonicalized to the same tree — the paper's test that
+// unrolled, peeled and tiled copies really collapsed to one stencil.
+func Lift(name string, t Target) (*Result, error) {
+	loc, err := Localize(t)
+	if err != nil {
+		return nil, err
+	}
+
+	m := vm.NewMachine(t.Prog)
+	t.Setup(m, true)
+	tres, err := m.RunTrace(vm.TraceOptions{FilterEntry: loc.FilterEntry})
+	if err != nil {
+		return nil, fmt.Errorf("lift: trace run: %w", err)
+	}
+	if tres.FilterCalls == 0 {
+		return nil, fmt.Errorf("lift: localized filter %#x was never entered during tracing", loc.FilterEntry)
+	}
+
+	bufs, err := ReconstructBuffers(t.Known, loc.MemTrace, tres.Dump)
+	if err != nil {
+		return nil, err
+	}
+
+	trees, err := Extract(tres.Trace, t.Prog, bufs)
+	if err != nil {
+		return nil, err
+	}
+
+	kernel, err := unify(name, bufs, trees)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Result{
+		Loc:        loc,
+		Bufs:       bufs,
+		Kernel:     kernel,
+		Dump:       tres.Dump,
+		TraceInsts: len(tres.Trace.Insts),
+		TraceSteps: tres.Steps,
+		Samples:    len(trees),
+	}, nil
+}
+
+// unify canonicalizes all sample trees, demands a single canonical tree
+// per channel, and assembles the lifted kernel with stencil offsets
+// centered on the input pixel corresponding to each output pixel.
+func unify(name string, bufs *Buffers, trees []SampleTree) (*ir.Kernel, error) {
+	channels := bufs.Out.Channels
+	type group struct {
+		expr  *ir.Expr
+		count int
+	}
+	groups := make([]map[string]*group, channels)
+	for c := range groups {
+		groups[c] = make(map[string]*group)
+	}
+	for _, st := range trees {
+		canon := Canonicalize(st.Expr)
+		key := canon.Key()
+		g := groups[st.C][key]
+		if g == nil {
+			g = &group{expr: canon}
+			groups[st.C][key] = g
+		}
+		g.count++
+	}
+
+	reps := make([]*ir.Expr, channels)
+	for c, gs := range groups {
+		if len(gs) != 1 {
+			counts := make([]int, 0, len(gs))
+			for _, g := range gs {
+				counts = append(counts, g.count)
+			}
+			sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+			return nil, fmt.Errorf("lift: channel %d trees did not collapse: %d distinct canonical trees (counts %v)", c, len(gs), counts)
+		}
+		for _, g := range gs {
+			reps[c] = g.expr.Clone()
+		}
+	}
+
+	// Center the stencil: shift all load offsets so the output pixel sits
+	// at the middle of the taps' bounding box, and record the shift as the
+	// kernel's input origin.
+	minX, maxX, minY, maxY := 0, 0, 0, 0
+	first := true
+	for _, r := range reps {
+		visitLoads(r, func(l *ir.Expr) {
+			if first {
+				minX, maxX, minY, maxY = l.DX, l.DX, l.DY, l.DY
+				first = false
+				return
+			}
+			minX, maxX = min(minX, l.DX), max(maxX, l.DX)
+			minY, maxY = min(minY, l.DY), max(maxY, l.DY)
+		})
+	}
+	ox := (minX + maxX) / 2
+	oy := (minY + maxY) / 2
+	for _, r := range reps {
+		visitLoads(r, func(l *ir.Expr) {
+			l.DX -= ox
+			l.DY -= oy
+		})
+	}
+
+	return &ir.Kernel{
+		Name:      name,
+		OutWidth:  bufs.Out.Width(),
+		OutHeight: bufs.Out.Rows,
+		Channels:  channels,
+		OriginX:   ox,
+		OriginY:   oy,
+		Trees:     reps,
+	}, nil
+}
+
+func visitLoads(e *ir.Expr, fn func(*ir.Expr)) {
+	if e.Op == ir.OpLoad {
+		fn(e)
+		return
+	}
+	for _, a := range e.Args {
+		visitLoads(a, fn)
+	}
+}
+
+// dumpSource feeds the evaluator input samples straight from the captured
+// memory dump through the reconstructed input geometry, padding included.
+type dumpSource struct {
+	dump *trace.MemDump
+	in   InputDesc
+}
+
+// Sample reads the input sample at (x, y, c); like the emulated machine,
+// unmapped memory reads as zero.
+func (s dumpSource) Sample(x, y, c int) uint8 {
+	off := int64(y) * s.in.Stride
+	if s.in.Interleaved {
+		off += int64(x*s.in.Channels + c)
+	} else {
+		off += int64(x)
+	}
+	b, _ := s.dump.Byte(uint64(int64(s.in.Base) + off))
+	return b
+}
+
+// InputSource returns an evaluator source backed by the trace memory dump.
+func (r *Result) InputSource() ir.Source {
+	return dumpSource{dump: r.Dump, in: r.Bufs.In}
+}
+
+// VMOutput reads the bytes the legacy binary wrote to the output region
+// out of the memory dump, row-major.
+func (r *Result) VMOutput() ([]byte, error) {
+	out := r.Bufs.Out
+	buf := make([]byte, 0, out.Rows*out.RowBytes)
+	for y := 0; y < out.Rows; y++ {
+		row, ok := r.Dump.Bytes(out.Base+uint64(y)*uint64(out.Stride), out.RowBytes)
+		if !ok {
+			return nil, fmt.Errorf("lift: output row %d missing from memory dump", y)
+		}
+		buf = append(buf, row...)
+	}
+	return buf, nil
+}
+
+// Verify evaluates the lifted kernel against the dumped input and compares
+// every sample with what the legacy binary actually wrote.  A nil error
+// means the lifted IR is pixel-exact.
+func (r *Result) Verify() error {
+	want, err := r.VMOutput()
+	if err != nil {
+		return err
+	}
+	got, err := r.Kernel.Eval(r.InputSource())
+	if err != nil {
+		return err
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("lift: verification size mismatch: IR %d vs VM %d samples", len(got), len(want))
+	}
+	if !bytes.Equal(got, want) {
+		bad := 0
+		for i := range got {
+			if got[i] != want[i] {
+				bad++
+			}
+		}
+		return fmt.Errorf("lift: IR evaluation differs from VM output on %d/%d samples", bad, len(want))
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package lift_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"helium/internal/legacy"
+	"helium/internal/lift"
+	"helium/internal/vm"
+)
+
+var liftConfigs = []legacy.Config{
+	{Width: 22, Height: 10, Seed: 1},
+	{Width: 21, Height: 9, Seed: 7},  // odd width exercises the peeled remainders
+	{Width: 32, Height: 16, Seed: 3}, // aligned width: planar buffers pack tightly
+}
+
+// target adapts a legacy instance to a lifting target.
+func target(inst *legacy.Instance) lift.Target {
+	return lift.Target{
+		Prog:  inst.Prog,
+		Setup: inst.Setup,
+		Known: lift.KnownInput{
+			Width:       inst.Width,
+			Height:      inst.Height,
+			Channels:    inst.Channels,
+			Interleaved: inst.Interleaved,
+			Interior:    inst.InputInterior,
+		},
+	}
+}
+
+// goldenIR pins the lifted, canonicalized expression of each corpus
+// kernel.  These strings are the pipeline's user-visible product: a
+// Halide-like update definition recovered from the stripped binary.
+var goldenIR = map[string]string{
+	"brighten": "out(x, y, c) = lut[in(x, y)]",
+	"boxblur3": "out(x, y, c) = ((in(x-1, y-1) + in(x-1, y) + in(x-1, y+1) + in(x, y-1) + in(x, y) + in(x, y+1) + in(x+1, y-1) + in(x+1, y) + in(x+1, y+1) + 4) / 9)",
+	"sharpen":  "out(x, y, c) = min(max(round(((sqrt((float(in(x, y)) *. float(in(x, y)))) *. 5) -. (((float(in(x-1, y)) +. float(in(x+1, y))) +. float(in(x, y-1))) +. float(in(x, y+1))))), 0), 255)",
+}
+
+// TestLiftEndToEnd runs the full pipeline on every corpus kernel and image
+// size: localization must rediscover the ground-truth filter entry, all
+// sample trees must collapse to a single canonical tree per channel, and
+// evaluating the lifted IR must reproduce the VM's output pixel-exactly.
+func TestLiftEndToEnd(t *testing.T) {
+	for _, k := range legacy.Kernels() {
+		for _, cfg := range liftConfigs {
+			t.Run(fmt.Sprintf("%s/%s", k.Name, cfg), func(t *testing.T) {
+				inst := k.Instantiate(cfg)
+				res, err := lift.Lift(k.Name, target(inst))
+				if err != nil {
+					t.Fatalf("Lift: %v", err)
+				}
+				if res.Loc.FilterEntry != inst.FilterEntry {
+					t.Errorf("localization found filter %#x, ground truth %#x (candidates %#x)",
+						res.Loc.FilterEntry, inst.FilterEntry, res.Loc.Candidates)
+				}
+				if err := res.Verify(); err != nil {
+					t.Errorf("Verify: %v", err)
+				}
+				if res.Samples == 0 || res.TraceInsts == 0 {
+					t.Errorf("implausible stats: %d samples, %d trace insts", res.Samples, res.TraceInsts)
+				}
+			})
+		}
+	}
+}
+
+// TestLiftGoldenIR pins the printed IR of each lifted kernel.
+func TestLiftGoldenIR(t *testing.T) {
+	for _, k := range legacy.Kernels() {
+		t.Run(k.Name, func(t *testing.T) {
+			inst := k.Instantiate(liftConfigs[0])
+			res, err := lift.Lift(k.Name, target(inst))
+			if err != nil {
+				t.Fatalf("Lift: %v", err)
+			}
+			got := fmt.Sprintf("out(x, y, c) = %s", res.Kernel.Trees[0])
+			if got != goldenIR[k.Name] {
+				t.Errorf("lifted IR drifted:\n got:  %s\n want: %s", got, goldenIR[k.Name])
+			}
+			for c, tree := range res.Kernel.Trees[1:] {
+				if tree.Key() != res.Kernel.Trees[0].Key() {
+					t.Errorf("channel %d tree differs from channel 0", c+1)
+				}
+			}
+		})
+	}
+}
+
+// TestLiftedKernelOnFreshInput checks that a lifted kernel generalizes: it
+// is evaluated against a different image (new size and seed) and compared
+// with the VM running the legacy binary on that same image.
+func TestLiftedKernelOnFreshInput(t *testing.T) {
+	for _, k := range legacy.Kernels() {
+		t.Run(k.Name, func(t *testing.T) {
+			res, err := lift.Lift(k.Name, target(k.Instantiate(liftConfigs[0])))
+			if err != nil {
+				t.Fatalf("Lift: %v", err)
+			}
+			fresh := k.Instantiate(legacy.Config{Width: 37, Height: 14, Seed: 99})
+			fres, err := lift.Lift(k.Name, target(fresh))
+			if err != nil {
+				t.Fatalf("Lift(fresh): %v", err)
+			}
+			// The lifted kernel from the first image, evaluated over the
+			// fresh image's input, must match the fresh VM output.
+			kernel := *res.Kernel
+			kernel.OutWidth = fres.Kernel.OutWidth
+			kernel.OutHeight = fres.Kernel.OutHeight
+			want, err := fres.VMOutput()
+			if err != nil {
+				t.Fatalf("VMOutput: %v", err)
+			}
+			got, err := kernel.Eval(fres.InputSource())
+			if err != nil {
+				t.Fatalf("Eval: %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("lifted kernel does not generalize to a fresh input")
+			}
+		})
+	}
+}
+
+// BenchmarkVMBoxBlur measures emulating the legacy box blur end to end.
+func BenchmarkVMBoxBlur(b *testing.B) {
+	k, _ := legacy.Lookup("boxblur3")
+	inst := k.Instantiate(legacy.Config{Width: 64, Height: 64, Seed: 3})
+	m := vm.NewMachine(inst.Prog)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst.Setup(m, true)
+		if err := m.Run(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIREvalBoxBlur measures evaluating the lifted box blur over the
+// same image, the "recovered program" the pipeline produces.
+func BenchmarkIREvalBoxBlur(b *testing.B) {
+	k, _ := legacy.Lookup("boxblur3")
+	inst := k.Instantiate(legacy.Config{Width: 64, Height: 64, Seed: 3})
+	res, err := lift.Lift(k.Name, target(inst))
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := res.InputSource()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := res.Kernel.Eval(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiftPipeline measures the whole pipeline, trace to verified IR.
+func BenchmarkLiftPipeline(b *testing.B) {
+	k, _ := legacy.Lookup("brighten")
+	inst := k.Instantiate(legacy.Config{Width: 32, Height: 16, Seed: 3})
+	tgt := target(inst)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lift.Lift(k.Name, tgt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -122,6 +122,7 @@ const (
 	OpMul
 	OpDiv
 	OpMod
+	OpMulHi // high half of a widening unsigned multiply (the EDX result of MUL)
 	OpAnd
 	OpOr
 	OpXor
@@ -136,9 +137,9 @@ const (
 	OpCmp  // flag producer: srcs = [a, b]
 	OpTest // flag producer: srcs = [a, b]
 	OpBranch
-	OpCall      // external call; Sym on the DynInst names the function
-	OpIntToFP   // integer to floating point conversion
-	OpFPToInt   // floating point to integer conversion (round)
+	OpCall    // external call; Sym on the DynInst names the function
+	OpIntToFP // integer to floating point conversion
+	OpFPToInt // floating point to integer conversion (round)
 	OpFAdd
 	OpFSub
 	OpFMul
@@ -148,7 +149,7 @@ const (
 
 var exprOpNames = map[ExprOp]string{
 	OpNone: "none", OpIdentity: "id", OpAdd: "+", OpSub: "-", OpMul: "*",
-	OpDiv: "/", OpMod: "%", OpAnd: "&", OpOr: "|", OpXor: "^", OpNot: "~",
+	OpDiv: "/", OpMod: "%", OpMulHi: "*hi", OpAnd: "&", OpOr: "|", OpXor: "^", OpNot: "~",
 	OpNeg: "neg", OpShl: "<<", OpShr: ">>", OpSar: ">>a", OpZExt: "zext",
 	OpSExt: "sext", OpLea: "lea", OpCmp: "cmp", OpTest: "test",
 	OpBranch: "branch", OpCall: "call", OpIntToFP: "i2f", OpFPToInt: "f2i",
@@ -203,6 +204,21 @@ type DynInst struct {
 	Sym string
 }
 
+// Sink consumes dynamic instruction records as the tracer produces them.
+// Streaming consumers (on-line analyses, filters, serializers) implement
+// Sink directly; batch consumers collect into an InstTrace, which is itself
+// a Sink.  Emit must not retain di or its slices past the call unless it
+// copies them.
+type Sink interface {
+	Emit(di DynInst) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(di DynInst) error
+
+// Emit calls f(di).
+func (f SinkFunc) Emit(di DynInst) error { return f(di) }
+
 // InstTrace is a captured instruction trace together with the write index
 // needed by the backward analysis.
 type InstTrace struct {
@@ -211,6 +227,15 @@ type InstTrace struct {
 	// writesAt maps a unified byte address to the ordered list of trace
 	// sequence numbers that wrote that byte.
 	writesAt map[uint64][]int
+}
+
+// Emit appends a record, making InstTrace the batch-collecting Sink.  The
+// write index is invalidated; call BuildWriteIndex again after the trace is
+// complete.
+func (t *InstTrace) Emit(di DynInst) error {
+	t.Insts = append(t.Insts, di)
+	t.writesAt = nil
+	return nil
 }
 
 // BuildWriteIndex constructs the per-byte write index used by

@@ -662,7 +662,7 @@ func (m *Machine) execMulDiv(in isa.Inst, rec *stepRecord) error {
 		m.writeReg(isa.EAX, full&0xffffffff)
 		m.writeReg(isa.EDX, full>>32)
 		rec.effect(m.regRef(isa.EAX), trace.OpMul, eaxRef, bref)
-		rec.effect(m.regRef(isa.EDX), trace.OpMul, eaxRef, bref)
+		rec.effect(m.regRef(isa.EDX), trace.OpMulHi, eaxRef, bref)
 	case isa.DIV:
 		if maskWidth(b, 4) == 0 {
 			return m.faultf("division by zero")

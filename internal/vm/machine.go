@@ -70,10 +70,10 @@ type Machine struct {
 	// Imports maps external symbols to their implementations.
 	Imports map[string]ImportHandler
 
-	regs  [8]uint32   // EAX..EDI indexed by reg-EAX
-	fregs [8]float64  // physical floating point registers
-	ftop  int         // physical index of the current top of stack
-	fcnt  int         // number of live stack entries (for diagnostics)
+	regs  [8]uint32  // EAX..EDI indexed by reg-EAX
+	fregs [8]float64 // physical floating point registers
+	ftop  int        // physical index of the current top of stack
+	fcnt  int        // number of live stack entries (for diagnostics)
 	flag  flags
 	eip   uint32
 

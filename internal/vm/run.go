@@ -130,7 +130,22 @@ type TraceOptions struct {
 	MaxTraceInsts int
 }
 
-// TraceResult is the outcome of a trace capture run.
+// StreamResult is the outcome of a streaming trace run: everything RunTrace
+// reports except the collected instruction records, which went to the sink.
+type StreamResult struct {
+	// Dump is the page-granularity memory dump of memory touched by the
+	// filter function: read pages captured eagerly, written pages at filter
+	// exit.
+	Dump *trace.MemDump
+	// FilterCalls is the number of times the filter function was entered.
+	FilterCalls int
+	// Insts is the number of dynamic instruction records emitted.
+	Insts int
+	// Steps is the total number of instructions executed (traced or not).
+	Steps uint64
+}
+
+// TraceResult is the outcome of a batch trace capture run.
 type TraceResult struct {
 	// Trace is the captured dynamic instruction trace.
 	Trace *trace.InstTrace
@@ -144,17 +159,18 @@ type TraceResult struct {
 	Steps uint64
 }
 
-// RunTrace executes the program from its current state until it halts,
-// capturing a detailed trace of every dynamic instruction executed inside
-// the filter function (including its callees) together with a memory dump.
-func (m *Machine) RunTrace(opts TraceOptions) (*TraceResult, error) {
+// RunTraceStream executes the program from its current state until it
+// halts, streaming one trace.DynInst per dynamic instruction executed
+// inside the filter function (including its callees) to sink.  The memory
+// dump is still accumulated here because only the emulator can snapshot
+// pages before later writes disturb them.
+func (m *Machine) RunTraceStream(opts TraceOptions, sink trace.Sink) (*StreamResult, error) {
 	maxSteps := opts.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = DefaultMaxSteps
 	}
-	res := &TraceResult{
-		Trace: &trace.InstTrace{},
-		Dump:  trace.NewMemDump(pageSize),
+	res := &StreamResult{
+		Dump: trace.NewMemDump(pageSize),
 	}
 	writtenPages := make(map[uint64]bool)
 	dumpWritten := func() {
@@ -185,9 +201,8 @@ func (m *Machine) RunTrace(opts TraceOptions) (*TraceResult, error) {
 			return nil, err
 		}
 		if r != nil {
-			seq := len(res.Trace.Insts)
 			di := trace.DynInst{
-				Seq:     seq,
+				Seq:     res.Insts,
 				Addr:    r.instAddr,
 				Op:      r.op,
 				Width:   r.width,
@@ -202,8 +217,11 @@ func (m *Machine) RunTrace(opts TraceOptions) (*TraceResult, error) {
 			if len(r.addrRefs) > 0 {
 				di.AddrRefs = append([]trace.Ref(nil), r.addrRefs...)
 			}
-			res.Trace.Insts = append(res.Trace.Insts, di)
-			if opts.MaxTraceInsts > 0 && len(res.Trace.Insts) > opts.MaxTraceInsts {
+			if err := sink.Emit(di); err != nil {
+				return nil, err
+			}
+			res.Insts++
+			if opts.MaxTraceInsts > 0 && res.Insts > opts.MaxTraceInsts {
 				return nil, fmt.Errorf("vm: trace exceeded %d instructions", opts.MaxTraceInsts)
 			}
 			// Memory dump: read pages are captured eagerly (before any later
@@ -223,9 +241,26 @@ func (m *Machine) RunTrace(opts TraceOptions) (*TraceResult, error) {
 		}
 	}
 	dumpWritten()
-	res.Trace.BuildWriteIndex()
 	res.Steps = m.steps
 	return res, nil
+}
+
+// RunTrace is the batch form of RunTraceStream: it collects the streamed
+// records into an InstTrace with its write index built, ready for the
+// backward analysis.
+func (m *Machine) RunTrace(opts TraceOptions) (*TraceResult, error) {
+	t := &trace.InstTrace{}
+	sr, err := m.RunTraceStream(opts, t)
+	if err != nil {
+		return nil, err
+	}
+	t.BuildWriteIndex()
+	return &TraceResult{
+		Trace:       t,
+		Dump:        sr.Dump,
+		FilterCalls: sr.FilterCalls,
+		Steps:       sr.Steps,
+	}, nil
 }
 
 // Run executes the program from its current state until it halts, without
