@@ -2,23 +2,36 @@
 // corpus: it executes a kernel under the tracing VM, localizes the filter
 // by coverage diffing, reconstructs the buffer structure, extracts and
 // canonicalizes per-pixel expression trees, prints the lifted Halide-like
-// IR, and verifies the IR pixel-exactly against the binary's own output.
+// IR, and verifies the chosen backend pixel-exactly against the binary's
+// own output.
 //
 // Usage:
 //
 //	helium [-kernel name] [-width N] [-height N] [-seed N] [-v]
+//	       [-backend interp|compiled] [-workers N]
+//	helium -bench [-bench-out BENCH_lift.json]
 //
-// With no -kernel, every corpus kernel is lifted.  The exit status is
-// nonzero if any kernel fails to lift or verify.
+// With no -kernel, every corpus kernel is lifted.  The default backend
+// compiles the lifted trees to register programs and evaluates them both
+// serially and with the parallel row-strip driver; -backend interp selects
+// the tree-walking evaluator.  Either way the output is compared byte for
+// byte with what the legacy binary wrote.  -bench times VM emulation
+// against both backends over the corpus and writes a machine-readable
+// JSON report.  The exit status is nonzero if anything fails to lift or
+// verify.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"helium/internal/legacy"
 	"helium/internal/lift"
+	"helium/internal/vm"
 )
 
 func main() {
@@ -27,8 +40,12 @@ func main() {
 		width      = flag.Int("width", 40, "image width in pixels")
 		height     = flag.Int("height", 24, "image height in pixels")
 		seed       = flag.Uint64("seed", 1, "deterministic input pattern seed")
+		backend    = flag.String("backend", "compiled", "evaluation backend: interp or compiled")
+		workers    = flag.Int("workers", 0, "parallel eval workers (0 = GOMAXPROCS)")
 		verbose    = flag.Bool("v", false, "print localization and buffer details")
 		list       = flag.Bool("list", false, "list the corpus kernels and exit")
+		bench      = flag.Bool("bench", false, "benchmark VM vs interp vs compiled over the corpus")
+		benchOut   = flag.String("bench-out", "BENCH_lift.json", "benchmark report path (with -bench)")
 	)
 	flag.Parse()
 
@@ -37,6 +54,10 @@ func main() {
 			fmt.Printf("%-10s %s\n", k.Name, k.Description)
 		}
 		return
+	}
+	if *backend != "interp" && *backend != "compiled" {
+		fmt.Fprintf(os.Stderr, "helium: unknown backend %q (interp or compiled)\n", *backend)
+		os.Exit(2)
 	}
 
 	// The pipeline needs images big enough that the output buffer dwarfs
@@ -57,9 +78,17 @@ func main() {
 	}
 
 	cfg := legacy.Config{Width: *width, Height: *height, Seed: *seed}
+	if *bench {
+		if err := runBench(kernels, cfg, *workers, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "helium: bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	failed := false
 	for _, k := range kernels {
-		if err := run(k, cfg, *verbose); err != nil {
+		if err := run(k, cfg, *backend, *workers, *verbose); err != nil {
 			fmt.Fprintf(os.Stderr, "helium: %s: %v\n", k.Name, err)
 			failed = true
 		}
@@ -69,9 +98,8 @@ func main() {
 	}
 }
 
-func run(k legacy.Kernel, cfg legacy.Config, verbose bool) error {
-	inst := k.Instantiate(cfg)
-	tgt := lift.Target{
+func target(inst *legacy.Instance) lift.Target {
+	return lift.Target{
 		Prog:  inst.Prog,
 		Setup: inst.Setup,
 		Known: lift.KnownInput{
@@ -82,9 +110,13 @@ func run(k legacy.Kernel, cfg legacy.Config, verbose bool) error {
 			Interior:    inst.InputInterior,
 		},
 	}
+}
+
+func run(k legacy.Kernel, cfg legacy.Config, backend string, workers int, verbose bool) error {
+	inst := k.Instantiate(cfg)
 
 	fmt.Printf("=== %s (%s)\n", k.Name, cfg)
-	res, err := lift.Lift(k.Name, tgt)
+	res, err := lift.Lift(k.Name, target(inst))
 	if err != nil {
 		return err
 	}
@@ -101,9 +133,154 @@ func run(k legacy.Kernel, cfg legacy.Config, verbose bool) error {
 	}
 
 	fmt.Print(res.Kernel)
-	if err := res.Verify(); err != nil {
+	switch backend {
+	case "interp":
+		if err := res.Verify(); err != nil {
+			return err
+		}
+		fmt.Printf("verified: %d samples pixel-exact (interp backend)\n\n", res.Samples)
+	case "compiled":
+		ck, err := res.VerifyCompiled(workers)
+		if err != nil {
+			return err
+		}
+		if verbose {
+			insts, consts, loads := 0, 0, 0
+			for _, p := range ck.Progs {
+				insts += p.NumInsts()
+				consts += p.NumConsts()
+				loads += p.NumLoads()
+			}
+			fmt.Printf("compiled: %d instruction(s), %d pooled constant(s), %d tap(s) across %d channel program(s)\n",
+				insts, consts, loads, len(ck.Progs))
+		}
+		fmt.Printf("verified: %d samples pixel-exact (compiled backend, serial + %d workers)\n\n",
+			res.Samples, ck.Workers(workers))
+	}
+	return nil
+}
+
+// benchEntry is one kernel's timing row in the JSON report.
+type benchEntry struct {
+	Kernel      string             `json:"kernel"`
+	Width       int                `json:"width"`
+	Height      int                `json:"height"`
+	Samples     int                `json:"samples"`
+	NsPerSample map[string]float64 `json:"ns_per_sample"`
+	Speedup     map[string]float64 `json:"speedup_vs_interp"`
+}
+
+// benchReport is the whole machine-readable benchmark artifact.
+type benchReport struct {
+	Config   string       `json:"config"`
+	MaxProcs int          `json:"gomaxprocs"`
+	Workers  int          `json:"workers"`
+	Kernels  []benchEntry `json:"kernels"`
+}
+
+// timeIt measures fn's steady-state nanoseconds per call: at least three
+// iterations and at least ~40ms of wall time.
+func timeIt(fn func() error) (float64, error) {
+	const (
+		minIters = 3
+		minTime  = 40 * time.Millisecond
+	)
+	iters := 0
+	start := time.Now()
+	for {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		iters++
+		if iters >= minIters && time.Since(start) >= minTime {
+			break
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters), nil
+}
+
+// runBench lifts each kernel once, verifies both backends, then times VM
+// emulation, the tree-walking interpreter and the compiled backend (serial
+// and parallel) over the same image, writing ns-per-sample per kernel per
+// backend to the JSON report.
+func runBench(kernels []legacy.Kernel, cfg legacy.Config, workers int, outPath string) error {
+	report := benchReport{
+		Config:   cfg.String(),
+		MaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, k := range kernels {
+		inst := k.Instantiate(cfg)
+		res, err := lift.Lift(k.Name, target(inst))
+		if err != nil {
+			return fmt.Errorf("%s: %w", k.Name, err)
+		}
+		if err := res.Verify(); err != nil {
+			return fmt.Errorf("%s: %w", k.Name, err)
+		}
+		ck, err := res.VerifyCompiled(workers)
+		if err != nil {
+			return fmt.Errorf("%s: %w", k.Name, err)
+		}
+		src := res.MaterializeInput()
+		samples := res.Kernel.OutWidth * res.Kernel.OutHeight * res.Kernel.Channels
+		report.Workers = ck.Workers(workers)
+
+		m := vm.NewMachine(inst.Prog)
+		runs := map[string]func() error{
+			"vm": func() error {
+				inst.Setup(m, true)
+				return m.Run(0)
+			},
+			"interp": func() error {
+				_, err := res.Kernel.Eval(src)
+				return err
+			},
+			"compiled": func() error {
+				_, err := ck.Eval(src)
+				return err
+			},
+			"compiled-parallel": func() error {
+				_, err := ck.EvalParallel(src, workers)
+				return err
+			},
+		}
+		entry := benchEntry{
+			Kernel:      k.Name,
+			Width:       cfg.Width,
+			Height:      cfg.Height,
+			Samples:     samples,
+			NsPerSample: make(map[string]float64),
+			Speedup:     make(map[string]float64),
+		}
+		for _, name := range []string{"vm", "interp", "compiled", "compiled-parallel"} {
+			ns, err := timeIt(runs[name])
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", k.Name, name, err)
+			}
+			entry.NsPerSample[name] = ns / float64(samples)
+		}
+		base := entry.NsPerSample["interp"]
+		for name, ns := range entry.NsPerSample {
+			if ns > 0 {
+				entry.Speedup[name] = base / ns
+			}
+		}
+		report.Kernels = append(report.Kernels, entry)
+		fmt.Printf("%-10s %7d samples   vm %9.1f   interp %7.2f   compiled %6.2f   parallel %6.2f  ns/sample  (compiled %0.1fx)\n",
+			k.Name, samples,
+			entry.NsPerSample["vm"], entry.NsPerSample["interp"],
+			entry.NsPerSample["compiled"], entry.NsPerSample["compiled-parallel"],
+			entry.Speedup["compiled"])
+	}
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
 		return err
 	}
-	fmt.Printf("verified: %d samples pixel-exact\n\n", res.Samples)
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
 	return nil
 }

@@ -55,6 +55,14 @@ func (p *Plane) At(x, y int) byte { return p.Pix[p.Index(x, y)] }
 // Set stores a pixel at interior coordinates (x, y).
 func (p *Plane) Set(x, y int, v byte) { p.Pix[p.Index(x, y)] = v }
 
+// Flat exposes the plane's raw backing for flat-index addressing: pixel
+// (x, y) lives at pix[base + y*stride + x], for interior and padding
+// coordinates alike.  The compiled IR backend uses this to fold a stencil
+// tap into a single indexed load with no per-sample interface dispatch.
+func (p *Plane) Flat() (pix []byte, base, stride int) {
+	return p.Pix, p.Index(0, 0), p.Stride
+}
+
 // Interior returns a copy of the interior pixels in row-major order,
 // without padding.  This is the "known input data" Helium searches for in
 // the memory dump during dimensionality inference.
@@ -235,6 +243,12 @@ func (im *Interleaved) Index(x, y, c int) int {
 
 // At returns channel c of pixel (x, y).
 func (im *Interleaved) At(x, y, c int) byte { return im.Pix[im.Index(x, y, c)] }
+
+// Flat exposes the raw backing for flat-index addressing: channel c of
+// pixel (x, y) lives at pix[base + y*stride + x*pixStep + c].
+func (im *Interleaved) Flat() (pix []byte, base, stride, pixStep int) {
+	return im.Pix, 0, im.Stride, im.Channels
+}
 
 // Set stores channel c of pixel (x, y).
 func (im *Interleaved) Set(x, y, c int, v byte) { im.Pix[im.Index(x, y, c)] = v }

@@ -114,6 +114,34 @@ func TestInterleavedLayout(t *testing.T) {
 	}
 }
 
+func TestPlaneFlatMatchesAt(t *testing.T) {
+	p := NewPlane(22, 10, 2)
+	p.FillPattern(11)
+	pix, base, stride := p.Flat()
+	for y := -p.Pad; y < p.Height+p.Pad; y++ {
+		for x := -p.Pad; x < p.Width+p.Pad; x++ {
+			if got, want := pix[base+y*stride+x], p.At(x, y); got != want {
+				t.Fatalf("Flat[%d,%d] = %d, want At = %d", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestInterleavedFlatMatchesAt(t *testing.T) {
+	im := NewInterleaved(13, 7, 3)
+	im.FillPattern(12)
+	pix, base, stride, pixStep := im.Flat()
+	for y := 0; y < im.Height; y++ {
+		for x := 0; x < im.Width; x++ {
+			for c := 0; c < im.Channels; c++ {
+				if got, want := pix[base+y*stride+x*pixStep+c], im.At(x, y, c); got != want {
+					t.Fatalf("Flat[%d,%d,%d] = %d, want At = %d", x, y, c, got, want)
+				}
+			}
+		}
+	}
+}
+
 func TestFillPatternDeterministic(t *testing.T) {
 	a := NewPlane(16, 16, 0)
 	b := NewPlane(16, 16, 0)

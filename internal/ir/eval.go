@@ -73,9 +73,26 @@ func signExt(v uint64, width int) int64 {
 	return int64(v)
 }
 
+// evaluator is the tree-walking interpreter's reusable state: the source
+// being sampled and a scratch stack that holds operand values during the
+// walk.  Reusing one evaluator across samples makes whole-image evaluation
+// allocation-free in the steady state; the previous implementation
+// allocated a []value per expression node per sample.
+type evaluator struct {
+	src   Source
+	stack []value
+}
+
 // Eval computes the expression for output coordinate (x, y, c) against src.
 func (e *Expr) Eval(src Source, x, y, c int) (uint64, error) {
-	v, err := e.eval(src, x, y, c)
+	ev := evaluator{src: src}
+	return ev.evalBits(e, x, y, c)
+}
+
+// evalBits evaluates e and flattens the result to raw bits: zero-extended
+// integers stay as-is, floats become their IEEE-754 bit pattern.
+func (ev *evaluator) evalBits(e *Expr, x, y, c int) (uint64, error) {
+	v, err := ev.eval(e, x, y, c)
 	if err != nil {
 		return 0, err
 	}
@@ -85,25 +102,33 @@ func (e *Expr) Eval(src Source, x, y, c int) (uint64, error) {
 	return v.i, nil
 }
 
-func (e *Expr) eval(src Source, x, y, c int) (value, error) {
+// eval walks one node, parking operand values on the scratch stack.
+func (ev *evaluator) eval(e *Expr, x, y, c int) (value, error) {
 	switch e.Op {
 	case OpLoad:
-		return value{i: uint64(src.Sample(x+e.DX, y+e.DY, c+e.DC))}, nil
+		return value{i: uint64(ev.src.Sample(x+e.DX, y+e.DY, c+e.DC))}, nil
 	case OpConst:
 		return value{i: uint64(e.Val)}, nil
 	case OpConstF:
 		return value{f: e.F, fl: true}, nil
 	}
 
-	args := make([]value, len(e.Args))
-	for i, a := range e.Args {
-		v, err := a.eval(src, x, y, c)
+	base := len(ev.stack)
+	for _, a := range e.Args {
+		v, err := ev.eval(a, x, y, c)
 		if err != nil {
+			ev.stack = ev.stack[:base]
 			return value{}, err
 		}
-		args[i] = v
+		ev.stack = append(ev.stack, v)
 	}
+	v, err := e.apply(ev.stack[base:])
+	ev.stack = ev.stack[:base]
+	return v, err
+}
 
+// apply computes one operation over already-evaluated operand values.
+func (e *Expr) apply(args []value) (value, error) {
 	w := e.Width
 	switch e.Op {
 	case OpAdd:
@@ -225,7 +250,8 @@ func (e *Expr) eval(src Source, x, y, c int) (value, error) {
 // EvalAt evaluates channel c of output pixel (x, y) and narrows the result
 // to one sample byte, exactly as the legacy kernel's final store does.
 func (k *Kernel) EvalAt(src Source, x, y, c int) (uint8, error) {
-	v, err := k.Trees[c].Eval(src, x+k.OriginX, y+k.OriginY, c)
+	ev := evaluator{src: src}
+	v, err := ev.evalBits(k.Trees[c], x+k.OriginX, y+k.OriginY, c)
 	if err != nil {
 		return 0, err
 	}
@@ -233,20 +259,22 @@ func (k *Kernel) EvalAt(src Source, x, y, c int) (uint8, error) {
 }
 
 // Eval renders the whole output region in row-major sample order
-// (OutWidth*Channels samples per row, OutHeight rows).
+// (OutWidth*Channels samples per row, OutHeight rows).  One evaluator is
+// reused across all samples, so the walk allocates nothing per sample.
 func (k *Kernel) Eval(src Source) ([]byte, error) {
 	if len(k.Trees) != k.Channels {
 		return nil, fmt.Errorf("ir: kernel %s has %d trees for %d channels", k.Name, len(k.Trees), k.Channels)
 	}
+	ev := evaluator{src: src}
 	out := make([]byte, 0, k.OutWidth*k.OutHeight*k.Channels)
 	for y := 0; y < k.OutHeight; y++ {
 		for x := 0; x < k.OutWidth; x++ {
 			for c := 0; c < k.Channels; c++ {
-				s, err := k.EvalAt(src, x, y, c)
+				v, err := ev.evalBits(k.Trees[c], x+k.OriginX, y+k.OriginY, c)
 				if err != nil {
 					return nil, fmt.Errorf("ir: kernel %s at (%d,%d,%d): %w", k.Name, x, y, c, err)
 				}
-				out = append(out, s)
+				out = append(out, uint8(v))
 			}
 		}
 	}

@@ -14,6 +14,7 @@ package ir
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -193,16 +194,40 @@ func (e *Expr) Key() string {
 }
 
 func (e *Expr) key(b *strings.Builder) {
+	if e.keyHeader(b, false) {
+		return
+	}
+	b.WriteString("(")
+	for i, a := range e.Args {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		a.key(b)
+	}
+	b.WriteString(")")
+}
+
+// keyHeader writes the operator-and-scalar-field prefix of the node's
+// structural key — everything except the children — and reports whether
+// the node is a leaf.  exactFloats spells float constants as IEEE-754 bit
+// patterns, so distinct NaN payloads never share a key; the compiler's
+// common-subexpression elimination demands that exactness, the printable
+// Key keeps the readable %g form.
+func (e *Expr) keyHeader(b *strings.Builder, exactFloats bool) bool {
 	switch e.Op {
 	case OpLoad:
 		fmt.Fprintf(b, "in(%d,%d,%d)", e.DX, e.DY, e.DC)
-		return
+		return true
 	case OpConst:
 		fmt.Fprintf(b, "%d", e.Val)
-		return
+		return true
 	case OpConstF:
-		fmt.Fprintf(b, "%g", e.F)
-		return
+		if exactFloats {
+			fmt.Fprintf(b, "f%016x", math.Float64bits(e.F))
+		} else {
+			fmt.Fprintf(b, "%g", e.F)
+		}
+		return true
 	}
 	b.WriteString(e.Op.String())
 	switch e.Op {
@@ -219,14 +244,7 @@ func (e *Expr) key(b *strings.Builder) {
 			fmt.Fprintf(b, "w%d", e.Width)
 		}
 	}
-	b.WriteString("(")
-	for i, a := range e.Args {
-		if i > 0 {
-			b.WriteString(",")
-		}
-		a.key(b)
-	}
-	b.WriteString(")")
+	return false
 }
 
 // tableFingerprint hashes table contents (FNV-1a) so distinct tables get

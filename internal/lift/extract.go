@@ -5,6 +5,7 @@ import (
 
 	"helium/internal/ir"
 	"helium/internal/isa"
+	"helium/internal/par"
 	"helium/internal/trace"
 )
 
@@ -54,19 +55,47 @@ type memoKey struct {
 // segment accesses (constants when directly addressed, table lookups when
 // indexed), immediates, and values the host wrote before tracing began
 // (environment constants).
+//
+// Per-sample slices are independent (the memo is reset per sample), so the
+// samples are distributed over a bounded worker pool sized by GOMAXPROCS.
 func Extract(tr *trace.InstTrace, prog *isa.Program, bufs *Buffers) ([]SampleTree, error) {
-	ex := &extractor{tr: tr, prog: prog, bufs: bufs}
+	return ExtractWorkers(tr, prog, bufs, 0)
+}
+
+// ExtractWorkers is Extract with an explicit worker count (<= 0 means
+// GOMAXPROCS).  The result is identical to a serial extraction regardless
+// of worker count: trees land at their sample's row-major position and the
+// reported error is the one a serial scan would have hit first.
+func ExtractWorkers(tr *trace.InstTrace, prog *isa.Program, bufs *Buffers, workers int) ([]SampleTree, error) {
 	out := bufs.Out
-	trees := make([]SampleTree, 0, out.Rows*out.RowBytes)
-	for y := 0; y < out.Rows; y++ {
-		for b := 0; b < out.RowBytes; b++ {
-			x, c := b/out.Channels, b%out.Channels
-			e, err := ex.sample(x, y, c)
-			if err != nil {
-				return nil, fmt.Errorf("lift: extracting output sample (%d,%d,%d): %w", x, y, c, err)
+	total := out.Rows * out.RowBytes
+	trees := make([]SampleTree, total)
+
+	// The write index builds lazily on first use; force it here so the
+	// workers only ever read the trace (the tracer usually built it
+	// already, in which case this is free).
+	tr.EnsureWriteIndex()
+
+	// One sample per chunk: a single backward slice is heavy enough that
+	// the hand-out cursor never dominates, and finer chunks balance the
+	// very uneven per-sample slicing cost.
+	err := par.For(total, 1, workers, func(int) func(int, int) error {
+		ex := &extractor{tr: tr, prog: prog, bufs: bufs}
+		return func(start, end int) error {
+			for i := start; i < end; i++ {
+				y, b := i/out.RowBytes, i%out.RowBytes
+				x, c := b/out.Channels, b%out.Channels
+				e, err := ex.sample(x, y, c)
+				if err != nil {
+					return fmt.Errorf("lift: extracting output sample (%d,%d,%d): %w", x, y, c, err)
+				}
+				trees[i] = SampleTree{X: x, Y: y, C: c, Expr: e}
 			}
-			trees = append(trees, SampleTree{X: x, Y: y, C: c, Expr: e})
+			return nil
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return trees, nil
 }

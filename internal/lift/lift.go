@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"helium/internal/image"
 	"helium/internal/ir"
 	"helium/internal/trace"
 	"helium/internal/vm"
@@ -153,14 +154,26 @@ func unify(name string, bufs *Buffers, trees []SampleTree) (*ir.Kernel, error) {
 	}, nil
 }
 
+// visitLoads calls fn once per distinct load node.  The visited-set makes
+// shared-subexpression DAGs (which the extractor's memo produces) linear
+// to walk and keeps fn from mutating a shared load twice.
 func visitLoads(e *ir.Expr, fn func(*ir.Expr)) {
-	if e.Op == ir.OpLoad {
-		fn(e)
-		return
+	seen := make(map[*ir.Expr]bool)
+	var walk func(*ir.Expr)
+	walk = func(e *ir.Expr) {
+		if seen[e] {
+			return
+		}
+		seen[e] = true
+		if e.Op == ir.OpLoad {
+			fn(e)
+			return
+		}
+		for _, a := range e.Args {
+			walk(a)
+		}
 	}
-	for _, a := range e.Args {
-		visitLoads(a, fn)
-	}
+	walk(e)
 }
 
 // dumpSource feeds the evaluator input samples straight from the captured
@@ -186,6 +199,74 @@ func (s dumpSource) Sample(x, y, c int) uint8 {
 // InputSource returns an evaluator source backed by the trace memory dump.
 func (r *Result) InputSource() ir.Source {
 	return dumpSource{dump: r.Dump, in: r.Bufs.In}
+}
+
+// footprint returns the bounding box of input coordinates the kernel's
+// trees touch over its whole output grid (origin applied), including the
+// channel delta range of its taps.
+func footprint(k *ir.Kernel) (xlo, xhi, ylo, yhi, dclo, dchi int) {
+	minDX, maxDX, minDY, maxDY := 0, 0, 0, 0
+	first := true
+	for _, t := range k.Trees {
+		visitLoads(t, func(l *ir.Expr) {
+			if first {
+				minDX, maxDX, minDY, maxDY = l.DX, l.DX, l.DY, l.DY
+				dclo, dchi = l.DC, l.DC
+				first = false
+				return
+			}
+			minDX, maxDX = min(minDX, l.DX), max(maxDX, l.DX)
+			minDY, maxDY = min(minDY, l.DY), max(maxDY, l.DY)
+			dclo, dchi = min(dclo, l.DC), max(dchi, l.DC)
+		})
+	}
+	xlo = k.OriginX + minDX
+	xhi = k.OutWidth - 1 + k.OriginX + maxDX
+	ylo = k.OriginY + minDY
+	yhi = k.OutHeight - 1 + k.OriginY + maxDY
+	return xlo, xhi, ylo, yhi, dclo, dchi
+}
+
+// MaterializeInput copies the dumped input into a concrete pixel backing
+// (a padded image.Plane for planar kernels, an image.Interleaved for
+// interleaved ones) covering the kernel's whole stencil footprint.  The
+// compiled backend recognizes these backings and fuses every tap into a
+// flat indexed load.  Every coordinate the kernel can touch reads the same
+// byte the dump-backed source yields, so evaluation results are unchanged.
+// When the footprint cannot be represented (an interleaved kernel tapping
+// outside the image), the dump-backed source is returned instead.
+func (r *Result) MaterializeInput() ir.Source {
+	dsrc := dumpSource{dump: r.Dump, in: r.Bufs.In}
+	k := r.Kernel
+	xlo, xhi, ylo, yhi, dclo, dchi := footprint(k)
+	if xhi < 0 || yhi < 0 || xhi < xlo || yhi < ylo {
+		return dsrc
+	}
+	if r.Bufs.In.Interleaved {
+		// The interleaved layout has no padding concept; taps left or
+		// above the image — or cross-channel taps that step outside a
+		// pixel's own samples — cannot be represented.
+		if xlo < 0 || ylo < 0 || dclo < 0 || k.Channels-1+dchi >= r.Bufs.In.Channels {
+			return dsrc
+		}
+		im := image.NewInterleaved(xhi+1, yhi+1, r.Bufs.In.Channels)
+		for y := 0; y <= yhi; y++ {
+			for x := 0; x <= xhi; x++ {
+				for c := 0; c < im.Channels; c++ {
+					im.Set(x, y, c, dsrc.Sample(x, y, c))
+				}
+			}
+		}
+		return ir.InterleavedSource{Im: im}
+	}
+	pad := max(0, -xlo, -ylo)
+	p := image.NewPlane(max(xhi+1, 1), max(yhi+1, 1), pad)
+	for y := -pad; y <= yhi; y++ {
+		for x := -pad; x <= xhi; x++ {
+			p.Set(x, y, dsrc.Sample(x, y, 0))
+		}
+	}
+	return ir.PlaneSource{P: p}
 }
 
 // VMOutput reads the bytes the legacy binary wrote to the output region
@@ -215,8 +296,55 @@ func (r *Result) Verify() error {
 	if err != nil {
 		return err
 	}
+	return compareToVM("IR evaluation", got, want)
+}
+
+// VerifyCompiled lowers the lifted kernel to register programs and checks
+// the compiled backend against the legacy binary's own output on every
+// execution path: serial and parallel (with the given worker count, <= 0
+// meaning GOMAXPROCS), fused (materialized pixel backing) and generic
+// (dump-backed source).  On success it returns the verified compiled
+// kernel so drivers report and benchmark exactly the programs that were
+// checked.
+func (r *Result) VerifyCompiled(workers int) (*ir.CompiledKernel, error) {
+	want, err := r.VMOutput()
+	if err != nil {
+		return nil, err
+	}
+	ck, err := r.Kernel.Compile()
+	if err != nil {
+		return nil, err
+	}
+	paths := []struct {
+		name string
+		src  ir.Source
+	}{
+		{"fused", r.MaterializeInput()},
+		{"generic", r.InputSource()},
+	}
+	for _, p := range paths {
+		got, err := ck.Eval(p.src)
+		if err != nil {
+			return nil, fmt.Errorf("lift: compiled %s eval: %w", p.name, err)
+		}
+		if err := compareToVM("compiled "+p.name+" evaluation", got, want); err != nil {
+			return nil, err
+		}
+		got, err = ck.EvalParallel(p.src, workers)
+		if err != nil {
+			return nil, fmt.Errorf("lift: compiled %s parallel eval: %w", p.name, err)
+		}
+		if err := compareToVM("compiled "+p.name+" parallel evaluation", got, want); err != nil {
+			return nil, err
+		}
+	}
+	return ck, nil
+}
+
+// compareToVM demands got matches the VM's output byte for byte.
+func compareToVM(what string, got, want []byte) error {
 	if len(got) != len(want) {
-		return fmt.Errorf("lift: verification size mismatch: IR %d vs VM %d samples", len(got), len(want))
+		return fmt.Errorf("lift: verification size mismatch: %s %d vs VM %d samples", what, len(got), len(want))
 	}
 	if !bytes.Equal(got, want) {
 		bad := 0
@@ -225,7 +353,7 @@ func (r *Result) Verify() error {
 				bad++
 			}
 		}
-		return fmt.Errorf("lift: IR evaluation differs from VM output on %d/%d samples", bad, len(want))
+		return fmt.Errorf("lift: %s differs from VM output on %d/%d samples", what, bad, len(want))
 	}
 	return nil
 }

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"testing"
 
+	"helium/internal/ir"
 	"helium/internal/legacy"
 	"helium/internal/lift"
+	"helium/internal/trace"
 	"helium/internal/vm"
 )
 
@@ -59,6 +61,9 @@ func TestLiftEndToEnd(t *testing.T) {
 				}
 				if err := res.Verify(); err != nil {
 					t.Errorf("Verify: %v", err)
+				}
+				if _, err := res.VerifyCompiled(0); err != nil {
+					t.Errorf("VerifyCompiled: %v", err)
 				}
 				if res.Samples == 0 || res.TraceInsts == 0 {
 					t.Errorf("implausible stats: %d samples, %d trace insts", res.Samples, res.TraceInsts)
@@ -121,6 +126,131 @@ func TestLiftedKernelOnFreshInput(t *testing.T) {
 			if !bytes.Equal(got, want) {
 				t.Errorf("lifted kernel does not generalize to a fresh input")
 			}
+			// The compiled backend must generalize identically, on the
+			// fused backing and through the parallel driver alike.
+			ck, err := kernel.Compile()
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			fsrc := fres.MaterializeInput()
+			cgot, err := ck.Eval(fsrc)
+			if err != nil {
+				t.Fatalf("compiled Eval: %v", err)
+			}
+			if !bytes.Equal(cgot, want) {
+				t.Errorf("compiled kernel does not generalize to a fresh input")
+			}
+			pgot, err := ck.EvalParallel(fsrc, 0)
+			if err != nil {
+				t.Fatalf("compiled EvalParallel: %v", err)
+			}
+			if !bytes.Equal(pgot, want) {
+				t.Errorf("parallel compiled kernel does not generalize to a fresh input")
+			}
+		})
+	}
+}
+
+// TestMaterializeInputCrossChannel pins the fallback for cross-channel
+// taps: an interleaved kernel whose tap steps outside a pixel's own
+// samples cannot be represented by a concrete Interleaved backing (the
+// last channel would index past it), so MaterializeInput must hand back
+// the dump-backed source — and evaluation must agree either way.
+func TestMaterializeInputCrossChannel(t *testing.T) {
+	dump := trace.NewMemDump(4096)
+	page := make([]byte, 4096)
+	for i := range page {
+		page[i] = byte(i*7 + 3)
+	}
+	dump.Pages[0x1000] = page
+	mk := func(dc int) *lift.Result {
+		tree := ir.Load(0, 0, dc)
+		return &lift.Result{
+			Dump: dump,
+			Bufs: &lift.Buffers{In: lift.InputDesc{Base: 0x1100, Stride: 16, Channels: 3, Interleaved: true}},
+			Kernel: &ir.Kernel{Name: "xchan", OutWidth: 3, OutHeight: 2, Channels: 3,
+				Trees: []*ir.Expr{tree, tree.Clone(), tree.Clone()}},
+		}
+	}
+
+	res := mk(1)
+	src := res.MaterializeInput()
+	if _, fused := src.(ir.InterleavedSource); fused {
+		t.Fatal("cross-channel tap must not materialize a fused interleaved backing")
+	}
+	want, err := res.Kernel.Eval(res.InputSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := res.Kernel.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ck.Eval(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("compiled eval over the fallback source differs from the interpreter")
+	}
+
+	// Channel-local taps still get the fused backing.
+	if _, fused := mk(0).MaterializeInput().(ir.InterleavedSource); !fused {
+		t.Error("channel-local taps should materialize a fused interleaved backing")
+	}
+}
+
+// traceFor runs the front half of the pipeline (localize, trace,
+// reconstruct) so extraction can be exercised directly.
+func traceFor(t testing.TB, k legacy.Kernel, cfg legacy.Config) (lift.Target, *lift.Localization, *vm.TraceResult, *lift.Buffers) {
+	inst := k.Instantiate(cfg)
+	tgt := target(inst)
+	loc, err := lift.Localize(tgt)
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	m := vm.NewMachine(tgt.Prog)
+	tgt.Setup(m, true)
+	tres, err := m.RunTrace(vm.TraceOptions{FilterEntry: loc.FilterEntry})
+	if err != nil {
+		t.Fatalf("RunTrace: %v", err)
+	}
+	bufs, err := lift.ReconstructBuffers(tgt.Known, loc.MemTrace, tres.Dump)
+	if err != nil {
+		t.Fatalf("ReconstructBuffers: %v", err)
+	}
+	return tgt, loc, tres, bufs
+}
+
+// TestExtractWorkersDeterministic checks that the parallel extraction is
+// oblivious to the worker count: every sample tree lands at the same
+// position with the same canonical structure.
+func TestExtractWorkersDeterministic(t *testing.T) {
+	for _, k := range legacy.Kernels() {
+		t.Run(k.Name, func(t *testing.T) {
+			tgt, _, tres, bufs := traceFor(t, k, liftConfigs[0])
+			serial, err := lift.ExtractWorkers(tres.Trace, tgt.Prog, bufs, 1)
+			if err != nil {
+				t.Fatalf("ExtractWorkers(1): %v", err)
+			}
+			for _, workers := range []int{2, 3, 8} {
+				par, err := lift.ExtractWorkers(tres.Trace, tgt.Prog, bufs, workers)
+				if err != nil {
+					t.Fatalf("ExtractWorkers(%d): %v", workers, err)
+				}
+				if len(par) != len(serial) {
+					t.Fatalf("ExtractWorkers(%d) returned %d trees, serial %d", workers, len(par), len(serial))
+				}
+				for i := range par {
+					if par[i].X != serial[i].X || par[i].Y != serial[i].Y || par[i].C != serial[i].C {
+						t.Fatalf("tree %d at (%d,%d,%d), serial (%d,%d,%d)", i,
+							par[i].X, par[i].Y, par[i].C, serial[i].X, serial[i].Y, serial[i].C)
+					}
+					if par[i].Expr.Key() != serial[i].Expr.Key() {
+						t.Fatalf("tree %d differs between %d workers and serial", i, workers)
+					}
+				}
+			}
 		})
 	}
 }
@@ -152,6 +282,82 @@ func BenchmarkIREvalBoxBlur(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := res.Kernel.Eval(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIREvalBoxBlurPlane is the interpreter over the materialized
+// plane backing — the honest tree-walking baseline for the compiled
+// backend (no dump page lookups on either side).
+func BenchmarkIREvalBoxBlurPlane(b *testing.B) {
+	k, _ := legacy.Lookup("boxblur3")
+	inst := k.Instantiate(legacy.Config{Width: 64, Height: 64, Seed: 3})
+	res, err := lift.Lift(k.Name, target(inst))
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := res.MaterializeInput()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := res.Kernel.Eval(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiledEvalBoxBlur measures the compiled register program over
+// the same image, single-threaded with fused load addressing.
+func BenchmarkCompiledEvalBoxBlur(b *testing.B) {
+	k, _ := legacy.Lookup("boxblur3")
+	inst := k.Instantiate(legacy.Config{Width: 64, Height: 64, Seed: 3})
+	res, err := lift.Lift(k.Name, target(inst))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ck, err := res.Kernel.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := ck.NewExecutor(res.MaterializeInput())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Eval(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiledParallelBoxBlur measures the row-strip parallel driver;
+// run with -cpu 1,2,4 to see the scaling.
+func BenchmarkCompiledParallelBoxBlur(b *testing.B) {
+	k, _ := legacy.Lookup("boxblur3")
+	inst := k.Instantiate(legacy.Config{Width: 256, Height: 256, Seed: 3})
+	res, err := lift.Lift(k.Name, target(inst))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ck, err := res.Kernel.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := res.MaterializeInput()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ck.EvalParallel(src, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtract measures expression extraction alone; the worker pool
+// follows GOMAXPROCS, so -cpu 1,2,4 shows the multi-core speedup.
+func BenchmarkExtract(b *testing.B) {
+	k, _ := legacy.Lookup("boxblur3")
+	tgt, _, tres, bufs := traceFor(b, k, legacy.Config{Width: 32, Height: 16, Seed: 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lift.ExtractWorkers(tres.Trace, tgt.Prog, bufs, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -256,6 +256,16 @@ func (t *InstTrace) BuildWriteIndex() {
 	}
 }
 
+// EnsureWriteIndex builds the write index only if it has not been built
+// since the last Emit.  Call it before sharing the trace across
+// goroutines: the index itself is read-only once built, but the lazy
+// first build is not.
+func (t *InstTrace) EnsureWriteIndex() {
+	if t.writesAt == nil {
+		t.BuildWriteIndex()
+	}
+}
+
 // LastWriteBefore returns the sequence number of the most recent instruction
 // before seq that wrote any byte in [addr, addr+width), and whether one
 // exists.  When several bytes were last written by different instructions
