@@ -8,44 +8,68 @@
 // Usage:
 //
 //	helium [-kernel name] [-width N] [-height N] [-seed N] [-v]
-//	       [-backend interp|compiled] [-workers N]
-//	helium -bench [-bench-out BENCH_lift.json]
+//	       [-backend interp|compiled|generated] [-workers N]
+//	helium -bench [-bench-out BENCH_lift.json] [-cpuprofile f] [-memprofile f]
+//	helium gen [-out dir] [-check]
 //
 // With no -kernel, every corpus kernel is lifted.  The default backend
 // compiles the lifted trees to register programs and evaluates them both
-// serially and with the parallel row-strip driver; -backend interp selects
-// the tree-walking evaluator.  Either way the output is compared byte for
-// byte with what the legacy binary wrote.  -bench times VM emulation
-// against both backends over the corpus and writes a machine-readable
-// JSON report.  The exit status is nonzero if anything fails to lift or
-// verify.
+// serially and with the cache-blocked parallel driver; -backend interp
+// selects the tree-walking evaluator and -backend generated the
+// ahead-of-time Go code in internal/liftedkernels.  Either way the output
+// is compared byte for byte with what the legacy binary wrote.
+//
+// -bench times VM emulation against all execution backends over the
+// corpus and writes a machine-readable JSON report.
+//
+// The gen subcommand regenerates the internal/liftedkernels package from
+// the corpus (true ahead-of-time codegen); -check verifies the checked-in
+// package is up to date instead of writing, for CI.
+//
+// The exit status is nonzero if anything fails to lift, verify or
+// regenerate cleanly.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
+	"helium/internal/ir"
 	"helium/internal/legacy"
 	"helium/internal/lift"
+	"helium/internal/liftedkernels"
 	"helium/internal/vm"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "gen" {
+		if err := runGen(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "helium: gen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var (
 		kernelName = flag.String("kernel", "", "lift a single corpus kernel (default: all)")
 		width      = flag.Int("width", 40, "image width in pixels")
 		height     = flag.Int("height", 24, "image height in pixels")
 		seed       = flag.Uint64("seed", 1, "deterministic input pattern seed")
-		backend    = flag.String("backend", "compiled", "evaluation backend: interp or compiled")
+		backend    = flag.String("backend", "compiled", "evaluation backend: interp, compiled or generated")
 		workers    = flag.Int("workers", 0, "parallel eval workers (0 = GOMAXPROCS)")
 		verbose    = flag.Bool("v", false, "print localization and buffer details")
 		list       = flag.Bool("list", false, "list the corpus kernels and exit")
-		bench      = flag.Bool("bench", false, "benchmark VM vs interp vs compiled over the corpus")
+		bench      = flag.Bool("bench", false, "benchmark VM vs all evaluation backends over the corpus")
 		benchOut   = flag.String("bench-out", "BENCH_lift.json", "benchmark report path (with -bench)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the bench run to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile after the bench run to this file")
 	)
 	flag.Parse()
 
@@ -55,8 +79,14 @@ func main() {
 		}
 		return
 	}
-	if *backend != "interp" && *backend != "compiled" {
-		fmt.Fprintf(os.Stderr, "helium: unknown backend %q (interp or compiled)\n", *backend)
+	switch *backend {
+	case "interp", "compiled", "generated":
+	default:
+		fmt.Fprintf(os.Stderr, "helium: unknown backend %q (interp, compiled or generated)\n", *backend)
+		os.Exit(2)
+	}
+	if (*cpuProf != "" || *memProf != "") && !*bench {
+		fmt.Fprintf(os.Stderr, "helium: -cpuprofile/-memprofile only apply to -bench runs\n")
 		os.Exit(2)
 	}
 
@@ -79,7 +109,7 @@ func main() {
 
 	cfg := legacy.Config{Width: *width, Height: *height, Seed: *seed}
 	if *bench {
-		if err := runBench(kernels, cfg, *workers, *benchOut); err != nil {
+		if err := runBench(kernels, cfg, *workers, *benchOut, *cpuProf, *memProf); err != nil {
 			fmt.Fprintf(os.Stderr, "helium: bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -110,6 +140,45 @@ func target(inst *legacy.Instance) lift.Target {
 			Interior:    inst.InputInterior,
 		},
 	}
+}
+
+// genImage maps a concrete evaluator source onto the generated package's
+// flat Image geometry.
+func genImage(src ir.Source) (*liftedkernels.Image, bool) {
+	switch s := src.(type) {
+	case ir.PlaneSource:
+		pix, base, stride := s.P.Flat()
+		return &liftedkernels.Image{Pix: pix, Base: base, Stride: stride, PixStep: 1}, true
+	case ir.InterleavedSource:
+		pix, base, stride, pixStep := s.Im.Flat()
+		return &liftedkernels.Image{Pix: pix, Base: base, Stride: stride, PixStep: pixStep, ChanStep: 1}, true
+	}
+	return nil, false
+}
+
+// evalGenerated renders a lifted kernel through the checked-in generated
+// package and verifies it against the legacy binary's own output.
+func evalGenerated(res *lift.Result) (*liftedkernels.Kernel, []byte, error) {
+	gk, ok := liftedkernels.Lookup(res.Kernel.Name)
+	if !ok {
+		return nil, nil, fmt.Errorf("kernel %q is not in internal/liftedkernels (run `helium gen`)", res.Kernel.Name)
+	}
+	img, ok := genImage(res.MaterializeInput())
+	if !ok {
+		return nil, nil, fmt.Errorf("kernel %q input cannot be materialized as a flat image", res.Kernel.Name)
+	}
+	out, err := gk.Eval(img, res.Kernel.OutWidth, res.Kernel.OutHeight)
+	if err != nil {
+		return nil, nil, fmt.Errorf("generated eval: %w", err)
+	}
+	want, err := res.VMOutput()
+	if err != nil {
+		return nil, nil, err
+	}
+	if !bytes.Equal(out, want) {
+		return nil, nil, fmt.Errorf("generated code output differs from the VM's (stale internal/liftedkernels? run `helium gen`)")
+	}
+	return gk, out, nil
 }
 
 func run(k legacy.Kernel, cfg legacy.Config, backend string, workers int, verbose bool) error {
@@ -146,18 +215,99 @@ func run(k legacy.Kernel, cfg legacy.Config, backend string, workers int, verbos
 		}
 		if verbose {
 			insts, consts, loads := 0, 0, 0
+			lanes := make([]int, 0, len(ck.Progs))
 			for _, p := range ck.Progs {
 				insts += p.NumInsts()
 				consts += p.NumConsts()
 				loads += p.NumLoads()
+				lanes = append(lanes, p.LaneBits())
 			}
-			fmt.Printf("compiled: %d instruction(s), %d pooled constant(s), %d tap(s) across %d channel program(s)\n",
-				insts, consts, loads, len(ck.Progs))
+			fmt.Printf("compiled: %d instruction(s), %d pooled constant(s), %d tap(s) across %d channel program(s), lane bits %v\n",
+				insts, consts, loads, len(ck.Progs), lanes)
 		}
 		fmt.Printf("verified: %d samples pixel-exact (compiled backend, serial + %d workers)\n\n",
 			res.Samples, ck.Workers(workers))
+	case "generated":
+		gk, _, err := evalGenerated(res)
+		if err != nil {
+			return err
+		}
+		if verbose {
+			fmt.Printf("generated: package liftedkernels kernel %s, lane bits %v\n", gk.Name, gk.LaneBits)
+		}
+		fmt.Printf("verified: %d samples pixel-exact (generated Go backend)\n\n", res.Samples)
 	}
 	return nil
+}
+
+// runGen regenerates (or, with -check, verifies) the ahead-of-time
+// compiled kernel package from the lifted corpus.
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var (
+		out    = fs.String("out", filepath.Join("internal", "liftedkernels"), "output package directory")
+		check  = fs.Bool("check", false, "verify the checked-in package matches instead of writing")
+		width  = fs.Int("width", 40, "image width the corpus is lifted at")
+		height = fs.Int("height", 24, "image height the corpus is lifted at")
+		seed   = fs.Uint64("seed", 1, "deterministic input pattern seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	files, err := GenerateCorpusPackage(legacy.Config{Width: *width, Height: *height, Seed: *seed})
+	if err != nil {
+		return err
+	}
+
+	if *check {
+		for name, want := range files {
+			path := filepath.Join(*out, name)
+			got, err := os.ReadFile(path)
+			if err != nil {
+				return fmt.Errorf("%s: %w (run `helium gen` and commit the result)", path, err)
+			}
+			if !bytes.Equal(got, []byte(want)) {
+				return fmt.Errorf("%s is stale: run `helium gen` and commit the result", path)
+			}
+		}
+		fmt.Printf("gen: %d file(s) in %s are up to date\n", len(files), *out)
+		return nil
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	for name, content := range files {
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("gen: wrote %s (%d bytes)\n", path, len(content))
+	}
+	return nil
+}
+
+// GenerateCorpusPackage lifts every corpus kernel at the given config and
+// renders the liftedkernels package sources: file name -> content.
+func GenerateCorpusPackage(cfg legacy.Config) (map[string]string, error) {
+	var kernels []*ir.Kernel
+	for _, k := range legacy.Kernels() {
+		inst := k.Instantiate(cfg)
+		res, err := lift.Lift(k.Name, target(inst))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", k.Name, err)
+		}
+		kernels = append(kernels, res.Kernel)
+	}
+	src, err := ir.Generate("liftedkernels", kernels)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]string{
+		"runtime.go": ir.GenerateRuntime("liftedkernels"),
+		"kernels.go": src,
+	}, nil
 }
 
 // benchEntry is one kernel's timing row in the JSON report.
@@ -177,6 +327,12 @@ type benchReport struct {
 	Workers  int          `json:"workers"`
 	Kernels  []benchEntry `json:"kernels"`
 }
+
+// benchBackends is the timing matrix, in report order: VM emulation, the
+// tree-walking interpreter, the serial row-vectorized register executor,
+// the cache-blocked tiled parallel driver, and the ahead-of-time generated
+// Go code (single-threaded).
+var benchBackends = []string{"vm", "interp", "compiled", "compiled-tiled", "generated"}
 
 // timeIt measures fn's steady-state nanoseconds per call: at least three
 // iterations and at least ~40ms of wall time.
@@ -199,11 +355,23 @@ func timeIt(fn func() error) (float64, error) {
 	return float64(time.Since(start).Nanoseconds()) / float64(iters), nil
 }
 
-// runBench lifts each kernel once, verifies both backends, then times VM
-// emulation, the tree-walking interpreter and the compiled backend (serial
-// and parallel) over the same image, writing ns-per-sample per kernel per
-// backend to the JSON report.
-func runBench(kernels []legacy.Kernel, cfg legacy.Config, workers int, outPath string) error {
+// runBench lifts each kernel once, verifies every backend, then times VM
+// emulation, the tree-walking interpreter, the compiled backend (serial
+// and cache-blocked parallel) and the generated Go code over the same
+// image, writing ns-per-sample per kernel per backend to the JSON report.
+func runBench(kernels []legacy.Kernel, cfg legacy.Config, workers int, outPath, cpuProf, memProf string) error {
+	if cpuProf != "" {
+		f, err := os.Create(cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	report := benchReport{
 		Config:   cfg.String(),
 		MaxProcs: runtime.GOMAXPROCS(0),
@@ -221,8 +389,14 @@ func runBench(kernels []legacy.Kernel, cfg legacy.Config, workers int, outPath s
 		if err != nil {
 			return fmt.Errorf("%s: %w", k.Name, err)
 		}
+		gk, _, err := evalGenerated(res)
+		if err != nil {
+			return fmt.Errorf("%s: %w", k.Name, err)
+		}
 		src := res.MaterializeInput()
-		samples := res.Kernel.OutWidth * res.Kernel.OutHeight * res.Kernel.Channels
+		img, _ := genImage(src)
+		outW, outH := res.Kernel.OutWidth, res.Kernel.OutHeight
+		samples := outW * outH * res.Kernel.Channels
 		report.Workers = ck.Workers(workers)
 
 		m := vm.NewMachine(inst.Prog)
@@ -239,8 +413,12 @@ func runBench(kernels []legacy.Kernel, cfg legacy.Config, workers int, outPath s
 				_, err := ck.Eval(src)
 				return err
 			},
-			"compiled-parallel": func() error {
+			"compiled-tiled": func() error {
 				_, err := ck.EvalParallel(src, workers)
+				return err
+			},
+			"generated": func() error {
+				_, err := gk.Eval(img, outW, outH)
 				return err
 			},
 		}
@@ -252,7 +430,7 @@ func runBench(kernels []legacy.Kernel, cfg legacy.Config, workers int, outPath s
 			NsPerSample: make(map[string]float64),
 			Speedup:     make(map[string]float64),
 		}
-		for _, name := range []string{"vm", "interp", "compiled", "compiled-parallel"} {
+		for _, name := range benchBackends {
 			ns, err := timeIt(runs[name])
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", k.Name, name, err)
@@ -266,11 +444,13 @@ func runBench(kernels []legacy.Kernel, cfg legacy.Config, workers int, outPath s
 			}
 		}
 		report.Kernels = append(report.Kernels, entry)
-		fmt.Printf("%-10s %7d samples   vm %9.1f   interp %7.2f   compiled %6.2f   parallel %6.2f  ns/sample  (compiled %0.1fx)\n",
+		fmt.Printf("%-10s %7d samples   vm %9.1f   interp %7.2f   compiled %6.2f   tiled %6.2f   generated %6.2f  ns/sample  (generated %0.1fx interp, %0.1fx compiled)\n",
 			k.Name, samples,
 			entry.NsPerSample["vm"], entry.NsPerSample["interp"],
-			entry.NsPerSample["compiled"], entry.NsPerSample["compiled-parallel"],
-			entry.Speedup["compiled"])
+			entry.NsPerSample["compiled"], entry.NsPerSample["compiled-tiled"],
+			entry.NsPerSample["generated"],
+			entry.Speedup["generated"],
+			entry.NsPerSample["compiled"]/entry.NsPerSample["generated"])
 	}
 
 	data, err := json.MarshalIndent(&report, "", "  ")
@@ -282,5 +462,17 @@ func runBench(kernels []legacy.Kernel, cfg legacy.Config, workers int, outPath s
 		return err
 	}
 	fmt.Printf("wrote %s\n", outPath)
+
+	if memProf != "" {
+		f, err := os.Create(memProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
 	return nil
 }

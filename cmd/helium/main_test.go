@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"helium/internal/legacy"
+)
+
+// repoRoot locates the repository root relative to this package.
+func repoRoot() string { return filepath.Join("..", "..") }
+
+// TestBenchBaselineCoversCorpus asserts the committed benchmark baseline
+// parses, covers every corpus kernel with every backend, and preserves the
+// headline property of the source backend: generated Go beats the
+// row-vectorized register executor single-threaded on every kernel.
+func TestBenchBaselineCoversCorpus(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join(repoRoot(), "BENCH_lift.json"))
+	if err != nil {
+		t.Fatalf("committed benchmark baseline missing: %v (run `helium -bench -bench-out BENCH_lift.json`)", err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_lift.json does not parse: %v", err)
+	}
+	if report.Config == "" || report.MaxProcs < 1 || report.Workers < 1 {
+		t.Fatalf("BENCH_lift.json header incomplete: %+v", report)
+	}
+	byName := map[string]benchEntry{}
+	for _, e := range report.Kernels {
+		byName[e.Kernel] = e
+	}
+	for _, k := range legacy.Kernels() {
+		e, ok := byName[k.Name]
+		if !ok {
+			t.Errorf("baseline is missing corpus kernel %q", k.Name)
+			continue
+		}
+		if e.Samples <= 0 {
+			t.Errorf("%s: nonpositive sample count %d", k.Name, e.Samples)
+		}
+		for _, backend := range benchBackends {
+			ns, ok := e.NsPerSample[backend]
+			if !ok || ns <= 0 {
+				t.Errorf("%s: backend %q missing or nonpositive in baseline", k.Name, backend)
+			}
+		}
+		if gen, comp := e.NsPerSample["generated"], e.NsPerSample["compiled"]; gen >= comp {
+			t.Errorf("%s: generated backend (%.2f ns/sample) does not beat the register executor (%.2f ns/sample)",
+				k.Name, gen, comp)
+		}
+	}
+	if len(byName) != len(legacy.Kernels()) {
+		t.Errorf("baseline holds %d kernels, corpus has %d", len(byName), len(legacy.Kernels()))
+	}
+}
+
+// TestGeneratedPackageUpToDate regenerates the liftedkernels sources
+// in-memory and diffs them against the checked-in files, so any drift
+// between the lifting pipeline and the committed generated code fails
+// tier-1 — not just the CI gen-check job.
+func TestGeneratedPackageUpToDate(t *testing.T) {
+	files, err := GenerateCorpusPackage(legacy.Config{Width: 40, Height: 24, Seed: 1})
+	if err != nil {
+		t.Fatalf("GenerateCorpusPackage: %v", err)
+	}
+	for name, want := range files {
+		path := filepath.Join(repoRoot(), "internal", "liftedkernels", name)
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run `helium gen` and commit the result)", path, err)
+		}
+		if string(got) != want {
+			t.Errorf("%s is stale: run `helium gen` and commit the result", path)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package ir
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGenerateDeterministic pins byte-identical output across runs — the
+// gen-and-diff CI job depends on it.
+func TestGenerateDeterministic(t *testing.T) {
+	r := testRNG(3)
+	g := &treeGen{r: &r}
+	var ks []*Kernel
+	for i := 0; i < 5; i++ {
+		ks = append(ks, &Kernel{Name: fmt.Sprintf("det%d", i), OutWidth: 6, OutHeight: 4,
+			Channels: 1, OriginX: 1, OriginY: 1, Trees: []*Expr{g.intExpr(4)}})
+	}
+	a, err := Generate("liftedkernels", ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("liftedkernels", ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Generate is nondeterministic")
+	}
+	if GenerateRuntime("liftedkernels") != GenerateRuntime("liftedkernels") {
+		t.Fatal("GenerateRuntime is nondeterministic")
+	}
+}
+
+// TestGenerateRejectsDuplicateNames pins the one structural error Generate
+// owns.
+func TestGenerateRejectsDuplicateNames(t *testing.T) {
+	k := &Kernel{Name: "dup", OutWidth: 1, OutHeight: 1, Channels: 1, Trees: []*Expr{Load(0, 0, 0)}}
+	if _, err := Generate("p", []*Kernel{k, k}); err == nil {
+		t.Fatal("Generate must reject duplicate kernel names")
+	}
+}
+
+// genHarness materializes a module holding the generated package plus a
+// main that evaluates every kernel against the embedded differential plane
+// and prints one tab-separated line per kernel: name, OK/ERR, hex output
+// or error text.
+func genHarness(t *testing.T, dir, kernelsSrc string, outW, outH int) {
+	t.Helper()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module gentest\n\ngo 1.24\n")
+	write("lk/runtime.go", GenerateRuntime("liftedkernels"))
+	write("lk/kernels.go", kernelsSrc)
+
+	plane := diffPlane()
+	pix, base, stride := plane.Flat()
+	var b strings.Builder
+	b.WriteString("package main\n\nimport (\n\t\"fmt\"\n\t\"encoding/hex\"\n\n\tlk \"gentest/lk\"\n)\n\n")
+	fmt.Fprintf(&b, "var pix = []byte{")
+	for i, v := range pix {
+		if i%16 == 0 {
+			b.WriteString("\n\t")
+		}
+		fmt.Fprintf(&b, "%#04x, ", v)
+	}
+	b.WriteString("\n}\n\n")
+	fmt.Fprintf(&b, `func main() {
+	img := &lk.Image{Pix: pix, Base: %d, Stride: %d, PixStep: 1, ChanStep: 0}
+	for _, k := range lk.Kernels() {
+		out, err := k.Eval(img, %d, %d)
+		if err != nil {
+			fmt.Printf("%%s\tERR\t%%s\n", k.Name, err)
+		} else {
+			fmt.Printf("%%s\tOK\t%%s\n", k.Name, hex.EncodeToString(out))
+		}
+	}
+}
+`, base, stride, outW, outH)
+	write("main.go", b.String())
+}
+
+// runHarness compiles and runs the generated module with the real Go
+// toolchain and parses its per-kernel results.
+func runHarness(t *testing.T, dir string) map[string][2]string {
+	t.Helper()
+	cmd := exec.Command("go", "run", ".")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=-mod=mod")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go run generated harness: %v\nstderr:\n%s", err, stderr.String())
+	}
+	results := map[string][2]string{}
+	for _, line := range strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n") {
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			t.Fatalf("malformed harness line %q", line)
+		}
+		results[parts[0]] = [2]string{parts[1], parts[2]}
+	}
+	return results
+}
+
+// TestGeneratedCodeDifferential is the acceptance test of the source
+// backend: it generates Go for a mixed corpus of random kernels (the broad
+// generator, the narrow lane-friendly generator, and the canonical boxblur
+// stencil), compiles the result with the real toolchain, runs it, and
+// demands bit-exact agreement — values, error positions and error
+// messages — with both the interpreter and the register executor.
+func TestGeneratedCodeDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles generated code with the go toolchain")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+
+	const outW, outH = 6, 4
+	plane := diffPlane()
+	src := PlaneSource{P: plane}
+
+	var kernels []*Kernel
+	addTree := func(name string, tree *Expr) {
+		kernels = append(kernels, &Kernel{Name: name, OutWidth: outW, OutHeight: outH,
+			Channels: 1, OriginX: 1, OriginY: 1, Trees: []*Expr{tree}})
+	}
+	// The canonical boxblur stencil, the corpus shape codegen must win on.
+	taps := make([]*Expr, 0, 10)
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			taps = append(taps, &Expr{Op: OpZExt, Width: 4, SrcWidth: 1, Args: []*Expr{Load(dx, dy, 0)}})
+		}
+	}
+	taps = append(taps, Const(4))
+	addTree("boxref", Bin(OpDiv, 4, &Expr{Op: OpAdd, Width: 4, Args: taps}, Const(9)))
+
+	for i := 0; i < 80; i++ {
+		r := testRNG(uint64(i)*131 + 7)
+		g := &treeGen{r: &r}
+		if i%4 == 3 {
+			addTree(fmt.Sprintf("gf%03d", i), g.floatExpr(4))
+		} else {
+			addTree(fmt.Sprintf("gi%03d", i), g.intExpr(4))
+		}
+	}
+	for i := 0; i < 40; i++ {
+		r := testRNG(uint64(i)*977 + 5)
+		g := &narrowTreeGen{r: &r}
+		addTree(fmt.Sprintf("gn%03d", i), g.expr(3))
+	}
+	if len(kernels) < 100 {
+		t.Fatalf("differential corpus has %d kernels, want >= 100", len(kernels))
+	}
+
+	srcCode, err := Generate("liftedkernels", kernels)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	dir := t.TempDir()
+	genHarness(t, dir, srcCode, outW, outH)
+	results := runHarness(t, dir)
+
+	values, faults := 0, 0
+	for _, k := range kernels {
+		got, ok := results[k.Name]
+		if !ok {
+			t.Fatalf("kernel %s missing from harness output", k.Name)
+		}
+		want, werr := k.Eval(src)
+		ck, err := k.Compile()
+		if err != nil {
+			t.Fatalf("%s: Compile: %v", k.Name, err)
+		}
+		cgot, cerr := ck.Eval(src)
+		if werr != nil {
+			faults++
+			if cerr == nil || cerr.Error() != werr.Error() {
+				t.Fatalf("%s: register backend error %v, interpreter %v", k.Name, cerr, werr)
+			}
+			if got[0] != "ERR" {
+				t.Errorf("%s: generated code returned a value, interpreter errors with %v", k.Name, werr)
+				continue
+			}
+			if got[1] != werr.Error() {
+				t.Errorf("%s: generated error %q, want %q", k.Name, got[1], werr)
+			}
+			continue
+		}
+		values++
+		if cerr != nil || !bytes.Equal(cgot, want) {
+			t.Fatalf("%s: register backend disagrees with interpreter", k.Name)
+		}
+		if got[0] != "OK" {
+			t.Errorf("%s: generated code errored %q, interpreter succeeds", k.Name, got[1])
+			continue
+		}
+		if got[1] != hex.EncodeToString(want) {
+			t.Errorf("%s: generated output %s, want %s\ntree: %s", k.Name, got[1], hex.EncodeToString(want), k.Trees[0])
+		}
+	}
+	if values < 40 || faults < 5 {
+		t.Fatalf("differential corpus is unbalanced: %d value kernels, %d faulting kernels", values, faults)
+	}
+	t.Logf("generated-code differential: %d kernels (%d values, %d faults) bit-exact", len(kernels), values, faults)
+}

@@ -80,7 +80,56 @@ func CompileExpr(e *Expr) (*Program, error) {
 		in.dst = c.fix(in.dst)
 		finalize(in)
 	}
+	markLiveness(p)
+	p.width = inferWidths(p)
 	return p, nil
+}
+
+// markLiveness flags pure instructions whose value is never consumed —
+// leftovers of the interpreter-exact domain coercions (a float subtree
+// consumed as an integer reads as zero, so the float computation is dead).
+// Fault-capable instructions (division, modulo, table lookups, fused
+// loads) stay live: their runtime checks are observable, and the operands
+// those checks read stay live with them.
+func markLiveness(p *Program) {
+	nc := int32(len(p.consts))
+	live := make([]bool, len(p.insts))
+	mark := func(id int32) {
+		if id >= nc {
+			live[id-nc] = true
+		}
+	}
+	mark(p.root)
+	for i := len(p.insts) - 1; i >= 0; i-- {
+		in := &p.insts[i]
+		if live[i] {
+			for _, r := range operands(in) {
+				mark(r)
+			}
+			continue
+		}
+		switch in.op {
+		case OpDiv, OpMod:
+			mark(in.b) // the zero check reads the divisor
+		case OpTable:
+			mark(in.a) // the range check reads the index
+		}
+	}
+	for i := range p.insts {
+		if live[i] {
+			continue
+		}
+		switch in := &p.insts[i]; in.op {
+		case OpDiv, OpMod, OpTable, OpLoad:
+			// Fault-capable: keeps executing for its checks.
+		case opSumTaps:
+			if len(in.taps) == 0 {
+				in.dead = true
+			}
+		default:
+			in.dead = true
+		}
+	}
 }
 
 // finalize precomputes the executor's mask and sign-extension shift from
@@ -241,6 +290,61 @@ func (c *compiler) exprID(e *Expr) int32 {
 	return id
 }
 
+// foldArity gives the exact operand count of the ops the generic
+// constant-folding path may evaluate; ops with flexible arity fold in
+// their own lowering branches.
+var foldArity = map[Op]int{
+	OpSub: 2, OpMulHi: 2, OpShl: 2, OpShr: 2, OpSar: 2,
+	OpNot: 1, OpNeg: 1, OpZExt: 1, OpSExt: 1, OpExtract: 1,
+	OpSelect: 3, OpIntToFP: 1, OpFPToInt: 1,
+	OpFAdd: 2, OpFSub: 2, OpFMul: 2, OpFDiv: 2, OpCall: 1,
+}
+
+// constVal recovers the interpreter value of a constant reference.
+func (c *compiler) constVal(r cref) value {
+	bits := c.consts[^r.id]
+	if r.float {
+		return value{f: math.Float64frombits(bits), fl: true}
+	}
+	return value{i: bits}
+}
+
+// foldRefs evaluates a pure operation whose operands all lowered to pool
+// constants, with the interpreter's own apply so the semantics (masking,
+// domain mixing, rounding) are identical by construction.  Division,
+// modulo and table lookups are never folded: their runtime faults must
+// keep happening at runtime.
+func (c *compiler) foldRefs(e *Expr, args []cref) (cref, bool) {
+	arity, ok := foldArity[e.Op]
+	if !ok || arity != len(args) {
+		return cref{}, false
+	}
+	if e.Op == OpSelect && args[1].float != args[2].float {
+		// Mixed-domain arms are a compile error, not a foldable value.
+		return cref{}, false
+	}
+	if e.Op == OpCall {
+		if _, ok := KnownCalls[e.Sym]; !ok {
+			return cref{}, false
+		}
+	}
+	vals := make([]value, len(args))
+	for i, r := range args {
+		if r.id >= 0 {
+			return cref{}, false
+		}
+		vals[i] = c.constVal(r)
+	}
+	v, err := e.apply(vals)
+	if err != nil {
+		return cref{}, false
+	}
+	if v.fl {
+		return c.constRef(math.Float64bits(v.f), true), true
+	}
+	return c.constRef(v.i, false), true
+}
+
 func (c *compiler) lowerOp(e *Expr) (cref, error) {
 	w := uint8(e.Width)
 
@@ -274,8 +378,18 @@ func (c *compiler) lowerOp(e *Expr) (cref, error) {
 				if err != nil {
 					return cref{}, err
 				}
-				regArgs = append(regArgs, c.asInt(r).id)
+				// Operands that folded to constants merge into the bias
+				// instead of burning a register add per sample.
+				if id := c.asInt(r).id; id < 0 {
+					bias += c.consts[^id]
+				} else {
+					regArgs = append(regArgs, id)
+				}
 			}
+		}
+		if len(taps) == 0 && len(regArgs) == 0 {
+			// Every operand was a compile-time constant: the sum is one.
+			return c.constRef(maskW(bias, e.Width), false), nil
 		}
 		return c.emit(pinst{op: opSumTaps, width: w, val: int64(bias), taps: taps, args: regArgs}), nil
 
@@ -284,13 +398,28 @@ func (c *compiler) lowerOp(e *Expr) (cref, error) {
 			return cref{}, fmt.Errorf("ir: compile: %v with no operands", e.Op)
 		}
 		nary := map[Op]Op{OpMul: opMulN, OpAnd: opAndN, OpOr: opOrN, OpXor: opXorN, OpMin: opMinN, OpMax: opMaxN}
+		refs := make([]cref, len(e.Args))
 		regArgs := make([]int32, len(e.Args))
+		allConst := true
 		for i, a := range e.Args {
 			r, err := c.lower(a)
 			if err != nil {
 				return cref{}, err
 			}
+			refs[i] = r
 			regArgs[i] = c.asInt(r).id
+			if regArgs[i] >= 0 {
+				allConst = false
+			}
+		}
+		if allConst {
+			vals := make([]value, len(refs))
+			for i, r := range refs {
+				vals[i] = c.constVal(r)
+			}
+			if v, err := e.apply(vals); err == nil {
+				return c.constRef(v.i, false), nil
+			}
 		}
 		return c.emit(pinst{op: nary[e.Op], width: w, args: regArgs}), nil
 
@@ -322,6 +451,10 @@ func (c *compiler) lowerOp(e *Expr) (cref, error) {
 			return cref{}, err
 		}
 		args[i] = r
+	}
+
+	if r, ok := c.foldRefs(e, args); ok {
+		return r, nil
 	}
 
 	switch e.Op {
@@ -356,7 +489,7 @@ func (c *compiler) lowerOp(e *Expr) (cref, error) {
 		if args[1].float != args[2].float {
 			return cref{}, fmt.Errorf("ir: compile: select arms have mixed integer/float domains")
 		}
-		r := c.emit(pinst{op: OpSelect, a: c.asInt(args[0]).id, b: args[1].id, c: args[2].id})
+		r := c.emit(pinst{op: OpSelect, fl: args[1].float, a: c.asInt(args[0]).id, b: args[1].id, c: args[2].id})
 		r.float = args[1].float
 		return r, nil
 
@@ -395,7 +528,7 @@ func (c *compiler) lowerOp(e *Expr) (cref, error) {
 		if !ok {
 			return cref{}, fmt.Errorf("ir: compile: unknown library call %q", e.Sym)
 		}
-		return c.emit(pinst{op: OpCall, fn: fn, a: c.asFloat(args[0]).id}), nil
+		return c.emit(pinst{op: OpCall, fn: fn, sym: e.Sym, a: c.asFloat(args[0]).id}), nil
 	}
 	return cref{}, fmt.Errorf("ir: compile: op %v is not compilable", e.Op)
 }

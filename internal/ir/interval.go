@@ -1,0 +1,144 @@
+// Interval analysis over expression trees.  The lifter's canonicalizer
+// uses it to prove narrowing operations redundant (a zero extension of a
+// value that already fits its source width changes nothing), and the
+// compiler's width-inference pass uses the same facts to narrow register
+// arithmetic to the smallest lane type that provably holds every value —
+// the "interval facts" live here, next to the compiler that consumes them,
+// rather than being recomputed privately by each layer.
+package ir
+
+import "math"
+
+// Interval is a possibly one-sided conservative bound on the signed value
+// of an expression.  One-sided bounds matter for min/max: max(x, 0) has a
+// known lower bound even when x is unbounded.
+type Interval struct {
+	Lo, Hi     int64
+	LoOK, HiOK bool
+}
+
+// Within reports whether the interval is fully bounded inside [lo, hi].
+func (iv Interval) Within(lo, hi int64) bool {
+	return iv.LoOK && iv.HiOK && iv.Lo >= lo && iv.Hi <= hi
+}
+
+// widthMask is the unsigned all-ones value of a byte width (the inclusive
+// upper bound of the width's unsigned range).
+func widthMask(width int) uint64 {
+	return 1<<(8*width) - 1
+}
+
+// Bounds computes a conservative signed interval for e.  Arithmetic rules
+// require fully bounded operands and verify the result stays inside the
+// node width's signed range, so masking cannot have wrapped the value;
+// min/max propagate one-sided bounds.
+func Bounds(e *Expr) Interval {
+	none := Interval{}
+	// full demands both sides and no wrap at the node's width.
+	full := func(lo, hi int64) Interval {
+		if lo > hi {
+			return none
+		}
+		if e.Width > 0 {
+			half := int64(widthMask(e.Width)) >> 1
+			if lo < -half-1 || hi > half {
+				return none
+			}
+		}
+		return Interval{Lo: lo, Hi: hi, LoOK: true, HiOK: true}
+	}
+
+	switch e.Op {
+	case OpLoad:
+		return Interval{Lo: 0, Hi: 255, LoOK: true, HiOK: true}
+	case OpConst:
+		return full(e.Val, e.Val)
+	case OpTable:
+		if e.Elem >= 1 && e.Elem <= 4 {
+			return Interval{Lo: 0, Hi: int64(widthMask(e.Elem)), LoOK: true, HiOK: true}
+		}
+	case OpZExt:
+		if iv := Bounds(e.Args[0]); iv.Within(0, int64(widthMask(e.SrcWidth))) {
+			return iv
+		}
+		return Interval{Lo: 0, Hi: int64(widthMask(e.SrcWidth)), LoOK: true, HiOK: true}
+	case OpExtract:
+		if iv := Bounds(e.Args[0]); e.Val == 0 && iv.Within(0, int64(widthMask(e.Width))) {
+			return iv
+		}
+		return Interval{Lo: 0, Hi: int64(widthMask(e.Width)), LoOK: true, HiOK: true}
+	case OpAdd:
+		lo, hi := int64(0), int64(0)
+		for _, a := range e.Args {
+			iv := Bounds(a)
+			if !iv.LoOK || !iv.HiOK {
+				return none
+			}
+			lo += iv.Lo
+			hi += iv.Hi
+		}
+		return full(lo, hi)
+	case OpSub:
+		a, b := Bounds(e.Args[0]), Bounds(e.Args[1])
+		if a.LoOK && a.HiOK && b.LoOK && b.HiOK {
+			return full(a.Lo-b.Hi, a.Hi-b.Lo)
+		}
+	case OpMul:
+		lo, hi := int64(1), int64(1)
+		for _, a := range e.Args {
+			iv := Bounds(a)
+			if !iv.LoOK || !iv.HiOK || iv.Lo < 0 {
+				return none
+			}
+			lo *= iv.Lo
+			hi *= iv.Hi
+		}
+		return full(lo, hi)
+	case OpDiv:
+		a := Bounds(e.Args[0])
+		if a.LoOK && a.HiOK && a.Lo >= 0 && e.Args[1].Op == OpConst && e.Args[1].Val > 0 {
+			return full(a.Lo/e.Args[1].Val, a.Hi/e.Args[1].Val)
+		}
+	case OpMin:
+		// min(a, b) <= any single bounded argument; >= all lower bounds.
+		out := Interval{LoOK: true}
+		out.Lo = math.MaxInt64
+		for _, a := range e.Args {
+			iv := Bounds(a)
+			if iv.HiOK && (!out.HiOK || iv.Hi < out.Hi) {
+				out.HiOK = true
+				out.Hi = iv.Hi
+			}
+			if iv.LoOK {
+				out.Lo = min(out.Lo, iv.Lo)
+			} else {
+				out.LoOK = false
+			}
+		}
+		if !out.LoOK {
+			out.Lo = 0
+		}
+		return out
+	case OpMax:
+		// max(a, b) >= any single bounded argument; <= all upper bounds.
+		out := Interval{HiOK: true}
+		out.Hi = math.MinInt64
+		for _, a := range e.Args {
+			iv := Bounds(a)
+			if iv.LoOK && (!out.LoOK || iv.Lo > out.Lo) {
+				out.LoOK = true
+				out.Lo = iv.Lo
+			}
+			if iv.HiOK {
+				out.Hi = max(out.Hi, iv.Hi)
+			} else {
+				out.HiOK = false
+			}
+		}
+		if !out.HiOK {
+			out.Hi = 0
+		}
+		return out
+	}
+	return none
+}

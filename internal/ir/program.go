@@ -81,7 +81,14 @@ type pinst struct {
 	table      []byte
 	elem       int
 	fn         func(float64) float64
-	dx, dy, dc int32 // OpLoad tap offsets
+	sym        string // OpCall symbol, kept for the source backend
+	fl         bool   // OpSelect: arms are float-domain
+	dx, dy, dc int32  // OpLoad tap offsets
+	// dead marks a pure instruction whose value is never consumed (a
+	// leftover of domain coercion): executors skip it, and the width pass
+	// ignores it when narrowing lanes.  Fault-capable instructions are
+	// never flagged — their runtime checks are observable behavior.
+	dead bool
 }
 
 // Program is one channel's expression tree in executable form.
@@ -99,6 +106,9 @@ type Program struct {
 	// floating point result, returned as its bit pattern like Expr.Eval.
 	root      int32
 	rootFloat bool
+	// width holds the width-inference results (per-register bounds and
+	// the proven lane width), stamped by CompileExpr.
+	width widthInfo
 }
 
 // NumInsts returns the instruction count (a proxy for per-sample work).
@@ -255,6 +265,9 @@ func errTable(idx int64, table []byte, elem int) error {
 func errLoad(x, y, c int) error {
 	return fmt.Errorf("ir: compiled load at (%d,%d,%d) outside the pixel backing", x, y, c)
 }
+func errNotLaneExecutable(op Op) error {
+	return fmt.Errorf("ir: op %v reached the lane executor", op)
+}
 
 // run executes the program for one output coordinate (x, y, c) in scalar
 // form — the reference path behind Run and EvalAt.  Whole-image rendering
@@ -267,6 +280,9 @@ func (p *Program) run(bd *binding, st *progState, x, y, c int) (uint64, error) {
 	}
 	for i := range p.insts {
 		in := &p.insts[i]
+		if in.dead {
+			continue
+		}
 		switch in.op {
 		case OpLoad:
 			if bd.pix != nil {
@@ -469,6 +485,9 @@ func (p *Program) runRow(bd *binding, st *progState, xbase, y, c, width int) (in
 			break
 		}
 		in := &p.insts[i]
+		if in.dead {
+			continue
+		}
 		d := rows[in.dst][:n]
 		switch in.op {
 		case OpLoad:
@@ -872,16 +891,28 @@ func (k *Kernel) Compile() (*CompiledKernel, error) {
 type Executor struct {
 	k  *CompiledKernel
 	bd binding
-	ps []*progState
+	// scalar holds the per-channel scalar state behind EvalAt; rows holds
+	// the per-channel row executors (64-bit reference or lane-specialized,
+	// as the width pass proved).
+	scalar []*progState
+	rows   []rowExec
 }
 
 // NewExecutor binds the kernel to a source.  Sources backed by
 // image.Plane or image.Interleaved get fused flat-index addressing; other
 // sources are sampled through the interface.
 func (ck *CompiledKernel) NewExecutor(src Source) *Executor {
+	return ck.newExecutor(src, ck.OutWidth)
+}
+
+// newExecutor builds an executor whose row register files hold rowWidth
+// samples — the full output width for serial evaluation, one tile width
+// for the blocked parallel driver.
+func (ck *CompiledKernel) newExecutor(src Source, rowWidth int) *Executor {
 	ex := &Executor{k: ck, bd: bindSource(src)}
 	for _, p := range ck.Progs {
-		ex.ps = append(ex.ps, p.newState(&ex.bd, ck.OutWidth))
+		ex.scalar = append(ex.scalar, p.newState(&ex.bd, 0))
+		ex.rows = append(ex.rows, newRowExec(p, &ex.bd, rowWidth))
 	}
 	return ex
 }
@@ -889,46 +920,69 @@ func (ck *CompiledKernel) NewExecutor(src Source) *Executor {
 // EvalAt evaluates channel c of output pixel (x, y) to one sample byte.
 func (ex *Executor) EvalAt(x, y, c int) (uint8, error) {
 	k := ex.k
-	v, err := k.Progs[c].run(&ex.bd, ex.ps[c], x+k.OriginX, y+k.OriginY, c)
+	v, err := k.Progs[c].run(&ex.bd, ex.scalar[c], x+k.OriginX, y+k.OriginY, c)
 	return uint8(v), err
 }
 
-// evalRows renders output rows [y0, y1) into out at their absolute
-// row-major sample positions, row-vectorized per channel.  When several
-// channels fault on one row, the reported error is the one an x-then-c
-// per-sample scan hits first, matching Kernel.Eval.
-func (ex *Executor) evalRows(y0, y1 int, out []byte) error {
+// tileError is one tile's first failure in x-then-c per-sample scan order;
+// a nil err means the tile rendered completely.
+type tileError struct {
+	x, y, c int
+	err     error
+}
+
+// before orders tile errors by the serial per-sample scan: row-major, then
+// x, then channel.
+func (e tileError) before(o tileError) bool {
+	if e.y != o.y {
+		return e.y < o.y
+	}
+	if e.x != o.x {
+		return e.x < o.x
+	}
+	return e.c < o.c
+}
+
+func (ck *CompiledKernel) wrapTileError(e tileError) error {
+	return fmt.Errorf("ir: kernel %s at (%d,%d,%d): %w", ck.Name, e.x, e.y, e.c, e.err)
+}
+
+// evalTile renders output samples [x0,x1) x [y0,y1) into out (the full
+// row-major output buffer), row-vectorized per channel over the tile
+// width.  The returned tileError is the first failure the serial
+// per-sample scan of the tile would hit, so callers can merge errors
+// across tiles deterministically.  The executor's row width must be at
+// least x1-x0.
+func (ex *Executor) evalTile(x0, x1, y0, y1 int, out []byte) tileError {
 	k := ex.k
 	w, ch := k.OutWidth, k.Channels
+	n := x1 - x0
 	for y := y0; y < y1; y++ {
-		row := y * w * ch
+		rowBase := y*w*ch + x0*ch
 		errX, errC := -1, -1
 		var firstErr error
 		for c := 0; c < ch; c++ {
-			x, err := k.Progs[c].runRow(&ex.bd, ex.ps[c], k.OriginX, y+k.OriginY, c, w)
+			x, err := ex.rows[c].runRow(k.OriginX+x0, y+k.OriginY, c, n)
 			if err != nil && (errX < 0 || x < errX) {
 				errX, errC, firstErr = x, c, err
 			}
 			if err == nil {
-				res := ex.ps[c].rows[k.Progs[c].root]
-				for x := 0; x < w; x++ {
-					out[row+x*ch+c] = uint8(res[x])
-				}
+				ex.rows[c].storeRow(out[rowBase+c:], ch, n)
 			}
 		}
 		if firstErr != nil {
-			return fmt.Errorf("ir: kernel %s at (%d,%d,%d): %w", k.Name, errX, y, errC, firstErr)
+			return tileError{x: x0 + errX, y: y, c: errC, err: firstErr}
 		}
 	}
-	return nil
+	return tileError{}
 }
 
 // Eval renders the whole output region in row-major sample order, exactly
 // like Kernel.Eval but through the compiled programs.
 func (ex *Executor) Eval() ([]byte, error) {
 	out := make([]byte, ex.k.OutWidth*ex.k.OutHeight*ex.k.Channels)
-	if err := ex.evalRows(0, ex.k.OutHeight, out); err != nil {
-		return nil, err
+	if te := ex.evalTile(0, ex.k.OutWidth, 0, ex.k.OutHeight, out); te.err != nil {
+		return nil, ex.k.wrapTileError(te)
 	}
 	return out, nil
 }
@@ -938,42 +992,89 @@ func (ck *CompiledKernel) Eval(src Source) ([]byte, error) {
 	return ck.NewExecutor(src).Eval()
 }
 
-// EvalParallel renders the output with a pool of workers, each evaluating
-// disjoint row strips with its own Executor.  workers <= 0 uses
-// GOMAXPROCS.  The output — and any reported error — is identical to
-// Eval's regardless of worker count or scheduling; src must tolerate
-// concurrent Sample calls (all package sources and the lift dump source
-// are read-only).
+// Cache budgets the tile heuristic targets: the row register file of a
+// tile should fit comfortably in L1, the tile's input and output traffic
+// in L2.  These are deliberately conservative round numbers rather than
+// probed hardware values; getting within 2x of optimal tiling captures
+// almost all of the win.
+const (
+	tileL1Budget = 32 << 10
+	tileL2Budget = 192 << 10
+)
+
+// tileSize picks the 2-D tile extents for the blocked parallel driver:
+// the width is shrunk until the widest channel program's row register file
+// fits the L1 budget (narrow lanes buy proportionally wider tiles), the
+// height until a tile's sample traffic fits the L2 budget.
+func (ck *CompiledKernel) tileSize() (tw, th int) {
+	regBytes := 1
+	for _, p := range ck.Progs {
+		regBytes = max(regBytes, p.numRegs*p.width.laneBits/8)
+	}
+	tw = ck.OutWidth
+	if tw*regBytes > tileL1Budget {
+		tw = max(tileL1Budget/regBytes, 64)
+		tw = min(tw, ck.OutWidth)
+	}
+	th = tileL2Budget / max(tw*ck.Channels, 1)
+	th = min(max(th, 4), ck.OutHeight)
+	return tw, th
+}
+
+// EvalParallel renders the output with a pool of workers over
+// cache-blocked 2-D tiles, each worker evaluating whole tiles with its own
+// Executor.  workers <= 0 uses GOMAXPROCS.  The output — and any reported
+// error — is identical to Eval's regardless of worker count, scheduling or
+// tile geometry; src must tolerate concurrent Sample calls (all package
+// sources and the lift dump source are read-only).
 func (ck *CompiledKernel) EvalParallel(src Source, workers int) ([]byte, error) {
 	workers = ck.Workers(workers)
 	out := make([]byte, ck.OutWidth*ck.OutHeight*ck.Channels)
+	tw, th := ck.tileSize()
+	tilesX := (ck.OutWidth + tw - 1) / tw
+	tilesY := (ck.OutHeight + th - 1) / th
 
-	// Strips small enough to balance load, large enough that the hand-out
-	// cursor never contends.
-	strip := ck.OutHeight / (workers * 4)
-	if strip < 1 {
-		strip = 1
-	}
-	err := par.For(ck.OutHeight, strip, workers, func(int) func(int, int) error {
-		ex := ck.NewExecutor(src)
-		return func(y0, y1 int) error {
-			return ex.evalRows(y0, y1, out)
+	// Every tile renders (no early abort): the serial scan's first error
+	// may live in a higher-index tile than another tile's failure, so the
+	// driver collects every tile's first error and picks the scan-order
+	// minimum afterwards.
+	errs := make([]tileError, tilesX*tilesY)
+	_ = par.For(tilesX*tilesY, 1, workers, func(int) func(int, int) error {
+		ex := ck.newExecutor(src, tw)
+		return func(t0, t1 int) error {
+			for t := t0; t < t1; t++ {
+				ty, tx := t/tilesX, t%tilesX
+				x0, y0 := tx*tw, ty*th
+				errs[t] = ex.evalTile(x0, min(x0+tw, ck.OutWidth), y0, min(y0+th, ck.OutHeight), out)
+			}
+			return nil
 		}
 	})
-	if err != nil {
-		return nil, err
+	best := -1
+	for i := range errs {
+		if errs[i].err != nil && (best < 0 || errs[i].before(errs[best])) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return nil, ck.wrapTileError(errs[best])
 	}
 	return out, nil
 }
 
 // Workers returns the effective worker count EvalParallel will use for a
-// requested value, exposed so drivers can report it.
+// requested value, exposed so drivers can report it.  The count is capped
+// by the number of tiles the output blocks into — a 3-row image never
+// spins up 16 goroutines; it gets at most as many workers as it has
+// independent tiles.
 func (ck *CompiledKernel) Workers(requested int) int {
 	if requested <= 0 {
 		requested = runtime.GOMAXPROCS(0)
 	}
-	if requested > ck.OutHeight {
-		requested = ck.OutHeight
+	tw, th := ck.tileSize()
+	tiles := ((ck.OutWidth + tw - 1) / tw) * ((ck.OutHeight + th - 1) / th)
+	if requested > tiles {
+		requested = tiles
 	}
 	if requested < 1 {
 		requested = 1

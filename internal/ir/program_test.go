@@ -1,0 +1,129 @@
+package ir
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestMagicDivisionEdgeCases pins the constant-divisor strength reduction
+// on the boundary inputs random differentials only hit by luck: divisor 1,
+// powers of two, divisors masking to zero, max-uint dividends, and values
+// on the signed boundary — for every width, for division and modulo, in
+// scalar execution.  The reference is the tree-walking interpreter.
+func TestMagicDivisionEdgeCases(t *testing.T) {
+	widths := []int{1, 2, 4}
+	dividends := []int64{
+		0, 1, 2, 3, 9, 127, 128, 254, 255, 256, 257,
+		32767, 32768, 65535, 65536, 65537,
+		1<<31 - 1, 1 << 31, 1<<32 - 1, // signed boundary and max-uint
+		-1, -128, // wrap to max values at every width
+	}
+	divisors := []int64{
+		0, 1, 2, 3, 4, 5, 7, 8, 9, 10, 16, 100, 127, 128, 255, 256, 257,
+		32767, 32768, 65535, 65536, 65537,
+		1<<31 - 1, 1 << 31, 1<<31 + 1, 1<<32 - 1, 1 << 32, // masks to 0 at width 4
+	}
+	cases := 0
+	for _, w := range widths {
+		for _, a := range dividends {
+			for _, d := range divisors {
+				for _, op := range []Op{OpDiv, OpMod} {
+					e := Bin(op, w, Const(a), Const(d))
+					want, werr := e.Eval(nil, 0, 0, 0)
+					p, err := CompileExpr(e)
+					if err != nil {
+						t.Fatalf("CompileExpr(%s): %v", e, err)
+					}
+					got, gerr := p.Run(nil, 0, 0, 0)
+					if (werr != nil) != (gerr != nil) {
+						t.Fatalf("w%d %d %s %d: interp err %v, compiled err %v\n%s", w, a, op, d, werr, gerr, p.Disasm())
+					}
+					if werr != nil {
+						if werr.Error() != gerr.Error() {
+							t.Fatalf("w%d %d %s %d: interp error %q, compiled error %q", w, a, op, d, werr, gerr)
+						}
+					} else if got != want {
+						t.Fatalf("w%d %d %s %d: interp %#x, compiled %#x\n%s", w, a, op, d, want, got, p.Disasm())
+					}
+					cases++
+				}
+			}
+		}
+	}
+	t.Logf("%d division/modulo edge cases bit-exact", cases)
+}
+
+// TestDivisionStrengthReduction pins which lowering each divisor class
+// gets: shifts for powers of two (including the trivial divisor 1), exact
+// multiply-high magic otherwise, and the faulting runtime instruction when
+// the divisor masks to zero.
+func TestDivisionStrengthReduction(t *testing.T) {
+	cases := []struct {
+		w    int
+		d    int64
+		want string
+	}{
+		{4, 1, "div>>"},  // 2^0: shift by zero
+		{4, 8, "div>>"},  // power of two
+		{1, 256, "/"},    // masks to zero: keeps the faulting runtime op
+		{4, 9, "div*"},   // magic multiply
+		{2, 255, "div*"}, // magic multiply near the mask
+		{1, 129, "div*"}, // magic multiply at width 1
+		{4, 1 << 31, "div>>"},
+		{4, 1<<32 - 1, "div*"},
+	}
+	for _, c := range cases {
+		p, err := CompileExpr(Bin(OpDiv, c.w, &Expr{Op: OpZExt, Width: c.w, SrcWidth: 4, Args: []*Expr{Load(0, 0, 0)}}, Const(c.d)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dis := p.Disasm(); !strings.Contains(dis, c.want) {
+			t.Errorf("div w%d by %d: lowering lacks %q:\n%s", c.w, c.d, c.want, dis)
+		}
+	}
+}
+
+// TestMagicDivisionRowAndLanes runs constant divisions over whole kernel
+// grids so the row-vectorized paths — 64-bit reference and narrow lanes
+// alike — execute the shift/magic forms on real data, including max-value
+// inputs from the table trick below.
+func TestMagicDivisionRowAndLanes(t *testing.T) {
+	plane := diffPlane()
+	src := PlaneSource{P: plane}
+	// A table mapping every byte to 255 widens the dividend range to the
+	// lane maximum without leaving the narrow-lane op set.
+	maxTable := bytes.Repeat([]byte{255}, 256)
+	numerators := []*Expr{
+		{Op: OpZExt, Width: 4, SrcWidth: 1, Args: []*Expr{Load(0, 0, 0)}},
+		{Op: OpTable, Table: maxTable, Elem: 1, Args: []*Expr{{Op: OpZExt, Width: 4, SrcWidth: 1, Args: []*Expr{Load(0, 0, 0)}}}},
+	}
+	divisors := []int64{1, 2, 3, 7, 8, 9, 10, 16, 100, 255}
+	for ni, num := range numerators {
+		for _, d := range divisors {
+			for _, op := range []Op{OpDiv, OpMod} {
+				tree := Bin(op, 4, num, Const(d))
+				k := &Kernel{Name: "divgrid", OutWidth: 6, OutHeight: 4, Channels: 1,
+					OriginX: 1, OriginY: 1, Trees: []*Expr{tree}}
+				want, err := k.Eval(src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ck, err := k.Compile()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if lanes := ck.Progs[0].LaneBits(); lanes > 16 {
+					t.Errorf("numerator %d %s by %d: expected narrow lanes, got %d", ni, op, d, lanes)
+				}
+				got, err := ck.Eval(src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("numerator %d: lane row division %s by %d differs from interpreter", ni, op, d)
+				}
+			}
+		}
+	}
+}

@@ -38,18 +38,18 @@ func rewrite(e *ir.Expr) *ir.Expr {
 	case ir.OpZExt:
 		// Zero extension of a value that already fits its source width is
 		// the value itself.
-		if iv := bounds(e.Args[0]); iv.within(0, int64(maskOf(e.SrcWidth))) {
+		if iv := ir.Bounds(e.Args[0]); iv.Within(0, int64(maskOf(e.SrcWidth))) {
 			return e.Args[0]
 		}
 	case ir.OpSExt:
 		// Sign extension with a provably clear sign bit changes nothing.
-		if iv := bounds(e.Args[0]); iv.within(0, int64(maskOf(e.SrcWidth))>>1) {
+		if iv := ir.Bounds(e.Args[0]); iv.Within(0, int64(maskOf(e.SrcWidth))>>1) {
 			return e.Args[0]
 		}
 	case ir.OpExtract:
 		// Extracting the low bytes of a value that fits in them is a no-op.
 		if e.Val == 0 {
-			if iv := bounds(e.Args[0]); iv.within(0, int64(maskOf(e.Width))) {
+			if iv := ir.Bounds(e.Args[0]); iv.Within(0, int64(maskOf(e.Width))) {
 				return e.Args[0]
 			}
 		}
@@ -238,131 +238,4 @@ func matchMin(e *ir.Expr) *ir.Expr {
 		}
 	}
 	return nil
-}
-
-// interval is a possibly one-sided conservative bound on the signed value
-// of an expression.  One-sided bounds matter for min/max: max(x, 0) has a
-// known lower bound even when x is unbounded.
-type interval struct {
-	lo, hi     int64
-	loOK, hiOK bool
-}
-
-func (iv interval) within(lo, hi int64) bool {
-	return iv.loOK && iv.hiOK && iv.lo >= lo && iv.hi <= hi
-}
-
-// bounds computes a conservative signed interval for e.  Arithmetic rules
-// require fully bounded operands and verify the result stays inside the
-// node width's signed range, so masking cannot have wrapped the value;
-// min/max propagate one-sided bounds.
-func bounds(e *ir.Expr) interval {
-	none := interval{}
-	// full demands both sides and no wrap at the node's width.
-	full := func(lo, hi int64) interval {
-		if lo > hi {
-			return none
-		}
-		if e.Width > 0 {
-			half := int64(maskOf(e.Width)) >> 1
-			if lo < -half-1 || hi > half {
-				return none
-			}
-		}
-		return interval{lo: lo, hi: hi, loOK: true, hiOK: true}
-	}
-
-	switch e.Op {
-	case ir.OpLoad:
-		return interval{lo: 0, hi: 255, loOK: true, hiOK: true}
-	case ir.OpConst:
-		return full(e.Val, e.Val)
-	case ir.OpTable:
-		if e.Elem >= 1 && e.Elem <= 4 {
-			return interval{lo: 0, hi: int64(maskOf(e.Elem)), loOK: true, hiOK: true}
-		}
-	case ir.OpZExt:
-		if iv := bounds(e.Args[0]); iv.within(0, int64(maskOf(e.SrcWidth))) {
-			return iv
-		}
-		return interval{lo: 0, hi: int64(maskOf(e.SrcWidth)), loOK: true, hiOK: true}
-	case ir.OpExtract:
-		if iv := bounds(e.Args[0]); e.Val == 0 && iv.within(0, int64(maskOf(e.Width))) {
-			return iv
-		}
-		return interval{lo: 0, hi: int64(maskOf(e.Width)), loOK: true, hiOK: true}
-	case ir.OpAdd:
-		lo, hi := int64(0), int64(0)
-		for _, a := range e.Args {
-			iv := bounds(a)
-			if !iv.loOK || !iv.hiOK {
-				return none
-			}
-			lo += iv.lo
-			hi += iv.hi
-		}
-		return full(lo, hi)
-	case ir.OpSub:
-		a, b := bounds(e.Args[0]), bounds(e.Args[1])
-		if a.loOK && a.hiOK && b.loOK && b.hiOK {
-			return full(a.lo-b.hi, a.hi-b.lo)
-		}
-	case ir.OpMul:
-		lo, hi := int64(1), int64(1)
-		for _, a := range e.Args {
-			iv := bounds(a)
-			if !iv.loOK || !iv.hiOK || iv.lo < 0 {
-				return none
-			}
-			lo *= iv.lo
-			hi *= iv.hi
-		}
-		return full(lo, hi)
-	case ir.OpDiv:
-		a := bounds(e.Args[0])
-		if a.loOK && a.hiOK && a.lo >= 0 && e.Args[1].Op == ir.OpConst && e.Args[1].Val > 0 {
-			return full(a.lo/e.Args[1].Val, a.hi/e.Args[1].Val)
-		}
-	case ir.OpMin:
-		// min(a, b) <= any single bounded argument; >= all lower bounds.
-		out := interval{loOK: true}
-		out.lo = math.MaxInt64
-		for _, a := range e.Args {
-			iv := bounds(a)
-			if iv.hiOK && (!out.hiOK || iv.hi < out.hi) {
-				out.hiOK = true
-				out.hi = iv.hi
-			}
-			if iv.loOK {
-				out.lo = min(out.lo, iv.lo)
-			} else {
-				out.loOK = false
-			}
-		}
-		if !out.loOK {
-			out.lo = 0
-		}
-		return out
-	case ir.OpMax:
-		// max(a, b) >= any single bounded argument; <= all upper bounds.
-		out := interval{hiOK: true}
-		out.hi = math.MinInt64
-		for _, a := range e.Args {
-			iv := bounds(a)
-			if iv.loOK && (!out.loOK || iv.lo > out.lo) {
-				out.loOK = true
-				out.lo = iv.lo
-			}
-			if iv.hiOK {
-				out.hi = max(out.hi, iv.hi)
-			} else {
-				out.hiOK = false
-			}
-		}
-		if !out.hiOK {
-			out.hi = 0
-		}
-		return out
-	}
-	return none
 }

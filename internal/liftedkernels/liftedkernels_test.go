@@ -1,0 +1,82 @@
+// End-to-end test of the checked-in generated package (this file is
+// handwritten; `helium gen` only rewrites runtime.go and kernels.go).
+package liftedkernels_test
+
+import (
+	"bytes"
+	"testing"
+
+	"helium/internal/ir"
+	"helium/internal/legacy"
+	"helium/internal/lift"
+	"helium/internal/liftedkernels"
+)
+
+// genImage mirrors cmd/helium's mapping from evaluator sources onto the
+// generated package's flat geometry.
+func genImage(src ir.Source) (*liftedkernels.Image, bool) {
+	switch s := src.(type) {
+	case ir.PlaneSource:
+		pix, base, stride := s.P.Flat()
+		return &liftedkernels.Image{Pix: pix, Base: base, Stride: stride, PixStep: 1}, true
+	case ir.InterleavedSource:
+		pix, base, stride, pixStep := s.Im.Flat()
+		return &liftedkernels.Image{Pix: pix, Base: base, Stride: stride, PixStep: pixStep, ChanStep: 1}, true
+	}
+	return nil, false
+}
+
+// TestGeneratedKernelsMatchVM lifts the corpus at a geometry and seed
+// different from the one the package was generated at, and demands the
+// generated code reproduce the legacy binaries' own output byte for byte —
+// the generated row loops are size-generic, only their registration
+// defaults record the gen-time geometry.
+func TestGeneratedKernelsMatchVM(t *testing.T) {
+	cfg := legacy.Config{Width: 33, Height: 17, Seed: 9}
+	if len(liftedkernels.Kernels()) == 0 {
+		t.Fatal("generated registry is empty (run `helium gen`)")
+	}
+	for _, k := range legacy.Kernels() {
+		inst := k.Instantiate(cfg)
+		res, err := lift.Lift(k.Name, lift.Target{
+			Prog:  inst.Prog,
+			Setup: inst.Setup,
+			Known: lift.KnownInput{
+				Width: inst.Width, Height: inst.Height, Channels: inst.Channels,
+				Interleaved: inst.Interleaved, Interior: inst.InputInterior,
+			},
+		})
+		if err != nil {
+			t.Fatalf("%s: lift: %v", k.Name, err)
+		}
+		gk, ok := liftedkernels.Lookup(k.Name)
+		if !ok {
+			t.Fatalf("%s: not in the generated registry (run `helium gen`)", k.Name)
+		}
+		img, ok := genImage(res.MaterializeInput())
+		if !ok {
+			t.Fatalf("%s: input cannot be materialized as a flat image", k.Name)
+		}
+		got, err := gk.Eval(img, res.Kernel.OutWidth, res.Kernel.OutHeight)
+		if err != nil {
+			t.Fatalf("%s: generated eval: %v", k.Name, err)
+		}
+		want, err := res.VMOutput()
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if !bytes.Equal(got, want) {
+			bad := 0
+			for i := range got {
+				if got[i] != want[i] {
+					bad++
+				}
+			}
+			t.Errorf("%s: generated output differs from the VM's on %d/%d samples at %s", k.Name, bad, len(want), cfg)
+		}
+		if gk.DefaultWidth == res.Kernel.OutWidth && gk.DefaultHeight == res.Kernel.OutHeight {
+			t.Errorf("%s: test geometry %dx%d accidentally equals the gen-time default; pick a different size",
+				k.Name, gk.DefaultWidth, gk.DefaultHeight)
+		}
+	}
+}
