@@ -156,18 +156,19 @@ func genImage(src ir.Source) (*liftedkernels.Image, bool) {
 	return nil, false
 }
 
-// evalGenerated renders a lifted kernel through the checked-in generated
+// evalGenerated renders a lifted result through the checked-in generated
 // package and verifies it against the legacy binary's own output.
-func evalGenerated(res *lift.Result) (*liftedkernels.Kernel, []byte, error) {
-	gk, ok := liftedkernels.Lookup(res.Kernel.Name)
+func evalGenerated(name string, res *lift.Result) (*liftedkernels.Kernel, []byte, error) {
+	gk, ok := liftedkernels.Lookup(name)
 	if !ok {
-		return nil, nil, fmt.Errorf("kernel %q is not in internal/liftedkernels (run `helium gen`)", res.Kernel.Name)
+		return nil, nil, fmt.Errorf("kernel %q is not in internal/liftedkernels (run `helium gen`)", name)
 	}
 	img, ok := genImage(res.MaterializeInput())
 	if !ok {
-		return nil, nil, fmt.Errorf("kernel %q input cannot be materialized as a flat image", res.Kernel.Name)
+		return nil, nil, fmt.Errorf("kernel %q input cannot be materialized as a flat image", name)
 	}
-	out, err := gk.Eval(img, res.Kernel.OutWidth, res.Kernel.OutHeight)
+	w, h := res.EvalDims()
+	out, err := gk.Eval(img, w, h)
 	if err != nil {
 		return nil, nil, fmt.Errorf("generated eval: %w", err)
 	}
@@ -179,6 +180,19 @@ func evalGenerated(res *lift.Result) (*liftedkernels.Kernel, []byte, error) {
 		return nil, nil, fmt.Errorf("generated code output differs from the VM's (stale internal/liftedkernels? run `helium gen`)")
 	}
 	return gk, out, nil
+}
+
+// printLifted renders the lifted pipeline: one Halide-like definition per
+// stage.
+func printLifted(res *lift.Result) {
+	for i := range res.Stages {
+		st := &res.Stages[i]
+		if st.Red != nil {
+			fmt.Print(st.Red)
+			continue
+		}
+		fmt.Print(st.Kernel)
+	}
 }
 
 func run(k legacy.Kernel, cfg legacy.Config, backend string, workers int, verbose bool) error {
@@ -201,7 +215,7 @@ func run(k legacy.Kernel, cfg legacy.Config, backend string, workers int, verbos
 			res.TraceInsts, res.TraceSteps, res.Dump.Size()/1024, res.Samples)
 	}
 
-	fmt.Print(res.Kernel)
+	printLifted(res)
 	switch backend {
 	case "interp":
 		if err := res.Verify(); err != nil {
@@ -214,26 +228,31 @@ func run(k legacy.Kernel, cfg legacy.Config, backend string, workers int, verbos
 			return err
 		}
 		if verbose {
+			progs := ck.Progs()
 			insts, consts, loads := 0, 0, 0
-			lanes := make([]int, 0, len(ck.Progs))
-			for _, p := range ck.Progs {
+			lanes := make([]int, 0, len(progs))
+			for _, p := range progs {
 				insts += p.NumInsts()
 				consts += p.NumConsts()
 				loads += p.NumLoads()
 				lanes = append(lanes, p.LaneBits())
 			}
-			fmt.Printf("compiled: %d instruction(s), %d pooled constant(s), %d tap(s) across %d channel program(s), lane bits %v\n",
-				insts, consts, loads, len(ck.Progs), lanes)
+			fmt.Printf("compiled: %d instruction(s), %d pooled constant(s), %d tap(s) across %d channel program(s) in %d stage(s), lane bits %v\n",
+				insts, consts, loads, len(progs), len(res.Stages), lanes)
 		}
 		fmt.Printf("verified: %d samples pixel-exact (compiled backend, serial + %d workers)\n\n",
 			res.Samples, ck.Workers(workers))
 	case "generated":
-		gk, _, err := evalGenerated(res)
+		gk, _, err := evalGenerated(k.Name, res)
 		if err != nil {
 			return err
 		}
 		if verbose {
-			fmt.Printf("generated: package liftedkernels kernel %s, lane bits %v\n", gk.Name, gk.LaneBits)
+			lanes := gk.LaneBits
+			for _, st := range gk.Stages {
+				lanes = append(lanes, st.LaneBits...)
+			}
+			fmt.Printf("generated: package liftedkernels kernel %s, lane bits %v\n", gk.Name, lanes)
 		}
 		fmt.Printf("verified: %d samples pixel-exact (generated Go backend)\n\n", res.Samples)
 	}
@@ -291,16 +310,28 @@ func runGen(args []string) error {
 // GenerateCorpusPackage lifts every corpus kernel at the given config and
 // renders the liftedkernels package sources: file name -> content.
 func GenerateCorpusPackage(cfg legacy.Config) (map[string]string, error) {
-	var kernels []*ir.Kernel
+	var units []ir.GenKernel
 	for _, k := range legacy.Kernels() {
 		inst := k.Instantiate(cfg)
 		res, err := lift.Lift(k.Name, target(inst))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", k.Name, err)
 		}
-		kernels = append(kernels, res.Kernel)
+		u := ir.GenKernel{Name: k.Name}
+		for i := range res.Stages {
+			st := &res.Stages[i]
+			if st.Red != nil {
+				u.Red = st.Red
+			} else {
+				u.Stages = append(u.Stages, st.Kernel)
+			}
+		}
+		if u.Red != nil && len(u.Stages) > 0 {
+			return nil, fmt.Errorf("%s: pipelines mixing stencil stages and reductions are not generatable yet", k.Name)
+		}
+		units = append(units, u)
 	}
-	src, err := ir.Generate("liftedkernels", kernels)
+	src, err := ir.GenerateUnits("liftedkernels", units)
 	if err != nil {
 		return nil, err
 	}
@@ -389,14 +420,18 @@ func runBench(kernels []legacy.Kernel, cfg legacy.Config, workers int, outPath, 
 		if err != nil {
 			return fmt.Errorf("%s: %w", k.Name, err)
 		}
-		gk, _, err := evalGenerated(res)
+		gk, _, err := evalGenerated(k.Name, res)
 		if err != nil {
 			return fmt.Errorf("%s: %w", k.Name, err)
 		}
 		src := res.MaterializeInput()
 		img, _ := genImage(src)
-		outW, outH := res.Kernel.OutWidth, res.Kernel.OutHeight
-		samples := outW * outH * res.Kernel.Channels
+		outW, outH := res.EvalDims()
+		want, err := res.VMOutput()
+		if err != nil {
+			return fmt.Errorf("%s: %w", k.Name, err)
+		}
+		samples := len(want)
 		report.Workers = ck.Workers(workers)
 
 		m := vm.NewMachine(inst.Prog)
@@ -406,21 +441,28 @@ func runBench(kernels []legacy.Kernel, cfg legacy.Config, workers int, outPath, 
 				return m.Run(0)
 			},
 			"interp": func() error {
-				_, err := res.Kernel.Eval(src)
+				_, err := res.EvalIRAt(src, outW, outH)
 				return err
 			},
 			"compiled": func() error {
-				_, err := ck.Eval(src)
+				_, err := ck.EvalAt(src, outW, outH)
 				return err
 			},
 			"compiled-tiled": func() error {
-				_, err := ck.EvalParallel(src, workers)
+				_, err := ck.EvalParallelAt(src, outW, outH, workers)
 				return err
 			},
 			"generated": func() error {
 				_, err := gk.Eval(img, outW, outH)
 				return err
 			},
+		}
+		// Reductions have no register-program form: their compiled chain is
+		// the reduction evaluator itself, so only the honest backends are
+		// timed.
+		backends := benchBackends
+		if res.Reduction != nil && res.Kernel == nil {
+			backends = []string{"vm", "interp", "generated"}
 		}
 		entry := benchEntry{
 			Kernel:      k.Name,
@@ -430,7 +472,7 @@ func runBench(kernels []legacy.Kernel, cfg legacy.Config, workers int, outPath, 
 			NsPerSample: make(map[string]float64),
 			Speedup:     make(map[string]float64),
 		}
-		for _, name := range benchBackends {
+		for _, name := range backends {
 			ns, err := timeIt(runs[name])
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", k.Name, name, err)
@@ -444,13 +486,16 @@ func runBench(kernels []legacy.Kernel, cfg legacy.Config, workers int, outPath, 
 			}
 		}
 		report.Kernels = append(report.Kernels, entry)
+		genVsCompiled := 0.0
+		if g := entry.NsPerSample["generated"]; g > 0 {
+			genVsCompiled = entry.NsPerSample["compiled"] / g
+		}
 		fmt.Printf("%-10s %7d samples   vm %9.1f   interp %7.2f   compiled %6.2f   tiled %6.2f   generated %6.2f  ns/sample  (generated %0.1fx interp, %0.1fx compiled)\n",
 			k.Name, samples,
 			entry.NsPerSample["vm"], entry.NsPerSample["interp"],
 			entry.NsPerSample["compiled"], entry.NsPerSample["compiled-tiled"],
 			entry.NsPerSample["generated"],
-			entry.Speedup["generated"],
-			entry.NsPerSample["compiled"]/entry.NsPerSample["generated"])
+			entry.Speedup["generated"], genVsCompiled)
 	}
 
 	data, err := json.MarshalIndent(&report, "", "  ")

@@ -124,6 +124,9 @@ type progGen struct {
 	// offVars[i] / tapOffVars[i] name the per-call tap offset locals.
 	offVars    map[int]string
 	tapOffVars map[int][]string
+	// storeFn overrides the per-sample store the loop ends with (the
+	// reduction emitter accumulates into bins instead of storing a byte).
+	storeFn func(w func(string, ...any))
 }
 
 // fileGen tracks file-wide state: emitted tables (deduplicated by
@@ -135,27 +138,72 @@ type fileGen struct {
 	needBits  bool
 }
 
+// GenKernel is one unit of ahead-of-time generation: a stencil pipeline of
+// one or more stages (multi-stage kernels chain through freshly allocated
+// intermediate buffers), or a reduction.
+type GenKernel struct {
+	Name string
+	// Stages holds the stencil stages in execution order.  Exactly one of
+	// Stages and Red must be set.
+	Stages []*Kernel
+	// Red is the reduction alternative (for example a histogram).
+	Red *Reduction
+}
+
 // Generate emits the Go source of a package holding ahead-of-time
-// compiled forms of the given kernels (which must have distinct names).
-// The output is deterministic: kernels are ordered by name, and all
-// numbering is structural.
+// compiled forms of the given single-stage kernels (which must have
+// distinct names).  Multi-stage pipelines and reductions go through
+// GenerateUnits.
 func Generate(pkg string, kernels []*Kernel) (string, error) {
-	ks := append([]*Kernel(nil), kernels...)
+	units := make([]GenKernel, len(kernels))
+	for i, k := range kernels {
+		units[i] = GenKernel{Name: k.Name, Stages: []*Kernel{k}}
+	}
+	return GenerateUnits(pkg, units)
+}
+
+// GenerateUnits emits the Go source of a package holding ahead-of-time
+// compiled forms of the given generation units.  The output is
+// deterministic: units are ordered by name, and all numbering is
+// structural.
+func GenerateUnits(pkg string, units []GenKernel) (string, error) {
+	ks := append([]GenKernel(nil), units...)
 	sort.Slice(ks, func(i, j int) bool { return ks[i].Name < ks[j].Name })
-	for i := 1; i < len(ks); i++ {
-		if ks[i].Name == ks[i-1].Name {
+	for i := range ks {
+		if i > 0 && ks[i].Name == ks[i-1].Name {
 			return "", fmt.Errorf("ir: generate: duplicate kernel name %q", ks[i].Name)
+		}
+		if (len(ks[i].Stages) == 0) == (ks[i].Red == nil) {
+			return "", fmt.Errorf("ir: generate: kernel %q must have either stages or a reduction", ks[i].Name)
 		}
 	}
 
 	fg := &fileGen{tables: map[string]string{}, tableDefs: &strings.Builder{}}
 	var body strings.Builder
-	for _, k := range ks {
-		ck, err := k.Compile()
-		if err != nil {
-			return "", fmt.Errorf("ir: generate %s: %w", k.Name, err)
+	for _, u := range ks {
+		if u.Red != nil {
+			if err := genReduction(&body, fg, u.Name, u.Red); err != nil {
+				return "", err
+			}
+			continue
 		}
-		if err := genKernel(&body, fg, k, ck); err != nil {
+		if len(u.Stages) == 1 {
+			k := u.Stages[0]
+			if k.Name != u.Name {
+				kc := *k
+				kc.Name = u.Name
+				k = &kc
+			}
+			ck, err := k.Compile()
+			if err != nil {
+				return "", fmt.Errorf("ir: generate %s: %w", u.Name, err)
+			}
+			if err := genKernel(&body, fg, k, ck); err != nil {
+				return "", err
+			}
+			continue
+		}
+		if err := genStaged(&body, fg, u); err != nil {
 			return "", err
 		}
 	}
@@ -227,6 +275,127 @@ func genKernel(b *strings.Builder, fg *fileGen, k *Kernel, ck *CompiledKernel) e
 	return nil
 }
 
+// genStaged emits a multi-stage pipeline: one set of row functions per
+// stage, chained by the runtime through freshly allocated intermediate
+// buffers whose extents track the requested output size by the constant
+// per-stage deltas recorded at lift time.
+func genStaged(b *strings.Builder, fg *fileGen, u GenKernel) error {
+	ident := goIdent(u.Name)
+	final := u.Stages[len(u.Stages)-1]
+	fmt.Fprintf(b, "// %s is the lifted %d-stage stencil pipeline\n", u.Name, len(u.Stages))
+	for _, k := range u.Stages {
+		for _, line := range strings.Split(strings.TrimRight(k.String(), "\n"), "\n") {
+			fmt.Fprintf(b, "//\n//\t%s\n", line)
+		}
+	}
+	cks := make([]*CompiledKernel, len(u.Stages))
+	for si, k := range u.Stages {
+		ck, err := k.Compile()
+		if err != nil {
+			return fmt.Errorf("ir: generate %s stage %d: %w", u.Name, si, err)
+		}
+		cks[si] = ck
+	}
+
+	fmt.Fprintf(b, "func init() {\n")
+	fmt.Fprintf(b, "\tregister(&Kernel{\n")
+	fmt.Fprintf(b, "\t\tName:          %q,\n", u.Name)
+	fmt.Fprintf(b, "\t\tChannels:      %d,\n", final.Channels)
+	fmt.Fprintf(b, "\t\tDefaultWidth:  %d,\n", final.OutWidth)
+	fmt.Fprintf(b, "\t\tDefaultHeight: %d,\n", final.OutHeight)
+	fmt.Fprintf(b, "\t\tStages: []StageSpec{\n")
+	for si, k := range u.Stages {
+		lanes := make([]string, len(cks[si].Progs))
+		rows := make([]string, len(cks[si].Progs))
+		for c, p := range cks[si].Progs {
+			lanes[c] = fmt.Sprint(p.LaneBits())
+			rows[c] = fmt.Sprintf("row%sS%dC%d", ident, si, c)
+		}
+		fmt.Fprintf(b, "\t\t\t{Channels: %d, OriginX: %d, OriginY: %d, DW: %d, DH: %d,\n",
+			k.Channels, k.OriginX, k.OriginY, k.OutWidth-final.OutWidth, k.OutHeight-final.OutHeight)
+		fmt.Fprintf(b, "\t\t\t\tLaneBits: []int{%s},\n", strings.Join(lanes, ", "))
+		fmt.Fprintf(b, "\t\t\t\tRows:     []RowFunc{%s}},\n", strings.Join(rows, ", "))
+	}
+	fmt.Fprintf(b, "\t\t},\n")
+	fmt.Fprintf(b, "\t})\n}\n\n")
+
+	for si, ck := range cks {
+		for c, p := range ck.Progs {
+			g := &progGen{
+				p: p, fg: fg, b: b,
+				bits: p.width.laneBits,
+				c:    c, kernel: ident,
+			}
+			g.T = laneTypeName(g.bits)
+			g.S = signedTypeName(g.bits)
+			if err := g.emitRowFunc(fmt.Sprintf("row%sS%dC%d", ident, si, c)); err != nil {
+				return fmt.Errorf("ir: generate %s stage %d channel %d: %w", u.Name, si, c, err)
+			}
+		}
+	}
+	return nil
+}
+
+// genReduction emits an accumulate-into-table kernel: a per-row
+// accumulation function driven by the runtime's reduction driver.  Only
+// 4-byte bins are generated (the corpus shape); wider tables would need a
+// second bin type in the runtime.
+func genReduction(b *strings.Builder, fg *fileGen, name string, r *Reduction) error {
+	if r.Elem != 4 {
+		return fmt.Errorf("ir: generate %s: reduction bins are %d bytes; only 4-byte bins are generatable", name, r.Elem)
+	}
+	p, err := CompileExpr(r.Index)
+	if err != nil {
+		return fmt.Errorf("ir: generate %s: index: %w", name, err)
+	}
+	if p.rootFloat {
+		return fmt.Errorf("ir: generate %s: float-valued reduction index is not generatable", name)
+	}
+	ident := goIdent(name)
+	fmt.Fprintf(b, "// %s is the lifted reduction\n", name)
+	for _, line := range strings.Split(strings.TrimRight(r.String(), "\n"), "\n") {
+		fmt.Fprintf(b, "//\n//\t%s\n", line)
+	}
+	fmt.Fprintf(b, "func init() {\n")
+	fmt.Fprintf(b, "\tregister(&Kernel{\n")
+	fmt.Fprintf(b, "\t\tName:          %q,\n", name)
+	fmt.Fprintf(b, "\t\tChannels:      1,\n")
+	fmt.Fprintf(b, "\t\tDefaultWidth:  %d,\n", r.DomW)
+	fmt.Fprintf(b, "\t\tDefaultHeight: %d,\n", r.DomH)
+	fmt.Fprintf(b, "\t\tLaneBits:      []int{%d},\n", p.LaneBits())
+	fmt.Fprintf(b, "\t\tRed: &ReductionSpec{\n")
+	fmt.Fprintf(b, "\t\t\tBins: %d,\n", r.Bins)
+	allZero := true
+	for _, v := range r.Init {
+		if v != 0 {
+			allZero = false
+		}
+	}
+	if !allZero {
+		inits := make([]string, len(r.Init))
+		for i, v := range r.Init {
+			inits[i] = fmt.Sprint(uint32(v))
+		}
+		fmt.Fprintf(b, "\t\t\tInit: []uint32{%s},\n", strings.Join(inits, ", "))
+	}
+	fmt.Fprintf(b, "\t\t\tRow:  red%s,\n", ident)
+	fmt.Fprintf(b, "\t\t},\n")
+	fmt.Fprintf(b, "\t})\n}\n\n")
+
+	g := &progGen{
+		p: p, fg: fg, b: b,
+		bits:   p.width.laneBits,
+		c:      0,
+		kernel: ident,
+	}
+	g.T = laneTypeName(g.bits)
+	g.S = signedTypeName(g.bits)
+	if err := g.emitReductionFunc(fmt.Sprintf("red%s", ident), r); err != nil {
+		return fmt.Errorf("ir: generate %s: %w", name, err)
+	}
+	return nil
+}
+
 // floatness computes per-instruction float-domain flags.
 func (g *progGen) floatness() {
 	g.isFloat = make([]bool, len(g.p.insts))
@@ -246,7 +415,8 @@ func operands(in *pinst) []int32 {
 		return nil
 	case opSumTaps, opMulN, opAndN, opOrN, opXorN, opMinN, opMaxN:
 		return in.args
-	case OpSub, OpMulHi, OpShl, OpShr, OpSar, OpDiv, OpMod, OpFAdd, OpFSub, OpFMul, OpFDiv:
+	case OpSub, OpMulHi, OpShl, OpShr, OpSar, OpDiv, OpMod, OpFAdd, OpFSub, OpFMul, OpFDiv,
+		OpCmpEq, OpCmpNe, OpCmpLtS, OpCmpLeS, OpCmpLtU, OpCmpLeU:
 		return []int32{in.a, in.b}
 	case OpSelect:
 		return []int32{in.a, in.b, in.c}
@@ -486,18 +656,12 @@ func (g *progGen) tableVar(table []byte, elem int) string {
 	return name
 }
 
-// emitRowFunc writes the complete row function for one channel program.
-func (g *progGen) emitRowFunc(name string) error {
-	g.floatness()
-	g.computeAliases()
-	g.liveness()
+// collectOffsets names the per-call tap offset locals hoisted out of the
+// loop, returning their definitions.
+func (g *progGen) collectOffsets() (offDefs []string) {
 	p := g.p
-	b := g.b
-
-	// Collect tap offsets (named locals hoisted out of the loop).
 	g.offVars = map[int]string{}
 	g.tapOffVars = map[int][]string{}
-	var offDefs []string
 	nOffs := 0
 	addOff := func(dx, dy, dc int32) string {
 		v := fmt.Sprintf("o%d", nOffs)
@@ -516,22 +680,22 @@ func (g *progGen) emitRowFunc(name string) error {
 			}
 		}
 	}
-	hasLoads := nOffs > 0
+	return offDefs
+}
 
-	fmt.Fprintf(b, "// %s renders channel %d rows in %d-bit lanes (%d instructions, %d taps).\n",
-		name, g.c, g.bits, len(p.insts), nOffs)
-	fmt.Fprintf(b, "func %s(dst []byte, step int, img *Image, y, xbase, n int) (int, error) {\n", name)
-	if hasLoads {
-		fmt.Fprintf(b, "\tpix := img.Pix\n")
-		fmt.Fprintf(b, "\tps := img.PixStep\n")
-		fmt.Fprintf(b, "\tpos0 := img.Base + y*img.Stride + xbase*ps + %d*img.ChanStep\n", g.c)
+// emitBody writes the loop halves shared by the row and reduction
+// emitters: a fast loop under a hoisted whole-span bounds check when the
+// program has loads, plus the checked edge path.
+func (g *progGen) emitBody(offDefs []string) error {
+	b := g.b
+	if len(offDefs) > 0 {
 		for _, d := range offDefs {
 			fmt.Fprintf(b, "\t%s\n", d)
 		}
 		// Hoisted bounds check: when every tap's whole x-span lies inside
 		// the backing, the row loop runs with unchecked loads.
 		var conds []string
-		for i := 0; i < nOffs; i++ {
+		for i := range offDefs {
 			conds = append(conds, fmt.Sprintf("spanIn(pos0+o%d, pos0+o%d+(n-1)*ps, len(pix))", i, i))
 		}
 		fmt.Fprintf(b, "\tif n > 0 && %s {\n", strings.Join(conds, " &&\n\t\t"))
@@ -552,6 +716,67 @@ func (g *progGen) emitRowFunc(name string) error {
 	}
 	fmt.Fprintf(b, "\treturn -1, nil\n}\n\n")
 	return nil
+}
+
+// emitRowFunc writes the complete row function for one channel program.
+func (g *progGen) emitRowFunc(name string) error {
+	g.floatness()
+	g.computeAliases()
+	g.liveness()
+	b := g.b
+
+	offDefs := g.collectOffsets()
+	fmt.Fprintf(b, "// %s renders channel %d rows in %d-bit lanes (%d instructions, %d taps).\n",
+		name, g.c, g.bits, len(g.p.insts), len(offDefs))
+	fmt.Fprintf(b, "func %s(dst []byte, step int, img *Image, y, xbase, n int) (int, error) {\n", name)
+	if len(offDefs) > 0 {
+		fmt.Fprintf(b, "\tpix := img.Pix\n")
+		fmt.Fprintf(b, "\tps := img.PixStep\n")
+		fmt.Fprintf(b, "\tpos0 := img.Base + y*img.Stride + xbase*ps + %d*img.ChanStep\n", g.c)
+	}
+	return g.emitBody(offDefs)
+}
+
+// emitReductionFunc writes the per-row accumulation function of a
+// reduction: the index program runs per pixel and bins[index] takes the
+// constant delta.  When the width pass proves the index always lands
+// inside the table the per-sample range check is discharged, exactly like
+// safe table lookups.
+func (g *progGen) emitReductionFunc(name string, r *Reduction) error {
+	g.floatness()
+	g.computeAliases()
+	g.liveness()
+	p := g.p
+	b := g.b
+
+	root := g.resolve(p.root)
+	safe := g.bits <= 32 && p.width.hi[root] < uint64(r.Bins)
+	g.storeFn = func(w func(string, ...any)) {
+		if safe {
+			w("bins[%s] += %d", g.ref(p.root), uint32(r.Delta))
+			return
+		}
+		w("bi := %s", g.refInt64(p.root))
+		w("if bi < 0 || bi >= %d {", r.Bins)
+		w("\treturn x, errRedIndex(bi, %d)", r.Bins)
+		w("}")
+		w("bins[bi] += %d", uint32(r.Delta))
+	}
+	defer func() { g.storeFn = nil }()
+
+	offDefs := g.collectOffsets()
+	fmt.Fprintf(b, "// %s accumulates one input row into the bin table in %d-bit lanes (%d instructions).\n",
+		name, g.bits, len(p.insts))
+	fmt.Fprintf(b, "func %s(bins []uint32, img *Image, y, n int) (int, error) {\n", name)
+	if len(offDefs) > 0 {
+		fmt.Fprintf(b, "\tpix := img.Pix\n")
+		fmt.Fprintf(b, "\tps := img.PixStep\n")
+		fmt.Fprintf(b, "\tpos0 := img.Base + y*img.Stride\n")
+		// The checked-load error paths spell coordinates via xbase, which
+		// for a reduction domain is always zero.
+		fmt.Fprintf(b, "\tconst xbase = 0\n")
+	}
+	return g.emitBody(offDefs)
 }
 
 // emitLoop writes the per-sample loop at the given indent; checked selects
@@ -583,6 +808,11 @@ func (g *progGen) emitLoop(indent int, checked bool) error {
 		if err := g.emitInst(i, w, checked); err != nil {
 			return err
 		}
+	}
+	if g.storeFn != nil {
+		g.storeFn(w)
+		g.b.WriteString(tabs + "}\n")
+		return nil
 	}
 	// Final store: narrow the root to one sample byte exactly like the
 	// reference executors (float roots store the low byte of their IEEE
@@ -819,6 +1049,28 @@ func (g *progGen) emitInst(i int, w func(string, ...any), checked bool) error {
 			w("}")
 		}
 
+	case OpCmpEq, OpCmpNe, OpCmpLtU, OpCmpLeU:
+		op := map[Op]string{OpCmpEq: "==", OpCmpNe: "!=", OpCmpLtU: "<", OpCmpLeU: "<="}[in.op]
+		w("%s := %s(0)", v, T)
+		w("if %s%s %s %s%s {", g.refT(in.a), g.maskSuffix(in.mask), op, g.refT(in.b), g.maskSuffix(in.mask))
+		w("\t%s = 1", v)
+		w("}")
+
+	case OpCmpLtS, OpCmpLeS:
+		op := "<"
+		if in.op == OpCmpLeS {
+			op = "<="
+		}
+		// Both operands share in.sh, so sxExpr picks the same form for
+		// both: either the plain unsigned lane (sign width wider than the
+		// lane, everything provably nonnegative) or the signed lane type.
+		sa, _ := g.sxExpr(in.a, in.sh)
+		sb, _ := g.sxExpr(in.b, in.sh)
+		w("%s := %s(0)", v, T)
+		w("if %s %s %s {", sa, op, sb)
+		w("\t%s = 1", v)
+		w("}")
+
 	case OpTable:
 		tab := g.tableVar(in.table, in.elem)
 		if g.tableSafe(in) {
@@ -926,12 +1178,40 @@ type Kernel struct {
 	Channels         int
 	OriginX, OriginY int
 	// DefaultWidth and DefaultHeight record the output geometry the
-	// kernel was lifted at; Eval accepts any size.
+	// kernel was lifted at (the input domain for reductions); Eval
+	// accepts any size.
 	DefaultWidth, DefaultHeight int
 	// LaneBits records the integer width each channel's row loop
 	// computes in (8, 16, 32 or 64).
 	LaneBits []int
 	Rows     []RowFunc
+	// Stages, when non-empty, makes the kernel a multi-stage pipeline:
+	// Eval chains the stages through freshly allocated intermediate
+	// buffers and the flat Rows/LaneBits fields above are unused.
+	Stages []StageSpec
+	// Red, when non-nil, makes the kernel a reduction: Eval accumulates
+	// over the outW x outH input domain and returns the serialized
+	// little-endian bin table.
+	Red *ReductionSpec
+}
+
+// StageSpec is one stage of a multi-stage pipeline.  DW and DH are the
+// stage's output extents minus the final stage's, so intermediate buffer
+// sizes track any requested output size.
+type StageSpec struct {
+	Channels         int
+	OriginX, OriginY int
+	DW, DH           int
+	LaneBits         []int
+	Rows             []RowFunc
+}
+
+// ReductionSpec is the accumulate-into-table form: Row accumulates one
+// input row into the 4-byte bins, which start from Init (nil = all zero).
+type ReductionSpec struct {
+	Bins int
+	Init []uint32
+	Row  func(bins []uint32, img *Image, y, n int) (int, error)
 }
 
 var registry = map[string]*Kernel{}
@@ -957,22 +1237,83 @@ func Kernels() []*Kernel {
 // Eval renders an outW x outH output region against img in row-major
 // sample order, exactly like the lifting pipeline's evaluators: when
 // several channels fault on one row, the reported error is the one an
-// x-then-c per-sample scan hits first.
+// x-then-c per-sample scan hits first.  Multi-stage kernels chain their
+// stages through intermediate buffers; reductions treat outW x outH as
+// the input domain and return the serialized bin table.
 func (k *Kernel) Eval(img *Image, outW, outH int) ([]byte, error) {
+	if k.Red != nil {
+		return k.evalReduction(img, outW, outH)
+	}
+	if len(k.Stages) > 0 {
+		return k.evalStages(img, outW, outH)
+	}
 	out := make([]byte, outW*outH*k.Channels)
+	if err := evalRows(out, img, k.Name, -1, k.Channels, k.OriginX, k.OriginY, outW, outH, k.Rows); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// evalRows renders one stage's rows into out with the reference error
+// selection (x-then-c within a row); stage >= 0 tags pipeline stages.
+func evalRows(out []byte, img *Image, name string, stage, channels, originX, originY, outW, outH int, rows []RowFunc) error {
 	for y := 0; y < outH; y++ {
-		base := y * outW * k.Channels
+		base := y * outW * channels
 		errX, errC := -1, -1
 		var firstErr error
-		for c, row := range k.Rows {
-			x, err := row(out[base+c:], k.Channels, img, y+k.OriginY, k.OriginX, outW)
+		for c, row := range rows {
+			x, err := row(out[base+c:], channels, img, y+originY, originX, outW)
 			if err != nil && (errX < 0 || x < errX) {
 				errX, errC, firstErr = x, c, err
 			}
 		}
 		if firstErr != nil {
-			return nil, fmt.Errorf("ir: kernel %%s at (%%d,%%d,%%d): %%w", k.Name, errX, y, errC, firstErr)
+			if stage >= 0 {
+				return fmt.Errorf("ir: kernel %%s stage %%d at (%%d,%%d,%%d): %%w", name, stage, errX, y, errC, firstErr)
+			}
+			return fmt.Errorf("ir: kernel %%s at (%%d,%%d,%%d): %%w", name, errX, y, errC, firstErr)
 		}
+	}
+	return nil
+}
+
+// evalStages chains the pipeline: every stage renders at the requested
+// output size shifted by its recorded extent deltas, and its output
+// becomes the next stage's input image.
+func (k *Kernel) evalStages(img *Image, outW, outH int) ([]byte, error) {
+	cur := img
+	for si := range k.Stages {
+		st := &k.Stages[si]
+		w, h := outW+st.DW, outH+st.DH
+		if w <= 0 || h <= 0 {
+			return nil, fmt.Errorf("ir: kernel %%s stage %%d extent %%dx%%d is empty", k.Name, si, w, h)
+		}
+		out := make([]byte, w*h*st.Channels)
+		if err := evalRows(out, cur, k.Name, si, st.Channels, st.OriginX, st.OriginY, w, h, st.Rows); err != nil {
+			return nil, err
+		}
+		if si == len(k.Stages)-1 {
+			return out, nil
+		}
+		cur = &Image{Pix: out, Stride: w * st.Channels, PixStep: st.Channels, ChanStep: 1}
+	}
+	return nil, fmt.Errorf("ir: kernel %%s has no stages", k.Name)
+}
+
+// evalReduction accumulates over the domW x domH input domain and
+// serializes the 4-byte bins little-endian.
+func (k *Kernel) evalReduction(img *Image, domW, domH int) ([]byte, error) {
+	r := k.Red
+	bins := make([]uint32, r.Bins)
+	copy(bins, r.Init)
+	for y := 0; y < domH; y++ {
+		if x, err := r.Row(bins, img, y, domW); err != nil {
+			return nil, fmt.Errorf("ir: kernel %%s at (%%d,%%d): %%w", k.Name, x, y, err)
+		}
+	}
+	out := make([]byte, 0, len(bins)*4)
+	for _, v := range bins {
+		out = append(out, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 	}
 	return out, nil
 }
@@ -990,6 +1331,9 @@ func errTable(idx int64, n int) error {
 }
 func errLoad(x, y, c int) error {
 	return fmt.Errorf("ir: compiled load at (%%d,%%d,%%d) outside the pixel backing", x, y, c)
+}
+func errRedIndex(idx int64, bins int) error {
+	return fmt.Errorf("ir: reduction index %%d out of range (%%d bins)", idx, bins)
 }
 `, pkg, pkg)
 	formatted, err := format.Source([]byte(b.String()))

@@ -149,6 +149,23 @@ func TestGeneratedCodeDifferential(t *testing.T) {
 	taps = append(taps, Const(4))
 	addTree("boxref", Bin(OpDiv, 4, &Expr{Op: OpAdd, Width: 4, Args: taps}, Const(9)))
 
+	// Comparison and select shapes from predicated lifting: every compare
+	// operator over a signed-capable difference (32-bit lanes) and over
+	// raw byte taps (8-bit lanes), plus selects that stay selects.
+	ld := func(dx, dy int) *Expr {
+		return &Expr{Op: OpZExt, Width: 4, SrcWidth: 1, Args: []*Expr{Load(dx, dy, 0)}}
+	}
+	cmpOps := []Op{OpCmpEq, OpCmpNe, OpCmpLtS, OpCmpLeS, OpCmpLtU, OpCmpLeU}
+	for i, op := range cmpOps {
+		diff := Bin(OpSub, 4, ld(0, 0), ld(1, 0)) // wraps negative: signed vs unsigned matters
+		addTree(fmt.Sprintf("cmpw%d", i), Bin(op, 4, diff, Const(3)))
+		addTree(fmt.Sprintf("cmpb%d", i), Bin(op, 1, Load(0, 0, 0), Load(0, 1, 0)))
+	}
+	addTree("selneg", &Expr{Op: OpSelect, Args: []*Expr{
+		Bin(OpCmpLtS, 4, Bin(OpSub, 4, ld(0, 0), ld(1, 0)), Const(0)), Const(7), ld(0, 1)}})
+	addTree("selparity", &Expr{Op: OpSelect, Args: []*Expr{
+		Bin(OpCmpEq, 4, Bin(OpAnd, 4, ld(0, 0), Const(1)), Const(0)), ld(1, 1), ld(-1, -1)}})
+
 	for i := 0; i < 80; i++ {
 		r := testRNG(uint64(i)*131 + 7)
 		g := &treeGen{r: &r}

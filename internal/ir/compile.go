@@ -145,7 +145,7 @@ func finalize(in *pinst) {
 		in.sh = shFor(int(in.srcWidth))
 	case OpIntToFP:
 		in.sh = shFor(int(in.srcWidth))
-	case OpSar, opMinN, opMaxN:
+	case OpSar, opMinN, opMaxN, OpCmpLtS, OpCmpLeS:
 		in.mask = maskFor(int(in.width))
 		in.sh = shFor(int(in.width))
 	case OpLoad, OpSelect, OpTable, OpFAdd, OpFSub, OpFMul, OpFDiv, OpCall:
@@ -298,6 +298,7 @@ var foldArity = map[Op]int{
 	OpNot: 1, OpNeg: 1, OpZExt: 1, OpSExt: 1, OpExtract: 1,
 	OpSelect: 3, OpIntToFP: 1, OpFPToInt: 1,
 	OpFAdd: 2, OpFSub: 2, OpFMul: 2, OpFDiv: 2, OpCall: 1,
+	OpCmpEq: 2, OpCmpNe: 2, OpCmpLtS: 2, OpCmpLeS: 2, OpCmpLtU: 2, OpCmpLeU: 2,
 }
 
 // constVal recovers the interpreter value of a constant reference.
@@ -458,7 +459,8 @@ func (c *compiler) lowerOp(e *Expr) (cref, error) {
 	}
 
 	switch e.Op {
-	case OpSub, OpMulHi, OpShl, OpShr, OpSar:
+	case OpSub, OpMulHi, OpShl, OpShr, OpSar,
+		OpCmpEq, OpCmpNe, OpCmpLtS, OpCmpLeS, OpCmpLtU, OpCmpLeU:
 		if len(args) != 2 {
 			return cref{}, fmt.Errorf("ir: compile: %v with %d operands", e.Op, len(args))
 		}

@@ -61,6 +61,14 @@ func maskW(v uint64, width int) uint64 {
 	return v
 }
 
+// boolVal maps a comparison outcome to the integer 0/1 value domain.
+func boolVal(b bool) value {
+	if b {
+		return value{i: 1}
+	}
+	return value{}
+}
+
 func signExt(v uint64, width int) int64 {
 	switch width {
 	case 1:
@@ -214,6 +222,18 @@ func (e *Expr) apply(args []value) (value, error) {
 			return args[1], nil
 		}
 		return args[2], nil
+	case OpCmpEq:
+		return boolVal(maskW(args[0].i, w) == maskW(args[1].i, w)), nil
+	case OpCmpNe:
+		return boolVal(maskW(args[0].i, w) != maskW(args[1].i, w)), nil
+	case OpCmpLtS:
+		return boolVal(signExt(args[0].i, w) < signExt(args[1].i, w)), nil
+	case OpCmpLeS:
+		return boolVal(signExt(args[0].i, w) <= signExt(args[1].i, w)), nil
+	case OpCmpLtU:
+		return boolVal(maskW(args[0].i, w) < maskW(args[1].i, w)), nil
+	case OpCmpLeU:
+		return boolVal(maskW(args[0].i, w) <= maskW(args[1].i, w)), nil
 	case OpTable:
 		idx := int64(args[0].i)
 		off := idx * int64(e.Elem)

@@ -99,6 +99,15 @@ func Bounds(e *Expr) Interval {
 		if a.LoOK && a.HiOK && a.Lo >= 0 && e.Args[1].Op == OpConst && e.Args[1].Val > 0 {
 			return full(a.Lo/e.Args[1].Val, a.Hi/e.Args[1].Val)
 		}
+	case OpCmpEq, OpCmpNe, OpCmpLtS, OpCmpLeS, OpCmpLtU, OpCmpLeU:
+		return Interval{Lo: 0, Hi: 1, LoOK: true, HiOK: true}
+	case OpSelect:
+		// The value is one of the two arms; union their bounds.
+		a, b := Bounds(e.Args[1]), Bounds(e.Args[2])
+		return Interval{
+			Lo: min(a.Lo, b.Lo), Hi: max(a.Hi, b.Hi),
+			LoOK: a.LoOK && b.LoOK, HiOK: a.HiOK && b.HiOK,
+		}
 	case OpMin:
 		// min(a, b) <= any single bounded argument; >= all lower bounds.
 		out := Interval{LoOK: true}

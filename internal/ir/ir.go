@@ -56,6 +56,17 @@ const (
 	OpMax    // signed maximum
 	OpSelect // Args[0] != 0 ? Args[1] : Args[2]
 
+	// Comparisons, introduced by predicated (branch-aware) lifting: the
+	// operands are compared at Width bytes and the result is 0 or 1.
+	// Greater-than forms are normalized away by swapping the operands, so
+	// only equality, less-than and less-or-equal exist.
+	OpCmpEq  // Args[0] == Args[1]
+	OpCmpNe  // Args[0] != Args[1]
+	OpCmpLtS // signed Args[0] < Args[1]
+	OpCmpLeS // signed Args[0] <= Args[1]
+	OpCmpLtU // unsigned Args[0] < Args[1]
+	OpCmpLeU // unsigned Args[0] <= Args[1]
+
 	// Table lookup: Table[index * Elem .. ), Args[0] is the index.
 	OpTable
 
@@ -76,6 +87,8 @@ var opNames = map[Op]string{
 	OpShl: "<<", OpShr: ">>", OpSar: ">>a",
 	OpZExt: "zext", OpSExt: "sext", OpExtract: "extract",
 	OpMin: "min", OpMax: "max", OpSelect: "select", OpTable: "table",
+	OpCmpEq: "==", OpCmpNe: "!=", OpCmpLtS: "<", OpCmpLeS: "<=",
+	OpCmpLtU: "<u", OpCmpLeU: "<=u",
 	OpIntToFP: "i2f", OpFPToInt: "f2i",
 	OpFAdd: "+.", OpFSub: "-.", OpFMul: "*.", OpFDiv: "/.",
 	OpCall: "call",
@@ -93,6 +106,15 @@ func (op Op) String() string {
 func (op Op) IsFloat() bool {
 	switch op {
 	case OpConstF, OpIntToFP, OpFAdd, OpFSub, OpFMul, OpFDiv, OpCall:
+		return true
+	}
+	return false
+}
+
+// IsCmp reports whether the operation is a comparison producing 0 or 1.
+func (op Op) IsCmp() bool {
+	switch op {
+	case OpCmpEq, OpCmpNe, OpCmpLtS, OpCmpLeS, OpCmpLtU, OpCmpLeU:
 		return true
 	}
 	return false
@@ -290,7 +312,8 @@ func (e *Expr) print(b *strings.Builder) {
 	case OpConstF:
 		fmt.Fprintf(b, "%g", e.F)
 	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor,
-		OpShl, OpShr, OpSar, OpFAdd, OpFSub, OpFMul, OpFDiv, OpMulHi:
+		OpShl, OpShr, OpSar, OpFAdd, OpFSub, OpFMul, OpFDiv, OpMulHi,
+		OpCmpEq, OpCmpNe, OpCmpLtS, OpCmpLeS, OpCmpLtU, OpCmpLeU:
 		b.WriteString("(")
 		for i, a := range e.Args {
 			if i > 0 {

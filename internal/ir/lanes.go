@@ -444,6 +444,42 @@ func (st *laneState[T]) runRow(xbase, y, c, width int) (int, error) {
 					d[x] = cv[x]
 				}
 			}
+		case OpCmpEq:
+			a, b := rows[in.a][:n], rows[in.b][:n]
+			mask := T(in.mask)
+			for x := range d {
+				d[x] = T(b2u(a[x]&mask == b[x]&mask))
+			}
+		case OpCmpNe:
+			a, b := rows[in.a][:n], rows[in.b][:n]
+			mask := T(in.mask)
+			for x := range d {
+				d[x] = T(b2u(a[x]&mask != b[x]&mask))
+			}
+		case OpCmpLtS:
+			a, b := rows[in.a][:n], rows[in.b][:n]
+			sh := in.sh
+			for x := range d {
+				d[x] = T(b2u(sx(uint64(a[x]), sh) < sx(uint64(b[x]), sh)))
+			}
+		case OpCmpLeS:
+			a, b := rows[in.a][:n], rows[in.b][:n]
+			sh := in.sh
+			for x := range d {
+				d[x] = T(b2u(sx(uint64(a[x]), sh) <= sx(uint64(b[x]), sh)))
+			}
+		case OpCmpLtU:
+			a, b := rows[in.a][:n], rows[in.b][:n]
+			mask := T(in.mask)
+			for x := range d {
+				d[x] = T(b2u(a[x]&mask < b[x]&mask))
+			}
+		case OpCmpLeU:
+			a, b := rows[in.a][:n], rows[in.b][:n]
+			mask := T(in.mask)
+			for x := range d {
+				d[x] = T(b2u(a[x]&mask <= b[x]&mask))
+			}
 		case OpTable:
 			a := rows[in.a][:n]
 			for x := range d {

@@ -400,6 +400,18 @@ func (p *Program) run(bd *binding, st *progState, x, y, c int) (uint64, error) {
 			} else {
 				regs[in.dst] = regs[in.c]
 			}
+		case OpCmpEq:
+			regs[in.dst] = b2u(regs[in.a]&in.mask == regs[in.b]&in.mask)
+		case OpCmpNe:
+			regs[in.dst] = b2u(regs[in.a]&in.mask != regs[in.b]&in.mask)
+		case OpCmpLtS:
+			regs[in.dst] = b2u(sx(regs[in.a], in.sh) < sx(regs[in.b], in.sh))
+		case OpCmpLeS:
+			regs[in.dst] = b2u(sx(regs[in.a], in.sh) <= sx(regs[in.b], in.sh))
+		case OpCmpLtU:
+			regs[in.dst] = b2u(regs[in.a]&in.mask < regs[in.b]&in.mask)
+		case OpCmpLeU:
+			regs[in.dst] = b2u(regs[in.a]&in.mask <= regs[in.b]&in.mask)
 		case OpTable:
 			idx := int64(regs[in.a])
 			v, err := tableAt(in.table, in.elem, idx)
@@ -426,6 +438,14 @@ func (p *Program) run(bd *binding, st *progState, x, y, c int) (uint64, error) {
 		}
 	}
 	return regs[p.root], nil
+}
+
+// b2u maps a comparison outcome to the 0/1 register value.
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // mulHi64 returns the high 64 bits of the full 128-bit product.
@@ -788,6 +808,42 @@ func (p *Program) runRow(bd *binding, st *progState, xbase, y, c, width int) (in
 				} else {
 					d[x] = cv[x]
 				}
+			}
+		case OpCmpEq:
+			a, b := rows[in.a][:n], rows[in.b][:n]
+			mask := in.mask
+			for x := range d {
+				d[x] = b2u(a[x]&mask == b[x]&mask)
+			}
+		case OpCmpNe:
+			a, b := rows[in.a][:n], rows[in.b][:n]
+			mask := in.mask
+			for x := range d {
+				d[x] = b2u(a[x]&mask != b[x]&mask)
+			}
+		case OpCmpLtS:
+			a, b := rows[in.a][:n], rows[in.b][:n]
+			sh := in.sh
+			for x := range d {
+				d[x] = b2u(sx(a[x], sh) < sx(b[x], sh))
+			}
+		case OpCmpLeS:
+			a, b := rows[in.a][:n], rows[in.b][:n]
+			sh := in.sh
+			for x := range d {
+				d[x] = b2u(sx(a[x], sh) <= sx(b[x], sh))
+			}
+		case OpCmpLtU:
+			a, b := rows[in.a][:n], rows[in.b][:n]
+			mask := in.mask
+			for x := range d {
+				d[x] = b2u(a[x]&mask < b[x]&mask)
+			}
+		case OpCmpLeU:
+			a, b := rows[in.a][:n], rows[in.b][:n]
+			mask := in.mask
+			for x := range d {
+				d[x] = b2u(a[x]&mask <= b[x]&mask)
 			}
 		case OpTable:
 			a := rows[in.a][:n]

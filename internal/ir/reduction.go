@@ -1,0 +1,103 @@
+// Reductions.  A stencil kernel computes each output sample independently
+// from input samples at constant offsets; a reduction instead scatters a
+// contribution from every input pixel into a small accumulator table (a
+// histogram is the canonical case).  The lifter's reduction recognizer
+// produces this form from accumulate-into-table write patterns in the
+// dynamic trace; the paper models these as Halide update definitions with a
+// reduction domain over the whole input.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reduction is a lifted accumulate-into-table kernel:
+//
+//	bins[Index(x, y)] += Delta   for every input pixel (x, y)
+//
+// iterated over the DomW x DomH input domain, starting from the per-bin
+// Init values, with Elem-byte wraparound arithmetic.  The serialized output
+// is the little-endian bin table, exactly the bytes the legacy binary left
+// in its output buffer.
+type Reduction struct {
+	Name string
+	// DomW and DomH are the input domain extents in pixels.
+	DomW, DomH int
+	// Bins is the number of accumulator slots; Elem is the byte width of
+	// one slot (accumulation wraps at this width).
+	Bins, Elem int
+	// Init holds the initial value of every bin, recovered from the
+	// table-zeroing writes that precede the accumulation loop.
+	Init []uint64
+	// Index computes the bin index for input pixel (x, y); its loads are
+	// relative to the domain pixel being visited (always offset (0,0) in
+	// practice).
+	Index *Expr
+	// Delta is the constant added per visit.
+	Delta uint64
+}
+
+// errRedIndex matches the generated backend's failure mode for an index
+// outside the bin table.
+func errRedIndex(idx int64, bins int) error {
+	return fmt.Errorf("ir: reduction index %d out of range (%d bins)", idx, bins)
+}
+
+// Eval runs the reduction over src's DomW x DomH domain and returns the
+// serialized little-endian bin table.  Pixels are visited row-major, but the
+// result is iteration-order independent: the only update is a wraparound
+// addition by a constant.
+func (r *Reduction) Eval(src Source) ([]byte, error) {
+	if len(r.Init) != r.Bins {
+		return nil, fmt.Errorf("ir: reduction %s has %d init values for %d bins", r.Name, len(r.Init), r.Bins)
+	}
+	bins := append([]uint64(nil), r.Init...)
+	ev := evaluator{src: src}
+	for y := 0; y < r.DomH; y++ {
+		for x := 0; x < r.DomW; x++ {
+			v, err := ev.evalBits(r.Index, x, y, 0)
+			if err != nil {
+				return nil, fmt.Errorf("ir: kernel %s at (%d,%d): %w", r.Name, x, y, err)
+			}
+			idx := int64(v)
+			if idx < 0 || idx >= int64(r.Bins) {
+				return nil, fmt.Errorf("ir: kernel %s at (%d,%d): %w", r.Name, x, y, errRedIndex(idx, r.Bins))
+			}
+			bins[idx] = maskW(bins[idx]+r.Delta, r.Elem)
+		}
+	}
+	return r.serialize(bins), nil
+}
+
+// serialize renders the bins as the little-endian byte table the legacy
+// binary's output buffer holds.
+func (r *Reduction) serialize(bins []uint64) []byte {
+	out := make([]byte, 0, r.Bins*r.Elem)
+	for _, v := range bins {
+		for i := 0; i < r.Elem; i++ {
+			out = append(out, byte(v>>(8*i)))
+		}
+	}
+	return out
+}
+
+// String renders the reduction as a Halide-like update definition.
+func (r *Reduction) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// %s: %d bins x %d byte(s) over a %dx%d domain\n", r.Name, r.Bins, r.Elem, r.DomW, r.DomH)
+	uniform := true
+	for _, v := range r.Init {
+		if v != r.Init[0] {
+			uniform = false
+			break
+		}
+	}
+	if uniform && len(r.Init) > 0 {
+		fmt.Fprintf(&b, "bins(t) = %d\n", r.Init[0])
+	} else {
+		b.WriteString("bins(t) = <per-bin init>\n")
+	}
+	fmt.Fprintf(&b, "bins[%s] += %d\n", r.Index, r.Delta)
+	return b.String()
+}

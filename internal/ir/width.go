@@ -193,6 +193,8 @@ func inferWidths(p *Program) widthInfo {
 			h = min(a()>>(8*uint(in.val)), in.mask)
 		case OpSelect:
 			h = max(b(), hi[in.c])
+		case OpCmpEq, OpCmpNe, OpCmpLtS, OpCmpLeS, OpCmpLtU, OpCmpLeU:
+			h = 1
 		case OpTable:
 			h = tableBound(in.table, in.elem)
 		default:

@@ -1,0 +1,262 @@
+package legacy
+
+import (
+	"helium/internal/asm"
+	"helium/internal/image"
+	"helium/internal/isa"
+	"helium/internal/vm"
+)
+
+// blur2pTmpStride is the scanline stride of the filter's private scratch
+// plane.  It is deliberately not the image stride and not a round number:
+// buffer reconstruction must rediscover it from the write runs.
+const blur2pTmpStride = 4
+
+// buildBlur2p assembles the two-pass separable box blur legacy binary.
+// The filter pipelines through a statically allocated scratch plane the
+// way shipped binaries use private temporaries: pass one (hblur) writes a
+// horizontally blurred copy of rows -1..h into the scratch buffer, pass
+// two (vblur) blurs the scratch vertically into the destination.  Each
+// pass divides by 3 with rounding, so the result is *not* the one-pass
+// 3x3 box blur — the intermediate quantization is real and the lifter
+// must recover both stages to reproduce it.  Both inner loops are
+// unrolled two ways with a peeled remainder.
+func buildBlur2p(tmpBase uint32, width int) (*asm.Builder, *isa.Program) {
+	b := asm.New("blur2p")
+	tstride := int64(width + blur2pTmpStride)
+
+	emitMain(b)
+	emitCopy(b)
+
+	eax := isa.RegOp(isa.EAX)
+	ebx := isa.RegOp(isa.EBX)
+	ecx := isa.RegOp(isa.ECX)
+	esi := isa.RegOp(isa.ESI)
+	edi := isa.RegOp(isa.EDI)
+	esp := isa.RegOp(isa.ESP)
+
+	// filter(src, dst, w, h, stride): run the two passes.
+	{
+		src, dst, w, h, stride := asm.Arg(0), asm.Arg(1), asm.Arg(2), asm.Arg(3), asm.Arg(4)
+		b.Label("filter")
+		b.Prologue(0)
+		// hblur(src, w, h, stride)
+		b.Push(stride)
+		b.Push(h)
+		b.Push(w)
+		b.Push(src)
+		b.Call("hblur")
+		b.Add(esp, isa.ImmOp(16))
+		// vblur(dst, w, h, stride)
+		b.Push(stride)
+		b.Push(h)
+		b.Push(w)
+		b.Push(dst)
+		b.Call("vblur")
+		b.Add(esp, isa.ImmOp(16))
+		b.Epilogue()
+	}
+
+	// avg3 sums three bytes already gathered into eax, rounds, and divides
+	// by 3 (the div leaves the quotient in eax and clobbers edx).
+	avg3 := func() {
+		b.Inc(eax)
+		b.Mov(ebx, isa.ImmOp(3))
+		b.Div(ebx)
+	}
+
+	// hblur(src, w, h, stride): tmp rows 0..h+1 = horizontal [1 1 1]/3 of
+	// src rows -1..h (the source plane's edge padding supplies the border).
+	{
+		src, w, h, stride := asm.Arg(0), asm.Arg(1), asm.Arg(2), asm.Arg(3)
+		ty, pairEnd := asm.Local(1), asm.Local(2)
+
+		lane := func(k int32) {
+			b.Movzx(eax, isa.MemOp(isa.ESI, isa.ECX, 1, k-1, 1))
+			b.Movzx(ebx, isa.MemOp(isa.ESI, isa.ECX, 1, k, 1))
+			b.Add(eax, ebx)
+			b.Movzx(ebx, isa.MemOp(isa.ESI, isa.ECX, 1, k+1, 1))
+			b.Add(eax, ebx)
+			avg3()
+			b.Mov(isa.MemOp(isa.EDI, isa.ECX, 1, k, 1), isa.RegOp(isa.AL))
+		}
+
+		b.Label("hblur")
+		b.Prologue(8)
+		b.Mov(ty, isa.ImmOp(0))
+
+		b.Label("h2_row") // for ty in [0, h+2): source row ty-1
+		b.Mov(eax, h)
+		b.Add(eax, isa.ImmOp(2))
+		b.Cmp(ty, eax)
+		b.Jcc(isa.JGE, "h2_done")
+		// esi = src + (ty-1)*stride
+		b.Mov(eax, ty)
+		b.Dec(eax)
+		b.Imul(eax, stride)
+		b.Mov(esi, src)
+		b.Add(esi, eax)
+		// edi = tmp + ty*tstride
+		b.Mov(eax, ty)
+		b.Imul3(isa.EAX, eax, tstride)
+		b.Add(eax, isa.ImmOp(int64(tmpBase)))
+		b.Mov(edi, eax)
+		b.Mov(eax, w)
+		b.And(eax, isa.ImmOp(-2))
+		b.Mov(pairEnd, eax)
+		b.Mov(ecx, isa.ImmOp(0))
+
+		b.Label("h2_x2")
+		b.Cmp(ecx, pairEnd)
+		b.Jcc(isa.JGE, "h2_xrem")
+		lane(0)
+		lane(1)
+		b.Add(ecx, isa.ImmOp(2))
+		b.Jmp("h2_x2")
+
+		b.Label("h2_xrem") // peeled remainder: at most one pixel
+		b.Cmp(ecx, w)
+		b.Jcc(isa.JGE, "h2_rownext")
+		lane(0)
+		b.Inc(ecx)
+
+		b.Label("h2_rownext")
+		b.Inc(ty)
+		b.Jmp("h2_row")
+
+		b.Label("h2_done")
+		b.Epilogue()
+	}
+
+	// vblur(dst, w, h, stride): dst rows 0..h = vertical [1 1 1]/3 of tmp
+	// rows y..y+2.
+	{
+		dst, w, h, stride := asm.Arg(0), asm.Arg(1), asm.Arg(2), asm.Arg(3)
+		y, pairEnd := asm.Local(1), asm.Local(2)
+
+		lane := func(k int32) {
+			b.Movzx(eax, isa.MemOp(isa.ESI, isa.ECX, 1, k, 1))
+			b.Movzx(ebx, isa.MemOp(isa.ESI, isa.ECX, 1, k+int32(tstride), 1))
+			b.Add(eax, ebx)
+			b.Movzx(ebx, isa.MemOp(isa.ESI, isa.ECX, 1, k+2*int32(tstride), 1))
+			b.Add(eax, ebx)
+			avg3()
+			b.Mov(isa.MemOp(isa.EDI, isa.ECX, 1, k, 1), isa.RegOp(isa.AL))
+		}
+
+		b.Label("vblur")
+		b.Prologue(8)
+		b.Mov(y, isa.ImmOp(0))
+
+		b.Label("v2_row")
+		b.Mov(eax, y)
+		b.Cmp(eax, h)
+		b.Jcc(isa.JGE, "v2_done")
+		// esi = tmp + y*tstride (rows y, y+1, y+2 via displacements)
+		b.Mov(eax, y)
+		b.Imul3(isa.EAX, eax, tstride)
+		b.Add(eax, isa.ImmOp(int64(tmpBase)))
+		b.Mov(esi, eax)
+		// edi = dst + y*stride
+		b.Mov(eax, y)
+		b.Imul(eax, stride)
+		b.Mov(edi, dst)
+		b.Add(edi, eax)
+		b.Mov(eax, w)
+		b.And(eax, isa.ImmOp(-2))
+		b.Mov(pairEnd, eax)
+		b.Mov(ecx, isa.ImmOp(0))
+
+		b.Label("v2_x2")
+		b.Cmp(ecx, pairEnd)
+		b.Jcc(isa.JGE, "v2_xrem")
+		lane(0)
+		lane(1)
+		b.Add(ecx, isa.ImmOp(2))
+		b.Jmp("v2_x2")
+
+		b.Label("v2_xrem") // peeled remainder: at most one pixel
+		b.Cmp(ecx, w)
+		b.Jcc(isa.JGE, "v2_rownext")
+		lane(0)
+		b.Inc(ecx)
+
+		b.Label("v2_rownext")
+		b.Inc(y)
+		b.Jmp("v2_row")
+
+		b.Label("v2_done")
+		b.Epilogue()
+	}
+
+	return b, b.MustBuild()
+}
+
+// blur2pReference computes the expected output in pure Go: the horizontal
+// pass into an (h+2)-row temp with per-pass rounding, then the vertical
+// pass.
+func blur2pReference(pl *image.Plane) []byte {
+	w, h := pl.Width, pl.Height
+	tmp := make([][]byte, h+2)
+	for ty := range tmp {
+		tmp[ty] = make([]byte, w)
+		sy := ty - 1
+		for x := 0; x < w; x++ {
+			s := int(pl.At(x-1, sy)) + int(pl.At(x, sy)) + int(pl.At(x+1, sy))
+			tmp[ty][x] = byte((s + 1) / 3)
+		}
+	}
+	out := make([]byte, 0, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			s := int(tmp[y][x]) + int(tmp[y+1][x]) + int(tmp[y+2][x])
+			out = append(out, byte((s+1)/3))
+		}
+	}
+	return out
+}
+
+func blur2pKernel() Kernel {
+	return Kernel{
+		Name:        "blur2p",
+		Description: "two-pass separable box blur through a private scratch plane, per-pass rounding, unrolled x2",
+		Instantiate: func(cfg Config) *Instance {
+			pl := image.NewPlane(cfg.Width, cfg.Height, 1)
+			pl.FillPattern(cfg.Seed)
+			srcBytes := append([]byte(nil), pl.Pix...)
+			srcAddr, dstAddr := bufAddrs(len(srcBytes))
+			origin := pl.Index(0, 0)
+			// The scratch plane lives in its own pages past the destination,
+			// the way a legacy binary owns a static work buffer.
+			tmpBase := dstAddr + uint32((len(srcBytes)+0xfff)&^0xfff) + 0x1000
+			builder, prog := buildBlur2p(tmpBase, cfg.Width)
+
+			inst := &Instance{
+				Name:          "blur2p",
+				Prog:          prog,
+				FilterEntry:   mustFilterEntry(builder, prog),
+				Width:         cfg.Width,
+				Height:        cfg.Height,
+				Channels:      1,
+				InputInterior: pl.Interior(),
+				Reference:     blur2pReference(pl),
+			}
+			inst.setup = func(m *vm.Machine, apply bool) {
+				m.Reset()
+				m.Mem.WriteBytes(srcAddr, srcBytes)
+				writeParams(m, apply, srcAddr, dstAddr,
+					cfg.Width, cfg.Height, pl.Stride,
+					srcAddr+uint32(origin), dstAddr+uint32(origin), len(srcBytes))
+			}
+			inst.readOutput = func(m *vm.Machine) []byte {
+				out := make([]byte, 0, cfg.Width*cfg.Height)
+				for yy := 0; yy < cfg.Height; yy++ {
+					row := m.Mem.ReadBytes(dstAddr+uint32(pl.Index(0, yy)), cfg.Width)
+					out = append(out, row...)
+				}
+				return out
+			}
+			return inst
+		},
+	}
+}

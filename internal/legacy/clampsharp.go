@@ -1,0 +1,197 @@
+package legacy
+
+import (
+	"helium/internal/asm"
+	"helium/internal/image"
+	"helium/internal/isa"
+	"helium/internal/vm"
+)
+
+// buildClampSharp assembles the branch-clamped sharpen legacy binary: an
+// integer unsharp mask (5*center minus the four neighbors) over a padded
+// planar plane whose clamp to [0, 255] uses real conditional branches —
+// the control-flow-divergent shape the predicated lifter must collapse
+// into one select/min/max tree.  The sample loop is unrolled two ways with
+// a peeled remainder.
+func buildClampSharp() (*asm.Builder, *isa.Program) {
+	b := asm.New("clampsharp")
+
+	emitMain(b)
+	emitCopy(b)
+
+	eax := isa.RegOp(isa.EAX)
+	ebx := isa.RegOp(isa.EBX)
+	ecx := isa.RegOp(isa.ECX)
+	edx := isa.RegOp(isa.EDX)
+	esi := isa.RegOp(isa.ESI)
+	edi := isa.RegOp(isa.EDI)
+
+	src, dst, w, h, stride := asm.Arg(0), asm.Arg(1), asm.Arg(2), asm.Arg(3), asm.Arg(4)
+	y, pairEnd := asm.Local(1), asm.Local(2)
+
+	// lane emits one pixel at offset esi/edi + ecx + k: the unsharp value
+	// clamped with two branch diamonds.  tag keeps the clamp labels unique
+	// per emitted copy.
+	lane := func(k int32, tag string) {
+		// v = 5*c - (l + r + u + d)
+		b.Movzx(eax, isa.MemOp(isa.ESI, isa.ECX, 1, k, 1))
+		b.Imul3(isa.EAX, eax, 5)
+		b.Movzx(ebx, isa.MemOp(isa.ESI, isa.ECX, 1, k-1, 1))
+		b.Sub(eax, ebx)
+		b.Movzx(ebx, isa.MemOp(isa.ESI, isa.ECX, 1, k+1, 1))
+		b.Sub(eax, ebx)
+		b.Lea(isa.EDX, isa.MemOp(isa.ESI, isa.ECX, 1, k, 4))
+		b.Sub(edx, stride)
+		b.Movzx(ebx, isa.Mem(isa.EDX, 0, 1))
+		b.Sub(eax, ebx)
+		b.Add(edx, stride)
+		b.Add(edx, stride)
+		b.Movzx(ebx, isa.Mem(isa.EDX, 0, 1))
+		b.Sub(eax, ebx)
+		// if (v < 0) v = 0 — a real branch, not the sar/and idiom
+		b.Cmp(eax, isa.ImmOp(0))
+		b.Jcc(isa.JGE, "cs_lo_"+tag)
+		b.Mov(eax, isa.ImmOp(0))
+		b.Label("cs_lo_" + tag)
+		// if (v > 255) v = 255
+		b.Cmp(eax, isa.ImmOp(255))
+		b.Jcc(isa.JLE, "cs_hi_"+tag)
+		b.Mov(eax, isa.ImmOp(255))
+		b.Label("cs_hi_" + tag)
+		b.Mov(isa.MemOp(isa.EDI, isa.ECX, 1, k, 1), isa.RegOp(isa.AL))
+	}
+
+	b.Label("filter") // filter(src, dst, w, h, stride)
+	b.Prologue(8)
+	b.Mov(y, isa.ImmOp(0))
+
+	b.Label("cs_row")
+	b.Mov(eax, y)
+	b.Cmp(eax, h)
+	b.Jcc(isa.JGE, "cs_done")
+	b.Mov(eax, y)
+	b.Imul(eax, stride)
+	b.Mov(esi, src)
+	b.Add(esi, eax)
+	b.Mov(edi, dst)
+	b.Add(edi, eax)
+	b.Mov(eax, w)
+	b.And(eax, isa.ImmOp(-2))
+	b.Mov(pairEnd, eax)
+	b.Mov(ecx, isa.ImmOp(0))
+
+	b.Label("cs_x2") // unrolled x2
+	b.Cmp(ecx, pairEnd)
+	b.Jcc(isa.JGE, "cs_xrem")
+	lane(0, "a")
+	lane(1, "b")
+	b.Add(ecx, isa.ImmOp(2))
+	b.Jmp("cs_x2")
+
+	b.Label("cs_xrem") // peeled remainder: at most one pixel
+	b.Cmp(ecx, w)
+	b.Jcc(isa.JGE, "cs_rownext")
+	lane(0, "r")
+	b.Inc(ecx)
+
+	b.Label("cs_rownext")
+	b.Inc(y)
+	b.Jmp("cs_row")
+
+	b.Label("cs_done")
+	b.Epilogue()
+
+	return b, b.MustBuild()
+}
+
+// clampSharpValue computes the unclamped unsharp value of one pixel — the
+// single source of truth the reference output and the divergence check
+// share.
+func clampSharpValue(pl *image.Plane, x, y int) int {
+	return 5*int(pl.At(x, y)) -
+		(int(pl.At(x-1, y)) + int(pl.At(x+1, y)) +
+			int(pl.At(x, y-1)) + int(pl.At(x, y+1)))
+}
+
+// clampSharpReference computes the expected output in pure Go.
+func clampSharpReference(pl *image.Plane) []byte {
+	out := make([]byte, 0, pl.Width*pl.Height)
+	for y := 0; y < pl.Height; y++ {
+		for x := 0; x < pl.Width; x++ {
+			v := clampSharpValue(pl, x, y)
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			out = append(out, byte(v))
+		}
+	}
+	return out
+}
+
+// ClampSharpDiverges reports whether the clamp branches of the reference
+// output diverge three ways (below, inside and above range) on the given
+// config — the property that makes the instance exercise predicated
+// lifting.  Tests assert it for the shipped configurations.
+func ClampSharpDiverges(cfg Config) bool {
+	pl := image.NewPlane(cfg.Width, cfg.Height, 1)
+	pl.FillPattern(cfg.Seed)
+	low, mid, high := false, false, false
+	for y := 0; y < pl.Height; y++ {
+		for x := 0; x < pl.Width; x++ {
+			switch v := clampSharpValue(pl, x, y); {
+			case v < 0:
+				low = true
+			case v > 255:
+				high = true
+			default:
+				mid = true
+			}
+		}
+	}
+	return low && mid && high
+}
+
+func clampSharpKernel() Kernel {
+	return Kernel{
+		Name:        "clampsharp",
+		Description: "integer unsharp mask over a padded planar plane, clamped with real branches, unrolled x2",
+		Instantiate: func(cfg Config) *Instance {
+			builder, prog := buildClampSharp()
+			pl := image.NewPlane(cfg.Width, cfg.Height, 1)
+			pl.FillPattern(cfg.Seed)
+			srcBytes := append([]byte(nil), pl.Pix...)
+			srcAddr, dstAddr := bufAddrs(len(srcBytes))
+			origin := pl.Index(0, 0)
+
+			inst := &Instance{
+				Name:          "clampsharp",
+				Prog:          prog,
+				FilterEntry:   mustFilterEntry(builder, prog),
+				Width:         cfg.Width,
+				Height:        cfg.Height,
+				Channels:      1,
+				InputInterior: pl.Interior(),
+				Reference:     clampSharpReference(pl),
+			}
+			inst.setup = func(m *vm.Machine, apply bool) {
+				m.Reset()
+				m.Mem.WriteBytes(srcAddr, srcBytes)
+				writeParams(m, apply, srcAddr, dstAddr,
+					cfg.Width, cfg.Height, pl.Stride,
+					srcAddr+uint32(origin), dstAddr+uint32(origin), len(srcBytes))
+			}
+			inst.readOutput = func(m *vm.Machine) []byte {
+				out := make([]byte, 0, cfg.Width*cfg.Height)
+				for yy := 0; yy < cfg.Height; yy++ {
+					row := m.Mem.ReadBytes(dstAddr+uint32(pl.Index(0, yy)), cfg.Width)
+					out = append(out, row...)
+				}
+				return out
+			}
+			return inst
+		},
+	}
+}

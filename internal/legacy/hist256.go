@@ -1,0 +1,147 @@
+package legacy
+
+import (
+	"encoding/binary"
+
+	"helium/internal/asm"
+	"helium/internal/image"
+	"helium/internal/isa"
+	"helium/internal/vm"
+)
+
+// hist256Bins is the accumulator table size: one 4-byte bin per 8-bit
+// sample value.
+const hist256Bins = 256
+
+// buildHist256 assembles the histogram legacy binary: the filter zeroes a
+// 256-bin dword table at the start of the destination buffer, then walks
+// the source plane incrementing the bin its sample value selects — the
+// classic accumulate-into-table reduction no stencil expression can
+// model.  The pixel loop is unrolled two ways with a peeled remainder.
+func buildHist256() (*asm.Builder, *isa.Program) {
+	b := asm.New("hist256")
+
+	emitMain(b)
+	emitCopy(b)
+
+	eax := isa.RegOp(isa.EAX)
+	ecx := isa.RegOp(isa.ECX)
+	esi := isa.RegOp(isa.ESI)
+	edi := isa.RegOp(isa.EDI)
+
+	src, dst, w, h, stride := asm.Arg(0), asm.Arg(1), asm.Arg(2), asm.Arg(3), asm.Arg(4)
+	y, pairEnd := asm.Local(1), asm.Local(2)
+
+	// lane counts one sample: inc dword [edi + 4*src[x+k]].
+	lane := func(k int32) {
+		b.Movzx(eax, isa.MemOp(isa.ESI, isa.ECX, 1, k, 1))
+		b.Inc(isa.MemOp(isa.EDI, isa.EAX, 4, 0, 4))
+	}
+
+	b.Label("filter") // filter(src, dst, w, h, stride)
+	b.Prologue(8)
+	b.Mov(edi, dst)
+
+	// Zero the bin table.
+	b.Mov(ecx, isa.ImmOp(0))
+	b.Label("hz_zero")
+	b.Cmp(ecx, isa.ImmOp(hist256Bins))
+	b.Jcc(isa.JGE, "hz_count")
+	b.Mov(isa.MemOp(isa.EDI, isa.ECX, 4, 0, 4), isa.ImmOp(0))
+	b.Inc(ecx)
+	b.Jmp("hz_zero")
+
+	b.Label("hz_count")
+	b.Mov(y, isa.ImmOp(0))
+
+	b.Label("hz_row")
+	b.Mov(eax, y)
+	b.Cmp(eax, h)
+	b.Jcc(isa.JGE, "hz_done")
+	b.Mov(eax, y)
+	b.Imul(eax, stride)
+	b.Mov(esi, src)
+	b.Add(esi, eax)
+	b.Mov(eax, w)
+	b.And(eax, isa.ImmOp(-2))
+	b.Mov(pairEnd, eax)
+	b.Mov(ecx, isa.ImmOp(0))
+
+	b.Label("hz_x2") // unrolled x2
+	b.Cmp(ecx, pairEnd)
+	b.Jcc(isa.JGE, "hz_xrem")
+	lane(0)
+	lane(1)
+	b.Add(ecx, isa.ImmOp(2))
+	b.Jmp("hz_x2")
+
+	b.Label("hz_xrem") // peeled remainder: at most one pixel
+	b.Cmp(ecx, w)
+	b.Jcc(isa.JGE, "hz_rownext")
+	lane(0)
+	b.Inc(ecx)
+
+	b.Label("hz_rownext")
+	b.Inc(y)
+	b.Jmp("hz_row")
+
+	b.Label("hz_done")
+	b.Epilogue()
+
+	return b, b.MustBuild()
+}
+
+// hist256Reference computes the expected bin table in pure Go.
+func hist256Reference(interior []byte) []byte {
+	var bins [hist256Bins]uint32
+	for _, s := range interior {
+		bins[s]++
+	}
+	out := make([]byte, 0, hist256Bins*4)
+	for _, v := range bins {
+		out = binary.LittleEndian.AppendUint32(out, v)
+	}
+	return out
+}
+
+func hist256Kernel() Kernel {
+	return Kernel{
+		Name:        "hist256",
+		Description: "256-bin dword histogram of a planar plane (accumulate-into-table reduction), unrolled x2",
+		Instantiate: func(cfg Config) *Instance {
+			builder, prog := buildHist256()
+			pl := image.NewPlane(cfg.Width, cfg.Height, 0)
+			pl.FillPattern(cfg.Seed)
+			srcBytes := append([]byte(nil), pl.Pix...)
+			srcAddr, dstAddr := bufAddrs(len(srcBytes))
+			// With the filter off the table window shows the baseline copy's
+			// first bytes: the copied source buffer (padding included),
+			// zero-filled past its end for small images.
+			offRef := make([]byte, hist256Bins*4)
+			copy(offRef, srcBytes)
+
+			inst := &Instance{
+				Name:          "hist256",
+				Prog:          prog,
+				FilterEntry:   mustFilterEntry(builder, prog),
+				Width:         cfg.Width,
+				Height:        cfg.Height,
+				Channels:      1,
+				InputInterior: pl.Interior(),
+				Reference:     hist256Reference(pl.Interior()),
+				OffReference:  offRef,
+			}
+			inst.setup = func(m *vm.Machine, apply bool) {
+				m.Reset()
+				m.Mem.WriteBytes(srcAddr, srcBytes)
+				writeParams(m, apply, srcAddr, dstAddr,
+					cfg.Width, cfg.Height, pl.Stride,
+					srcAddr, dstAddr, len(srcBytes))
+			}
+			inst.readOutput = func(m *vm.Machine) []byte {
+				return m.Mem.ReadBytes(dstAddr, hist256Bins*4)
+			}
+			return inst
+		},
+	}
+}

@@ -9,9 +9,13 @@
 //
 // The kernels exhibit the obfuscations the paper fights: brighten is a
 // lookup-table kernel unrolled four ways with a peeled remainder loop,
-// boxblur3 runs its unrolled inner loop under a tiled column driver, and
+// boxblur3 runs its unrolled inner loop under a tiled column driver,
 // sharpen mixes unrolled x87 floating point code, a known library call and
-// branch-free clamping over an interleaved RGB layout.
+// branch-free clamping over an interleaved RGB layout, blur2p pipelines
+// two separable blur passes through a private scratch plane (multi-stage
+// lifting), hist256 accumulates a 256-bin histogram table (reduction
+// lifting), and clampsharp clamps with real conditional branches
+// (predicated lifting).
 package legacy
 
 import (
@@ -78,6 +82,13 @@ type Instance struct {
 	// filter), computed by a pure Go reimplementation.
 	Reference []byte
 
+	// OffReference is the expected output when the filter flag is off —
+	// the baseline copy seen through ReadOutput's window.  Nil means the
+	// input interior (image filters whose output window mirrors the
+	// input); reductions read a table window the copy fills with raw
+	// buffer bytes instead.
+	OffReference []byte
+
 	setup      func(m *vm.Machine, apply bool)
 	readOutput func(m *vm.Machine) []byte
 }
@@ -110,7 +121,10 @@ type Kernel struct {
 
 // Kernels returns the corpus in a stable order.
 func Kernels() []Kernel {
-	return []Kernel{brightenKernel(), boxBlurKernel(), sharpenKernel()}
+	return []Kernel{
+		brightenKernel(), boxBlurKernel(), sharpenKernel(),
+		blur2pKernel(), hist256Kernel(), clampSharpKernel(),
+	}
 }
 
 // Lookup finds a corpus kernel by name.

@@ -124,7 +124,15 @@ func reconstructOutput(known KnownInput, memTrace []trace.MemAccess) (*OutputDes
 			best = r
 		}
 	}
+	return regionGeometry(best, known)
+}
 
+// regionGeometry reads the row structure off one written region's sorted
+// byte addresses: maximal contiguous runs are scanlines, the spacing of
+// run starts is the stride.  A single contiguous run (a tightly packed
+// buffer) falls back to dimensionality inference from the known injected
+// image.
+func regionGeometry(best []uint64, known KnownInput) (*OutputDesc, error) {
 	// Split the region into contiguous runs.
 	var runs [][2]uint64 // [start, length]
 	runStart := best[0]

@@ -35,6 +35,8 @@ func rewrite(e *ir.Expr) *ir.Expr {
 	}
 
 	switch e.Op {
+	case ir.OpSelect:
+		return rewriteSelect(e)
 	case ir.OpZExt:
 		// Zero extension of a value that already fits its source width is
 		// the value itself.
@@ -185,6 +187,114 @@ func maskOf(width int) uint64 {
 
 func isConst(e *ir.Expr, v int64) bool {
 	return e.Op == ir.OpConst && e.Val == v
+}
+
+// rewriteSelect simplifies a predicated node produced by branch-aware
+// lifting.  A constant condition picks its arm, equal arms collapse, and
+// the compare-and-pick shapes that are provably clamps become min/max —
+// anything else stays a select.
+func rewriteSelect(e *ir.Expr) *ir.Expr {
+	cond, a, b := e.Args[0], e.Args[1], e.Args[2]
+	if cond.Op == ir.OpConst {
+		if cond.Val != 0 {
+			return a
+		}
+		return b
+	}
+	if a.Key() == b.Key() {
+		return a
+	}
+	// Hoist the store-narrowing byte extraction out of the arms so clamp
+	// recognition sees the compare operands themselves:
+	//
+	//	select(c, byteN(x), K) == byteN(select(c, x, K))
+	//
+	// (a select only picks a value, so extraction commutes with it; a
+	// constant arm that already fits the extracted width is its own
+	// extraction).  The rewritten select often becomes min/max, whose
+	// bounds then discharge the extraction entirely.
+	if h := hoistExtract(cond, a, b); h != nil {
+		return h
+	}
+	if cond.Op != ir.OpCmpLtS && cond.Op != ir.OpCmpLeS {
+		return e
+	}
+	// select(x < y, x, y) is min(x, y); select(x < y, y, x) is max(x, y).
+	// Both hold for <= as well: on equality every form yields the same
+	// value.
+	l, r := cond.Args[0], cond.Args[1]
+	lk, rk, ak, bk := l.Key(), r.Key(), a.Key(), b.Key()
+	w := cond.Width
+	if ak == lk && bk == rk {
+		return rewrite(&ir.Expr{Op: ir.OpMin, Width: w, Args: []*ir.Expr{a, b}})
+	}
+	if ak == rk && bk == lk {
+		return rewrite(&ir.Expr{Op: ir.OpMax, Width: w, Args: []*ir.Expr{a, b}})
+	}
+	// Two-sided clamps built from sequential branches:
+	//
+	//	select(L <= v, min(v, C), L)  ==  min(max(v, L), C)   when C >= L
+	//	select(v <= C, max(v, L), C)  ==  min(max(v, L), C)   when C >= L
+	//
+	// (the dropped compare cannot fire on the clamped side because the
+	// clamp constants are ordered).
+	if l.Op == ir.OpConst && b.Op == ir.OpConst && l.Val == b.Val &&
+		a.Op == ir.OpMin && len(a.Args) == 2 {
+		if c := constOperand(a, rk); c != nil && c.Val >= l.Val {
+			return rewrite(&ir.Expr{Op: ir.OpMin, Width: w, Args: []*ir.Expr{
+				rewrite(&ir.Expr{Op: ir.OpMax, Width: w, Args: []*ir.Expr{r, ir.Const(l.Val)}}), c,
+			}})
+		}
+	}
+	if r.Op == ir.OpConst && b.Op == ir.OpConst && r.Val == b.Val &&
+		a.Op == ir.OpMax && len(a.Args) == 2 {
+		if c := constOperand(a, lk); c != nil && r.Val >= c.Val {
+			return rewrite(&ir.Expr{Op: ir.OpMin, Width: w, Args: []*ir.Expr{
+				rewrite(&ir.Expr{Op: ir.OpMax, Width: w, Args: []*ir.Expr{l, c}}), ir.Const(r.Val),
+			}})
+		}
+	}
+	return e
+}
+
+// hoistExtract rewrites select(c, byte0(x), y) to byte0(select(c, x, y))
+// when y is a constant fitting the extracted width (or an identical
+// extraction), and nil when the shape does not apply.
+func hoistExtract(cond, a, b *ir.Expr) *ir.Expr {
+	ex := a
+	other, otherFirst := b, false
+	if ex.Op != ir.OpExtract || ex.Val != 0 {
+		ex, other, otherFirst = b, a, true
+	}
+	if ex.Op != ir.OpExtract || ex.Val != 0 {
+		return nil
+	}
+	var inner *ir.Expr
+	switch {
+	case other.Op == ir.OpConst && other.Val >= 0 && uint64(other.Val) <= maskOf(ex.Width):
+		inner = other
+	case other.Op == ir.OpExtract && other.Val == 0 && other.Width == ex.Width && other.SrcWidth == ex.SrcWidth:
+		inner = other.Args[0]
+	default:
+		return nil
+	}
+	args := []*ir.Expr{cond, ex.Args[0], inner}
+	if otherFirst {
+		args = []*ir.Expr{cond, inner, ex.Args[0]}
+	}
+	sel := rewriteSelect(&ir.Expr{Op: ir.OpSelect, Args: args})
+	return rewrite(&ir.Expr{Op: ir.OpExtract, Val: 0, Width: ex.Width, SrcWidth: ex.SrcWidth, Args: []*ir.Expr{sel}})
+}
+
+// constOperand returns the constant bound of a two-operand min/max whose
+// other operand's key is vKey.
+func constOperand(m *ir.Expr, vKey string) *ir.Expr {
+	for i, arg := range m.Args {
+		if arg.Op == ir.OpConst && m.Args[1-i].Key() == vKey {
+			return arg
+		}
+	}
+	return nil
 }
 
 // matchMax recognizes the branch-free lower clamp

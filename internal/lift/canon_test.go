@@ -1,0 +1,110 @@
+package lift_test
+
+import (
+	"testing"
+
+	"helium/internal/ir"
+	"helium/internal/lift"
+)
+
+// cmp builds a width-4 comparison node.
+func cmp(op ir.Op, a, b *ir.Expr) *ir.Expr { return ir.Bin(op, 4, a, b) }
+
+// sel builds a select node.
+func sel(cond, a, b *ir.Expr) *ir.Expr {
+	return &ir.Expr{Op: ir.OpSelect, Args: []*ir.Expr{cond, a, b}}
+}
+
+// v builds the stand-in value expression the select tests predicate on: a
+// width-4 subtraction of two taps, which is bounded but can go negative
+// (so clamps are not discharged by interval analysis alone).
+func v() *ir.Expr {
+	return ir.Bin(ir.OpSub, 4,
+		&ir.Expr{Op: ir.OpZExt, Width: 4, SrcWidth: 1, Args: []*ir.Expr{ir.Load(0, 0, 0)}},
+		&ir.Expr{Op: ir.OpZExt, Width: 4, SrcWidth: 1, Args: []*ir.Expr{ir.Load(1, 0, 0)}})
+}
+
+// TestCanonSelectToMinMax pins the clamp-from-branches rewrites: the
+// compare-and-pick shapes predicated lifting produces must canonicalize to
+// the same min/max trees branch-free clamp idioms produce, so both clamp
+// styles collapse to one kernel.
+func TestCanonSelectToMinMax(t *testing.T) {
+	cases := []struct {
+		name string
+		in   *ir.Expr
+		want string
+	}{
+		{"le-min", sel(cmp(ir.OpCmpLeS, v(), ir.Const(255)), v(), ir.Const(255)),
+			"min((in(x, y) - in(x+1, y)), 255)"},
+		{"le-max", sel(cmp(ir.OpCmpLeS, ir.Const(0), v()), v(), ir.Const(0)),
+			"max((in(x, y) - in(x+1, y)), 0)"},
+		{"lt-min", sel(cmp(ir.OpCmpLtS, v(), ir.Const(17)), v(), ir.Const(17)),
+			"min((in(x, y) - in(x+1, y)), 17)"},
+		{"lt-max", sel(cmp(ir.OpCmpLtS, ir.Const(-3), v()), v(), ir.Const(-3)),
+			"max((in(x, y) - in(x+1, y)), -3)"},
+		// Two-sided clamp diamonds, in both branch orders.
+		{"low-then-high", sel(cmp(ir.OpCmpLeS, ir.Const(0), v()),
+			&ir.Expr{Op: ir.OpMin, Width: 4, Args: []*ir.Expr{v(), ir.Const(255)}}, ir.Const(0)),
+			"min(max((in(x, y) - in(x+1, y)), 0), 255)"},
+		{"high-then-low", sel(cmp(ir.OpCmpLeS, v(), ir.Const(255)),
+			&ir.Expr{Op: ir.OpMax, Width: 4, Args: []*ir.Expr{v(), ir.Const(0)}}, ir.Const(255)),
+			"min(max((in(x, y) - in(x+1, y)), 0), 255)"},
+		// Constant conditions pick their arm; equal arms collapse.
+		{"const-true", sel(ir.Const(1), v(), ir.Const(9)), "(in(x, y) - in(x+1, y))"},
+		{"const-false", sel(ir.Const(0), v(), ir.Const(9)), "9"},
+		{"equal-arms", sel(cmp(ir.OpCmpEq, v(), ir.Const(4)), v(), v()),
+			"(in(x, y) - in(x+1, y))"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := lift.Canonicalize(tc.in).String()
+			if got != tc.want {
+				t.Errorf("Canonicalize:\n got:  %s\n want: %s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCanonSelectKept pins the shapes that must NOT turn into min/max:
+// unprovable predicates stay as honest selects.
+func TestCanonSelectKept(t *testing.T) {
+	cases := []struct {
+		name string
+		in   *ir.Expr
+	}{
+		// Equality picks between unrelated values: no clamp to prove.
+		{"eq", sel(cmp(ir.OpCmpEq, v(), ir.Const(7)), ir.Const(1), ir.Const(2))},
+		// Unsigned compare is not the signed min/max the IR ops define.
+		{"unsigned", sel(cmp(ir.OpCmpLtU, v(), ir.Const(255)), v(), ir.Const(255))},
+		// The picked values are not the compared values.
+		{"unrelated-arms", sel(cmp(ir.OpCmpLtS, v(), ir.Const(9)), ir.Const(3), ir.Const(4))},
+		// A two-sided shape whose constants are mis-ordered (C < L) is not
+		// a clamp: min(max(v,L),C) would differ on the clamped side.
+		{"misordered-clamp", sel(cmp(ir.OpCmpLeS, ir.Const(200), v()),
+			&ir.Expr{Op: ir.OpMin, Width: 4, Args: []*ir.Expr{v(), ir.Const(100)}}, ir.Const(200))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := lift.Canonicalize(tc.in)
+			if got.Op != ir.OpSelect {
+				t.Errorf("Canonicalize rewrote an unprovable select to %s", got)
+			}
+		})
+	}
+}
+
+// TestCanonSelectExtractHoist pins the store-narrowing hoist: the byte
+// extraction the final store wraps around the unclamped arm must not hide
+// the clamp from recognition.
+func TestCanonSelectExtractHoist(t *testing.T) {
+	ext := func(e *ir.Expr) *ir.Expr {
+		return &ir.Expr{Op: ir.OpExtract, Val: 0, Width: 1, SrcWidth: 4, Args: []*ir.Expr{e}}
+	}
+	in := sel(cmp(ir.OpCmpLeS, ir.Const(0), v()),
+		sel(cmp(ir.OpCmpLeS, v(), ir.Const(255)), ext(v()), ir.Const(255)),
+		ir.Const(0))
+	want := "min(max((in(x, y) - in(x+1, y)), 0), 255)"
+	if got := lift.Canonicalize(in).String(); got != want {
+		t.Errorf("Canonicalize:\n got:  %s\n want: %s", got, want)
+	}
+}

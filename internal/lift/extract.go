@@ -1,7 +1,9 @@
 package lift
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"helium/internal/ir"
 	"helium/internal/isa"
@@ -19,10 +21,38 @@ const stencilRadius = 4
 // maxTreeNodes bounds the size of a single extracted expression tree.
 const maxTreeNodes = 1 << 16
 
-// SampleTree is the expression tree extracted for one output sample.
+// guardNodeBudget bounds the slice of a single branch condition during
+// guard collection.  Data-dependent guards (clamp compares) are tiny; loop
+// machinery over large images can chain thousands of counter increments,
+// and a condition that blows this budget is treated as loop control and
+// skipped rather than failing the sample.
+const guardNodeBudget = 4096
+
+// maxGuards bounds how many distinct data-dependent branch conditions one
+// sample may be predicated on (2^maxGuards paths could exist in theory;
+// real clamp diamonds produce two or three).
+const maxGuards = 16
+
+// errTreeTooLarge marks a slice that exceeded its node budget.
+var errTreeTooLarge = errors.New("expression tree too large")
+
+// Guard records one data-dependent conditional branch the sample's dynamic
+// window executed: Cond is the canonicalized predicate that holds when the
+// branch is taken, Taken the outcome observed for this sample.
+type Guard struct {
+	// Key is Cond's canonical key, shared by every sample that executed
+	// the same static compare.
+	Key   string
+	Cond  *ir.Expr
+	Taken bool
+}
+
+// SampleTree is the expression tree extracted for one output sample,
+// together with the branch predicates that guarded it.
 type SampleTree struct {
 	X, Y, C int
 	Expr    *ir.Expr
+	Guards  []Guard
 }
 
 // extractor performs backward slicing over one captured instruction trace.
@@ -36,10 +66,24 @@ type extractor struct {
 	xo, yo     int
 	curChannel int
 
+	// abs switches inputLoad to absolute coordinates: loads carry the
+	// input pixel itself rather than an offset from an output pixel.  The
+	// reduction recognizer uses this mode, where there is no output pixel
+	// to be relative to.
+	abs bool
+
+	// outWrites lists (sorted) the trace positions that wrote into the
+	// output region; consecutive entries delimit the per-sample dynamic
+	// windows guard collection scans.
+	outWrites []int
+
 	// memo caches resolved references by their defining write, so shared
 	// subexpressions become shared nodes within one sample's tree.
 	memo  map[memoKey]*ir.Expr
 	nodes int
+	// limit is the active node budget: maxTreeNodes for the value slice,
+	// temporarily tightened while slicing branch conditions.
+	limit int
 }
 
 type memoKey struct {
@@ -75,21 +119,22 @@ func ExtractWorkers(tr *trace.InstTrace, prog *isa.Program, bufs *Buffers, worke
 	// workers only ever read the trace (the tracer usually built it
 	// already, in which case this is free).
 	tr.EnsureWriteIndex()
+	outWrites := outputWrites(tr, out)
 
 	// One sample per chunk: a single backward slice is heavy enough that
 	// the hand-out cursor never dominates, and finer chunks balance the
 	// very uneven per-sample slicing cost.
 	err := par.For(total, 1, workers, func(int) func(int, int) error {
-		ex := &extractor{tr: tr, prog: prog, bufs: bufs}
+		ex := &extractor{tr: tr, prog: prog, bufs: bufs, outWrites: outWrites}
 		return func(start, end int) error {
 			for i := start; i < end; i++ {
 				y, b := i/out.RowBytes, i%out.RowBytes
 				x, c := b/out.Channels, b%out.Channels
-				e, err := ex.sample(x, y, c)
+				e, guards, err := ex.sample(x, y, c)
 				if err != nil {
 					return fmt.Errorf("lift: extracting output sample (%d,%d,%d): %w", x, y, c, err)
 				}
-				trees[i] = SampleTree{X: x, Y: y, C: c, Expr: e}
+				trees[i] = SampleTree{X: x, Y: y, C: c, Expr: e, Guards: guards}
 			}
 			return nil
 		}
@@ -100,36 +145,235 @@ func ExtractWorkers(tr *trace.InstTrace, prog *isa.Program, bufs *Buffers, worke
 	return trees, nil
 }
 
-// sample slices the final write to output sample (x, y, c).
-func (ex *extractor) sample(x, y, c int) (*ir.Expr, error) {
+// outputWrites lists, in trace order, the positions whose effects wrote
+// into the output region.  Consecutive output writes delimit the dynamic
+// window of one output sample, which is where guard collection looks for
+// the branches predicating that sample's value.
+func outputWrites(tr *trace.InstTrace, out OutputDesc) []int {
+	lo := out.Base
+	hi := out.Base + uint64(out.Rows-1)*uint64(out.Stride) + uint64(out.RowBytes)
+	var seqs []int
+	for i := range tr.Insts {
+		for _, ef := range tr.Insts[i].Effects {
+			d := ef.Dst
+			if d.Space == trace.SpaceMem && d.Addr+uint64(d.Width) > lo && d.Addr < hi {
+				seqs = append(seqs, tr.Insts[i].Seq)
+				break
+			}
+		}
+	}
+	return seqs
+}
+
+// sample slices the final write to output sample (x, y, c) and collects
+// the data-dependent branch guards of its dynamic window.
+func (ex *extractor) sample(x, y, c int) (*ir.Expr, []Guard, error) {
 	addr := ex.bufs.Out.Addr(x, y, c)
 	writes := ex.tr.WritesTo(addr)
 	if len(writes) == 0 {
-		return nil, fmt.Errorf("no trace write to %#x", addr)
+		return nil, nil, fmt.Errorf("no trace write to %#x", addr)
 	}
 	seq := writes[len(writes)-1]
 	di := &ex.tr.Insts[seq]
 	ef := findEffect(di, addr, 1)
 	if ef == nil {
-		return nil, fmt.Errorf("writer %v has no effect covering %#x", di.Op, addr)
+		return nil, nil, fmt.Errorf("writer %v has no effect covering %#x", di.Op, addr)
 	}
 
 	ex.xo, ex.yo, ex.curChannel = x, y, c
 	ex.memo = make(map[memoKey]*ir.Expr)
 	ex.nodes = 0
+	ex.limit = maxTreeNodes
 
 	e, err := ex.effectExpr(di, ef)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Narrow a wider store down to the addressed byte.
 	if off := addr - ef.Dst.Addr; off != 0 || ef.Dst.Width != 1 {
 		if ef.Dst.Float {
-			return nil, fmt.Errorf("output byte %#x is a narrow view of a %d-byte float store; float narrowing is not liftable", addr, ef.Dst.Width)
+			return nil, nil, fmt.Errorf("output byte %#x is a narrow view of a %d-byte float store; float narrowing is not liftable", addr, ef.Dst.Width)
 		}
 		e = &ir.Expr{Op: ir.OpExtract, Val: int64(off), Width: 1, SrcWidth: int(ef.Dst.Width), Args: []*ir.Expr{e}}
 	}
-	return e, nil
+	guards, err := ex.collectGuards(seq)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e, guards, nil
+}
+
+// collectGuards scans the sample's dynamic window — from the previous
+// output write (exclusive) to the sample's own write at seq — for
+// conditional branches whose condition depends on input data, and records
+// each as a (predicate, outcome) guard.  Conditions without input loads
+// (loop counters, tile bounds) are discarded; conditions whose slice blows
+// the guard budget are treated as loop machinery and skipped.
+func (ex *extractor) collectGuards(seq int) ([]Guard, error) {
+	i := sort.SearchInts(ex.outWrites, seq)
+	start := 0
+	if i > 0 {
+		start = ex.outWrites[i-1] + 1
+	}
+	var guards []Guard
+	byKey := make(map[string]int)
+	for s := start; s < seq; s++ {
+		di := &ex.tr.Insts[s]
+		if !di.Op.IsCondJump() {
+			continue
+		}
+		// Each guard gets its own budget on top of whatever has been
+		// sliced so far — deliberately not capped at maxTreeNodes, or a
+		// long window of skipped loop conditions would saturate the
+		// counter and make every later (genuine) guard look too large.
+		ex.limit = ex.nodes + guardNodeBudget
+		cond, err := ex.condExpr(s, di.Op)
+		ex.limit = maxTreeNodes
+		if err != nil {
+			if errors.Is(err, errTreeTooLarge) {
+				continue
+			}
+			return nil, fmt.Errorf("guard at seq %d: %w", s, err)
+		}
+		cond = Canonicalize(cond)
+		if !containsLoad(cond) {
+			continue
+		}
+		key := cond.Key()
+		if prev, ok := byKey[key]; ok {
+			if guards[prev].Taken != di.Taken {
+				return nil, fmt.Errorf("guard at seq %d: condition %s observed with both outcomes in one sample window", s, cond)
+			}
+			continue
+		}
+		byKey[key] = len(guards)
+		guards = append(guards, Guard{Key: key, Cond: cond, Taken: di.Taken})
+		if len(guards) > maxGuards {
+			return nil, fmt.Errorf("sample window is predicated on more than %d data-dependent branches", maxGuards)
+		}
+	}
+	return guards, nil
+}
+
+// containsLoad reports whether the expression reads any input sample.
+func containsLoad(e *ir.Expr) bool {
+	found := false
+	visitLoads(e, func(*ir.Expr) { found = true })
+	return found
+}
+
+// condExpr lifts the condition of the conditional jump or set opcode cc
+// evaluated at trace position seq, as the predicate that holds when the
+// branch is taken (the set condition is true).  It slices the operands of
+// the flags-producing compare and maps the condition code onto the IR's
+// comparison operators.
+func (ex *extractor) condExpr(seq int, cc isa.Opcode) (*ir.Expr, error) {
+	w, ok := ex.tr.LastWriteBefore(seq, trace.FlagsAddr, 1)
+	if !ok {
+		return nil, fmt.Errorf("%v at seq %d has no flags producer in the trace", cc, seq)
+	}
+	pdi := &ex.tr.Insts[w]
+	ef := findEffect(pdi, trace.FlagsAddr, 1)
+	if ef == nil {
+		return nil, fmt.Errorf("flags producer %v at seq %d has no flags effect", pdi.Op, w)
+	}
+	width := int(pdi.Width)
+	if width == 0 {
+		width = 4
+	}
+
+	switch ef.Op {
+	case trace.OpCmp:
+		a, err := ex.refExpr(pdi.Seq, ef.Srcs[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := ex.refExpr(pdi.Seq, ef.Srcs[1])
+		if err != nil {
+			return nil, err
+		}
+		return predAfterCmp(cc, width, a, b, pdi)
+
+	case trace.OpTest:
+		a, err := ex.refExpr(pdi.Seq, ef.Srcs[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := ex.refExpr(pdi.Seq, ef.Srcs[1])
+		if err != nil {
+			return nil, err
+		}
+		v := a
+		if a.Key() != b.Key() {
+			v = ir.Bin(ir.OpAnd, width, a, b)
+		}
+		return predOfValue(cc, width, v, pdi)
+
+	default:
+		// An arithmetic instruction set the flags: the sign and zero
+		// conditions reflect its stored result, which the value slice can
+		// reconstruct.  Conditions that need the overflow or carry flag of
+		// an arithmetic result are not reconstructible from the value alone.
+		for i := range pdi.Effects {
+			vf := &pdi.Effects[i]
+			if vf.Dst.Space != trace.SpaceFlags && vf.Dst.Space != trace.SpaceNone && vf.Op == ef.Op {
+				v, err := ex.effectExpr(pdi, vf)
+				if err != nil {
+					return nil, err
+				}
+				return predOfValue(cc, width, v, pdi)
+			}
+		}
+		return nil, fmt.Errorf("%v at %#x consumes flags of %v at %#x, which has no reconstructible value; the nearest liftable pattern compares with cmp or test",
+			cc, ex.tr.Insts[seq].Addr, pdi.Op, pdi.Addr)
+	}
+}
+
+// predAfterCmp maps a condition code evaluated after cmp(a, b) onto the
+// IR comparison that is true exactly when the condition holds.
+func predAfterCmp(cc isa.Opcode, w int, a, b *ir.Expr, pdi *trace.DynInst) (*ir.Expr, error) {
+	switch cc {
+	case isa.JZ, isa.SETZ:
+		return ir.Bin(ir.OpCmpEq, w, a, b), nil
+	case isa.JNZ, isa.SETNZ:
+		return ir.Bin(ir.OpCmpNe, w, a, b), nil
+	case isa.JL:
+		return ir.Bin(ir.OpCmpLtS, w, a, b), nil
+	case isa.JGE:
+		return ir.Bin(ir.OpCmpLeS, w, b, a), nil
+	case isa.JLE:
+		return ir.Bin(ir.OpCmpLeS, w, a, b), nil
+	case isa.JG:
+		return ir.Bin(ir.OpCmpLtS, w, b, a), nil
+	case isa.JB, isa.SETB:
+		return ir.Bin(ir.OpCmpLtU, w, a, b), nil
+	case isa.JNB, isa.SETNB:
+		return ir.Bin(ir.OpCmpLeU, w, b, a), nil
+	case isa.JBE:
+		return ir.Bin(ir.OpCmpLeU, w, a, b), nil
+	case isa.JA:
+		return ir.Bin(ir.OpCmpLtU, w, b, a), nil
+	}
+	return nil, fmt.Errorf("%v after %v at %#x mixes sign and overflow flags and is not liftable; the nearest supported patterns are the signed (jl/jge/jle/jg) and unsigned (jb/jnb/jbe/ja) compare-and-branch forms",
+		cc, pdi.Op, pdi.Addr)
+}
+
+// predOfValue maps a condition code onto a predicate over a reconstructed
+// result value (test a, a; arithmetic flag producers).
+func predOfValue(cc isa.Opcode, w int, v *ir.Expr, pdi *trace.DynInst) (*ir.Expr, error) {
+	zero := ir.Const(0)
+	switch cc {
+	case isa.JZ, isa.SETZ:
+		return ir.Bin(ir.OpCmpEq, w, v, zero), nil
+	case isa.JNZ, isa.SETNZ:
+		return ir.Bin(ir.OpCmpNe, w, v, zero), nil
+	case isa.JS:
+		return ir.Bin(ir.OpCmpLtS, w, v, zero), nil
+	case isa.JNS:
+		return ir.Bin(ir.OpCmpLeS, w, zero, v), nil
+	}
+	return nil, fmt.Errorf("%v after %v at %#x needs carry or overflow state a value slice cannot reconstruct; the nearest supported pattern is an explicit cmp before the branch",
+		cc, pdi.Op, pdi.Addr)
 }
 
 // findEffect returns the effect of di whose destination covers the byte
@@ -147,8 +391,8 @@ func findEffect(di *trace.DynInst, addr uint64, width uint8) *trace.Effect {
 
 // refExpr resolves one operand reference observed at trace position seq.
 func (ex *extractor) refExpr(seq int, ref trace.Ref) (*ir.Expr, error) {
-	if ex.nodes > maxTreeNodes {
-		return nil, fmt.Errorf("expression tree exceeds %d nodes", maxTreeNodes)
+	if ex.nodes > ex.limit {
+		return nil, fmt.Errorf("%w (over %d nodes)", errTreeTooLarge, ex.limit)
 	}
 	switch ref.Space {
 	case trace.SpaceImm:
@@ -158,7 +402,20 @@ func (ex *extractor) refExpr(seq int, ref trace.Ref) (*ir.Expr, error) {
 		}
 		return ir.Const(int64(ref.Val)), nil
 	case trace.SpaceFlags:
-		return nil, fmt.Errorf("flags dependence in a value slice (conditional data flow is not liftable here)")
+		return nil, fmt.Errorf("%v at %#x (seq %d) consumes raw flag bits as data; only setcc, conditional branches and cmp/test flag flows are liftable",
+			ex.tr.Insts[seq].Op, ex.tr.Insts[seq].Addr, seq)
+	}
+
+	// Input-region reads terminate the slice as stencil taps, even when an
+	// earlier stage of the same filter wrote them: stage boundaries are
+	// where multi-stage slicing stops (the producing stage is lifted
+	// separately).  For first-stage inputs the bytes predate the trace and
+	// this matches the no-trace-write path below.
+	if ref.Space == trace.SpaceMem {
+		if e, ok := ex.inputLoad(ref); ok {
+			ex.nodes++
+			return e, nil
+		}
 	}
 
 	// A previous traced write defines the value: slice through it.
@@ -177,10 +434,6 @@ func (ex *extractor) refExpr(seq int, ref trace.Ref) (*ir.Expr, error) {
 
 	// No trace write: the value predates tracing.
 	if ref.Space == trace.SpaceMem {
-		if e, ok := ex.inputLoad(ref); ok {
-			ex.nodes++
-			return e, nil
-		}
 		if seg := ex.dataSegment(ref); seg != nil {
 			return ex.segmentRef(seq, ref, seg)
 		}
@@ -199,7 +452,8 @@ func (ex *extractor) throughWrite(w int, ref trace.Ref) (*ir.Expr, error) {
 	di := &ex.tr.Insts[w]
 	ef := findEffect(di, ref.Addr, ref.Width)
 	if ef == nil {
-		return nil, fmt.Errorf("seq %d (%v) partially overlaps %v; partial-write slicing is unsupported", w, di.Op, ref)
+		return nil, fmt.Errorf("%v at %#x (seq %d) wrote only part of %v; partial-write slicing is unsupported — the nearest liftable pattern stores the full destination width before any wider read (split the store, or read back at the stored width)",
+			di.Op, di.Addr, w, ref)
 	}
 	e, err := ex.effectExpr(di, ef)
 	if err != nil {
@@ -285,14 +539,24 @@ func (ex *extractor) effectExpr(di *trace.DynInst, ef *trace.Effect) (*ir.Expr, 
 			return nil, err
 		}
 		return &ir.Expr{Op: ir.OpFPToInt, Width: w, Args: []*ir.Expr{child}}, nil
+
+	case trace.OpSelectSet:
+		// setcc materializes a flag condition as a 0/1 byte: lift the
+		// condition itself, which the IR comparisons express directly.
+		cond, err := ex.condExpr(di.Seq, di.Op)
+		if err != nil {
+			return nil, err
+		}
+		return cond, nil
 	}
 
 	op, ok := simple[ef.Op]
 	if !ok {
-		return nil, fmt.Errorf("seq %d: effect op %v is not liftable", di.Seq, ef.Op)
+		return nil, fmt.Errorf("%v at %#x (seq %d): effect op %v is not liftable", di.Op, di.Addr, di.Seq, ef.Op)
 	}
 	if len(ef.Srcs) != arity(op) {
-		return nil, fmt.Errorf("seq %d: %v with %d operands (flag-carrying forms are not liftable)", di.Seq, ef.Op, len(ef.Srcs))
+		return nil, fmt.Errorf("%v at %#x (seq %d): %v with %d operands reads the carry flag as data; flag-carrying chains (adc/sbb) are not liftable — the nearest supported pattern is plain add/sub at the full operand width",
+			di.Op, di.Addr, di.Seq, ef.Op, len(ef.Srcs))
 	}
 	args := make([]*ir.Expr, len(ef.Srcs))
 	for i, src := range ef.Srcs {
@@ -313,9 +577,12 @@ func arity(op ir.Op) int {
 	return 2
 }
 
-// inputLoad tries to interpret a pre-trace memory read as an input buffer
-// tap.  The address maps to candidate (x, y) coordinates through the input
-// geometry; the candidate within stencilRadius of the output pixel wins.
+// inputLoad tries to interpret a memory read as an input buffer tap.  The
+// address maps to candidate (x, y) coordinates through the input geometry;
+// the candidate within stencilRadius of the output pixel wins.  In
+// absolute mode (the reduction recognizer, which has no output pixel) the
+// load instead carries the input pixel itself and must land inside the
+// interior scanline.
 func (ex *extractor) inputLoad(ref trace.Ref) (*ir.Expr, bool) {
 	if ref.Width != 1 {
 		return nil, false
@@ -324,6 +591,19 @@ func (ex *extractor) inputLoad(ref trace.Ref) (*ir.Expr, bool) {
 	t := int64(ref.Addr) - int64(in.Base)
 	y0 := floorDiv(t, in.Stride)
 	rem := t - y0*in.Stride
+
+	if ex.abs {
+		if rem < 0 || rem >= in.Stride {
+			return nil, false
+		}
+		var xi, ci int
+		if in.Interleaved {
+			xi, ci = int(rem)/in.Channels, int(rem)%in.Channels
+		} else {
+			xi, ci = int(rem), 0
+		}
+		return ir.Load(xi, int(y0), ci), true
+	}
 
 	best := (*ir.Expr)(nil)
 	bestDist := stencilRadius*2 + 1

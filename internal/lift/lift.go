@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"strings"
 
 	"helium/internal/image"
 	"helium/internal/ir"
@@ -15,10 +16,16 @@ import (
 type Result struct {
 	// Loc is the code localization outcome.
 	Loc *Localization
-	// Bufs is the reconstructed buffer structure.
+	// Bufs holds the first-stage input and final-stage output geometries.
 	Bufs *Buffers
-	// Kernel is the lifted stencil kernel.
+	// Stages is the lifted filter pipeline in execution order; single-pass
+	// filters have exactly one stage.
+	Stages []Stage
+	// Kernel is the final stage's stencil kernel (nil when the filter ends
+	// in a reduction).
 	Kernel *ir.Kernel
+	// Reduction is the final stage's reduction (nil for stencil filters).
+	Reduction *ir.Reduction
 	// Dump is the memory dump captured alongside the instruction trace; it
 	// holds both the pristine input pages and the final output pages, so
 	// verification needs no further VM runs.
@@ -27,16 +34,20 @@ type Result struct {
 	// and total executed instructions of the trace run.
 	TraceInsts int
 	TraceSteps uint64
-	// Samples is the number of output samples whose trees were extracted.
+	// Samples is the number of output samples whose trees were extracted
+	// (domain pixels for reductions), summed over stages.
 	Samples int
 }
 
 // Lift runs the whole pipeline against a target: localize the filter by
-// coverage diffing, capture a detailed instruction trace of it, rebuild
-// the buffer structure, extract one expression tree per output sample, and
-// canonicalize the trees.  Lifting succeeds only if, per channel, every
-// output sample canonicalized to the same tree — the paper's test that
-// unrolled, peeled and tiled copies really collapsed to one stencil.
+// coverage diffing, capture a detailed instruction trace of it, discover
+// the stage structure from the written regions, rebuild each stage's
+// buffer geometry, extract one expression tree per output sample, and
+// canonicalize the trees.  Lifting succeeds only if, per channel and
+// stage, every output sample canonicalized to one tree — or to a family
+// of predicated trees whose branch guards merge into a single select tree
+// (the paper's test that unrolled, peeled, tiled and branch-diverged
+// copies really collapsed to one stencil).
 func Lift(name string, t Target) (*Result, error) {
 	loc, err := Localize(t)
 	if err != nil {
@@ -53,69 +64,155 @@ func Lift(name string, t Target) (*Result, error) {
 		return nil, fmt.Errorf("lift: localized filter %#x was never entered during tracing", loc.FilterEntry)
 	}
 
-	bufs, err := ReconstructBuffers(t.Known, loc.MemTrace, tres.Dump)
+	in0, err := locateInput(t.Known, tres.Dump)
 	if err != nil {
 		return nil, err
 	}
-
-	trees, err := Extract(tres.Trace, t.Prog, bufs)
+	regions, err := stageRegions(loc.MemTrace)
 	if err != nil {
 		return nil, err
 	}
-
-	kernel, err := unify(name, bufs, trees)
-	if err != nil {
-		return nil, err
+	if len(regions) > 1 && t.Known.Interleaved {
+		return nil, fmt.Errorf("lift: filter writes %d regions; multi-stage lifting supports planar layouts only", len(regions))
 	}
 
+	stages := make([]Stage, 0, len(regions))
+	curIn := *in0
+	samples := 0
+	for i, reg := range regions {
+		stageName := name
+		if len(regions) > 1 {
+			stageName = fmt.Sprintf("%s#%d", name, i)
+		}
+		if reg.maxWrites >= 2 {
+			// Bytes rewritten during the filter are accumulator slots, not
+			// image samples (stencil outputs are stored exactly once).
+			if i != len(regions)-1 {
+				return nil, fmt.Errorf("lift: intermediate region at %#x is rewritten like an accumulator table; reductions are only liftable as the final stage", reg.addrs[0])
+			}
+			red, out, err := recognizeReduction(stageName, tres.Trace, t.Prog, curIn, reg, t.Known)
+			if err != nil {
+				return nil, err
+			}
+			stages = append(stages, Stage{Red: red, In: curIn, Out: *out})
+			samples += red.DomW * red.DomH
+			continue
+		}
+
+		out, err := regionGeometry(reg.addrs, t.Known)
+		if err != nil {
+			return nil, err
+		}
+		bufs := &Buffers{In: curIn, Out: *out}
+		trees, err := Extract(tres.Trace, t.Prog, bufs)
+		if err != nil {
+			return nil, err
+		}
+		kernel, err := unify(stageName, bufs, trees)
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 {
+			if err := checkStageFootprint(kernel, stages[i-1].Out); err != nil {
+				return nil, err
+			}
+		}
+		stages = append(stages, Stage{Kernel: kernel, In: curIn, Out: *out})
+		samples += len(trees)
+		curIn = stageInput(*out, t.Known.Interleaved)
+	}
+
+	last := &stages[len(stages)-1]
 	return &Result{
 		Loc:        loc,
-		Bufs:       bufs,
-		Kernel:     kernel,
+		Bufs:       &Buffers{In: *in0, Out: last.Out},
+		Stages:     stages,
+		Kernel:     last.Kernel,
+		Reduction:  last.Red,
 		Dump:       tres.Dump,
 		TraceInsts: len(tres.Trace.Insts),
 		TraceSteps: tres.Steps,
-		Samples:    len(trees),
+		Samples:    samples,
 	}, nil
 }
 
-// unify canonicalizes all sample trees, demands a single canonical tree
-// per channel, and assembles the lifted kernel with stencil offsets
-// centered on the input pixel corresponding to each output pixel.
+// guardVal is one condition's observed outcome within a tree group.
+type guardVal struct {
+	cond  *ir.Expr
+	taken bool
+}
+
+// gtree is one group of samples that canonicalized to the same expression
+// under the same branch-guard assignment.
+type gtree struct {
+	expr   *ir.Expr
+	guards map[string]guardVal
+	count  int
+}
+
+// groupKey renders a group's identity: the canonical expression key plus
+// the sorted guard assignment.
+func groupKey(exprKey string, guards map[string]guardVal) string {
+	keys := make([]string, 0, len(guards))
+	for k := range guards {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(exprKey)
+	for _, k := range keys {
+		b.WriteString("|")
+		b.WriteString(k)
+		if guards[k].taken {
+			b.WriteString("=T")
+		} else {
+			b.WriteString("=F")
+		}
+	}
+	return b.String()
+}
+
+// unify canonicalizes all sample trees, merges predicated families into
+// select trees, demands a single tree per channel, and assembles the
+// lifted kernel with stencil offsets centered on the input pixel
+// corresponding to each output pixel.
 func unify(name string, bufs *Buffers, trees []SampleTree) (*ir.Kernel, error) {
 	channels := bufs.Out.Channels
-	type group struct {
-		expr  *ir.Expr
-		count int
-	}
-	groups := make([]map[string]*group, channels)
+	groups := make([]map[string]*gtree, channels)
 	for c := range groups {
-		groups[c] = make(map[string]*group)
+		groups[c] = make(map[string]*gtree)
 	}
 	for _, st := range trees {
 		canon := Canonicalize(st.Expr)
-		key := canon.Key()
+		guards := make(map[string]guardVal, len(st.Guards))
+		for _, g := range st.Guards {
+			guards[g.Key] = guardVal{cond: g.Cond, taken: g.Taken}
+		}
+		key := groupKey(canon.Key(), guards)
 		g := groups[st.C][key]
 		if g == nil {
-			g = &group{expr: canon}
+			g = &gtree{expr: canon, guards: guards}
 			groups[st.C][key] = g
 		}
 		g.count++
 	}
 
 	reps := make([]*ir.Expr, channels)
-	for c, gs := range groups {
-		if len(gs) != 1 {
-			counts := make([]int, 0, len(gs))
-			for _, g := range gs {
-				counts = append(counts, g.count)
-			}
-			sort.Sort(sort.Reverse(sort.IntSlice(counts)))
-			return nil, fmt.Errorf("lift: channel %d trees did not collapse: %d distinct canonical trees (counts %v)", c, len(gs), counts)
+	for c, gm := range groups {
+		keys := make([]string, 0, len(gm))
+		for k := range gm {
+			keys = append(keys, k)
 		}
-		for _, g := range gs {
-			reps[c] = g.expr.Clone()
+		sort.Strings(keys)
+		gs := make([]*gtree, len(keys))
+		for i, k := range keys {
+			gs[i] = gm[k]
 		}
+		merged, err := mergeGroups(gs)
+		if err != nil {
+			return nil, fmt.Errorf("lift: channel %d: %w", c, err)
+		}
+		reps[c] = Canonicalize(merged)
 	}
 
 	// Center the stencil: shift all load offsets so the output pixel sits
@@ -152,6 +249,122 @@ func unify(name string, bufs *Buffers, trees []SampleTree) (*ir.Kernel, error) {
 		OriginY:   oy,
 		Trees:     reps,
 	}, nil
+}
+
+// mergeGroups collapses a family of guarded tree groups into one
+// expression.  A single unguarded group is the classic fully-collapsed
+// case.  Otherwise the most widely observed condition splits the family:
+// groups that took the branch go to the select's true arm, groups that
+// fell through go to the false arm, and groups that never consulted the
+// condition (their path decided it away, for example by clamping to a
+// constant first) are valid under either outcome and join both sides.
+// When every deciding group agrees on one outcome the condition never
+// diverged on this input; it is dropped, and the bit-exact differential
+// verification downstream gates the elision.
+func mergeGroups(groups []*gtree) (*ir.Expr, error) {
+	groups = dedupeGroups(groups)
+	bare := true
+	for _, g := range groups {
+		if len(g.guards) > 0 {
+			bare = false
+			break
+		}
+	}
+	if bare {
+		if len(groups) == 1 {
+			return groups[0].expr, nil
+		}
+		counts := make([]int, 0, len(groups))
+		for _, g := range groups {
+			counts = append(counts, g.count)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+		return nil, fmt.Errorf("trees did not collapse: %d distinct canonical trees (counts %v)", len(groups), counts)
+	}
+
+	// Split on the condition observed by the most groups (ties break to
+	// the smallest key, keeping the merge deterministic).
+	seen := map[string]int{}
+	for _, g := range groups {
+		for k := range g.guards {
+			seen[k]++
+		}
+	}
+	best := ""
+	for k, n := range seen {
+		if best == "" || n > seen[best] || (n == seen[best] && k < best) {
+			best = k
+		}
+	}
+	var cond *ir.Expr
+	var tg, fg []*gtree
+	ambiguous := 0
+	for _, g := range groups {
+		gv, ok := g.guards[best]
+		if !ok {
+			tg = append(tg, stripGuard(g, best))
+			fg = append(fg, stripGuard(g, best))
+			ambiguous++
+			continue
+		}
+		cond = gv.cond
+		if gv.taken {
+			tg = append(tg, stripGuard(g, best))
+		} else {
+			fg = append(fg, stripGuard(g, best))
+		}
+	}
+	if len(tg) == ambiguous || len(fg) == ambiguous {
+		// The branch went the same way for every sample that reached it:
+		// the unobserved side cannot be reconstructed, so the condition is
+		// elided (it holds on every observed sample).
+		all := make([]*gtree, 0, len(groups))
+		for _, g := range groups {
+			all = append(all, stripGuard(g, best))
+		}
+		return mergeGroups(all)
+	}
+	t, err := mergeGroups(tg)
+	if err != nil {
+		return nil, err
+	}
+	f, err := mergeGroups(fg)
+	if err != nil {
+		return nil, err
+	}
+	return &ir.Expr{Op: ir.OpSelect, Args: []*ir.Expr{cond, t, f}}, nil
+}
+
+// stripGuard copies a group without the given condition key.
+func stripGuard(g *gtree, key string) *gtree {
+	out := &gtree{expr: g.expr, count: g.count, guards: make(map[string]guardVal, len(g.guards))}
+	for k, v := range g.guards {
+		if k != key {
+			out.guards[k] = v
+		}
+	}
+	return out
+}
+
+// dedupeGroups merges groups that became identical after guard stripping
+// (duplicated ambiguous groups meeting again on one side of a split).
+func dedupeGroups(groups []*gtree) []*gtree {
+	byKey := make(map[string]*gtree)
+	var keys []string
+	for _, g := range groups {
+		k := groupKey(g.expr.Key(), g.guards)
+		if prev, ok := byKey[k]; ok {
+			prev.count += g.count
+			continue
+		}
+		byKey[k] = g
+		keys = append(keys, k)
+	}
+	out := make([]*gtree, len(keys))
+	for i, k := range keys {
+		out[i] = byKey[k]
+	}
+	return out
 }
 
 // visitLoads calls fn once per distinct load node.  The visited-set makes
@@ -229,15 +442,25 @@ func footprint(k *ir.Kernel) (xlo, xhi, ylo, yhi, dclo, dchi int) {
 
 // MaterializeInput copies the dumped input into a concrete pixel backing
 // (a padded image.Plane for planar kernels, an image.Interleaved for
-// interleaved ones) covering the kernel's whole stencil footprint.  The
-// compiled backend recognizes these backings and fuses every tap into a
-// flat indexed load.  Every coordinate the kernel can touch reads the same
-// byte the dump-backed source yields, so evaluation results are unchanged.
-// When the footprint cannot be represented (an interleaved kernel tapping
-// outside the image), the dump-backed source is returned instead.
+// interleaved ones) covering the first stage's whole stencil footprint.
+// The compiled backend recognizes these backings and fuses every tap into
+// a flat indexed load.  Every coordinate the kernel can touch reads the
+// same byte the dump-backed source yields, so evaluation results are
+// unchanged.  When the footprint cannot be represented (an interleaved
+// kernel tapping outside the image), the dump-backed source is returned
+// instead.
 func (r *Result) MaterializeInput() ir.Source {
 	dsrc := dumpSource{dump: r.Dump, in: r.Bufs.In}
-	k := r.Kernel
+	st0 := &r.Stages[0]
+	k := st0.Kernel
+	if st0.Red != nil {
+		// A reduction's input footprint is its index expression's taps
+		// swept over the whole domain.
+		k = &ir.Kernel{
+			OutWidth: st0.Red.DomW, OutHeight: st0.Red.DomH, Channels: 1,
+			Trees: []*ir.Expr{st0.Red.Index},
+		}
+	}
 	xlo, xhi, ylo, yhi, dclo, dchi := footprint(k)
 	if xhi < 0 || yhi < 0 || xhi < xlo || yhi < ylo {
 		return dsrc
@@ -269,10 +492,9 @@ func (r *Result) MaterializeInput() ir.Source {
 	return ir.PlaneSource{P: p}
 }
 
-// VMOutput reads the bytes the legacy binary wrote to the output region
-// out of the memory dump, row-major.
-func (r *Result) VMOutput() ([]byte, error) {
-	out := r.Bufs.Out
+// vmRegion reads the bytes the legacy binary left in a written region out
+// of the memory dump, row-major.
+func (r *Result) vmRegion(out OutputDesc) ([]byte, error) {
 	buf := make([]byte, 0, out.Rows*out.RowBytes)
 	for y := 0; y < out.Rows; y++ {
 		row, ok := r.Dump.Bytes(out.Base+uint64(y)*uint64(out.Stride), out.RowBytes)
@@ -284,34 +506,190 @@ func (r *Result) VMOutput() ([]byte, error) {
 	return buf, nil
 }
 
-// Verify evaluates the lifted kernel against the dumped input and compares
-// every sample with what the legacy binary actually wrote.  A nil error
-// means the lifted IR is pixel-exact.
-func (r *Result) Verify() error {
-	want, err := r.VMOutput()
-	if err != nil {
-		return err
-	}
-	got, err := r.Kernel.Eval(r.InputSource())
-	if err != nil {
-		return err
-	}
-	return compareToVM("IR evaluation", got, want)
+// VMOutput reads the bytes the legacy binary wrote to the final output
+// region out of the memory dump, row-major.
+func (r *Result) VMOutput() ([]byte, error) {
+	return r.vmRegion(r.Bufs.Out)
 }
 
-// VerifyCompiled lowers the lifted kernel to register programs and checks
-// the compiled backend against the legacy binary's own output on every
-// execution path: serial and parallel (with the given worker count, <= 0
-// meaning GOMAXPROCS), fused (materialized pixel backing) and generic
-// (dump-backed source).  On success it returns the verified compiled
-// kernel so drivers report and benchmark exactly the programs that were
-// checked.
-func (r *Result) VerifyCompiled(workers int) (*ir.CompiledKernel, error) {
+// finalStage returns the pipeline's last stage.
+func (r *Result) finalStage() *Stage { return &r.Stages[len(r.Stages)-1] }
+
+// EvalDims returns the extents size-generic backends evaluate the lifted
+// result at: the final output image for stencils, the input domain for
+// reductions.
+func (r *Result) EvalDims() (int, int) { return finalDims(r.finalStage()) }
+
+// chain evaluates the stage pipeline: stage 0 reads src, every later
+// stage reads its predecessor's computed output, and the final stage's
+// bytes are returned.  Stage extents track the requested final extent by
+// their lifted deltas.  run evaluates one stencil stage (reductions always
+// use their own evaluator); each, when non-nil, observes every stage's
+// output.
+func (r *Result) chain(src ir.Source, outW, outH int,
+	run func(i int, k *ir.Kernel, src ir.Source) ([]byte, error),
+	each func(i int, out []byte) error) ([]byte, error) {
+	final := r.finalStage()
+	var out []byte
+	var err error
+	for i := range r.Stages {
+		st := &r.Stages[i]
+		w, h := stageDims(st, final, outW, outH)
+		if st.Red != nil {
+			red := *st.Red
+			red.DomW, red.DomH = w, h
+			out, err = red.Eval(src)
+		} else {
+			k := *st.Kernel
+			k.OutWidth, k.OutHeight = w, h
+			out, err = run(i, &k, src)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if each != nil {
+			if err := each(i, out); err != nil {
+				return nil, err
+			}
+		}
+		if i+1 < len(r.Stages) {
+			src = stagePlaneSource(out, w, h)
+		}
+	}
+	return out, nil
+}
+
+// EvalIR evaluates the lifted pipeline with the tree-walking interpreter
+// against the dumped input at the lifted geometry.
+func (r *Result) EvalIR() ([]byte, error) {
+	w, h := r.EvalDims()
+	return r.EvalIRAt(r.InputSource(), w, h)
+}
+
+// EvalIRAt evaluates the lifted pipeline with the interpreter against an
+// arbitrary first-stage source, rendering the final stage at (outW, outH).
+func (r *Result) EvalIRAt(src ir.Source, outW, outH int) ([]byte, error) {
+	return r.chain(src, outW, outH, func(_ int, k *ir.Kernel, s ir.Source) ([]byte, error) {
+		return k.Eval(s)
+	}, nil)
+}
+
+// Verify evaluates the lifted pipeline against the dumped input and
+// compares every stage's output — intermediates included — with the bytes
+// the legacy binary actually left in that stage's region.  A nil error
+// means the lifted IR is pixel-exact.
+func (r *Result) Verify() error {
+	w, h := r.EvalDims()
+	_, err := r.chain(r.InputSource(), w, h,
+		func(_ int, k *ir.Kernel, s ir.Source) ([]byte, error) { return k.Eval(s) },
+		func(i int, out []byte) error {
+			want, err := r.vmRegion(r.Stages[i].Out)
+			if err != nil {
+				return err
+			}
+			return compareToVM(fmt.Sprintf("IR evaluation (stage %d)", i), out, want)
+		})
+	return err
+}
+
+// CompiledResult is a lifted result with every stencil stage lowered to
+// register programs.  Reduction stages have no register form (their
+// scatter update is not row-vectorizable) and keep nil entries; the chain
+// evaluators run them through the reduction evaluator.
+type CompiledResult struct {
+	res    *Result
+	Stages []*ir.CompiledKernel
+}
+
+// Compile lowers every stencil stage of the result.
+func (r *Result) Compile() (*CompiledResult, error) {
+	c := &CompiledResult{res: r, Stages: make([]*ir.CompiledKernel, len(r.Stages))}
+	for i := range r.Stages {
+		if r.Stages[i].Kernel == nil {
+			continue
+		}
+		ck, err := r.Stages[i].Kernel.Compile()
+		if err != nil {
+			return nil, err
+		}
+		c.Stages[i] = ck
+	}
+	return c, nil
+}
+
+// Progs returns every stage's channel programs, for reporting.
+func (c *CompiledResult) Progs() []*ir.Program {
+	var out []*ir.Program
+	for _, ck := range c.Stages {
+		if ck != nil {
+			out = append(out, ck.Progs...)
+		}
+	}
+	return out
+}
+
+// Workers reports the effective parallel worker count of the widest
+// stencil stage for a requested value (1 for reduction-only results).
+func (c *CompiledResult) Workers(requested int) int {
+	workers := 1
+	for _, ck := range c.Stages {
+		if ck != nil {
+			workers = max(workers, ck.Workers(requested))
+		}
+	}
+	return workers
+}
+
+// evalAt runs the compiled chain against src at (outW, outH); parallel
+// selects the cache-blocked tiled driver for the stencil stages.
+func (c *CompiledResult) evalAt(src ir.Source, outW, outH int, parallel bool, workers int) ([]byte, error) {
+	return c.res.chain(src, outW, outH, func(i int, k *ir.Kernel, s ir.Source) ([]byte, error) {
+		ck := *c.Stages[i]
+		ck.OutWidth, ck.OutHeight = k.OutWidth, k.OutHeight
+		if parallel {
+			return ck.EvalParallel(s, workers)
+		}
+		return ck.Eval(s)
+	}, nil)
+}
+
+// Eval runs the compiled chain serially at the lifted geometry.
+func (c *CompiledResult) Eval(src ir.Source) ([]byte, error) {
+	w, h := c.res.EvalDims()
+	return c.evalAt(src, w, h, false, 0)
+}
+
+// EvalParallel runs the compiled chain with the tiled parallel driver at
+// the lifted geometry (workers <= 0 means GOMAXPROCS).
+func (c *CompiledResult) EvalParallel(src ir.Source, workers int) ([]byte, error) {
+	w, h := c.res.EvalDims()
+	return c.evalAt(src, w, h, true, workers)
+}
+
+// EvalAt runs the compiled chain serially against an arbitrary
+// first-stage source at a fresh final geometry.
+func (c *CompiledResult) EvalAt(src ir.Source, outW, outH int) ([]byte, error) {
+	return c.evalAt(src, outW, outH, false, 0)
+}
+
+// EvalParallelAt is EvalAt through the tiled parallel driver.
+func (c *CompiledResult) EvalParallelAt(src ir.Source, outW, outH int, workers int) ([]byte, error) {
+	return c.evalAt(src, outW, outH, true, workers)
+}
+
+// VerifyCompiled lowers the lifted pipeline to register programs and
+// checks the compiled backend against the legacy binary's own output on
+// every execution path: serial and parallel (with the given worker count,
+// <= 0 meaning GOMAXPROCS), fused (materialized pixel backing) and
+// generic (dump-backed source).  On success it returns the verified
+// compiled pipeline so drivers report and benchmark exactly the programs
+// that were checked.
+func (r *Result) VerifyCompiled(workers int) (*CompiledResult, error) {
 	want, err := r.VMOutput()
 	if err != nil {
 		return nil, err
 	}
-	ck, err := r.Kernel.Compile()
+	c, err := r.Compile()
 	if err != nil {
 		return nil, err
 	}
@@ -323,14 +701,14 @@ func (r *Result) VerifyCompiled(workers int) (*ir.CompiledKernel, error) {
 		{"generic", r.InputSource()},
 	}
 	for _, p := range paths {
-		got, err := ck.Eval(p.src)
+		got, err := c.Eval(p.src)
 		if err != nil {
 			return nil, fmt.Errorf("lift: compiled %s eval: %w", p.name, err)
 		}
 		if err := compareToVM("compiled "+p.name+" evaluation", got, want); err != nil {
 			return nil, err
 		}
-		got, err = ck.EvalParallel(p.src, workers)
+		got, err = c.EvalParallel(p.src, workers)
 		if err != nil {
 			return nil, fmt.Errorf("lift: compiled %s parallel eval: %w", p.name, err)
 		}
@@ -338,7 +716,7 @@ func (r *Result) VerifyCompiled(workers int) (*ir.CompiledKernel, error) {
 			return nil, err
 		}
 	}
-	return ck, nil
+	return c, nil
 }
 
 // compareToVM demands got matches the VM's output byte for byte.

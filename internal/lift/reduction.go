@@ -1,0 +1,277 @@
+// Reduction recognition.  A histogram-shaped filter never maps cleanly to
+// a stencil: its output bytes are rewritten many times, and which slot a
+// write lands in depends on the *value* of an input pixel, not its
+// coordinates.  The recognizer instead reads the accumulate-into-table
+// pattern straight off the dynamic trace: every slot starts with a
+// constant initializer, every later write adds a constant to the slot's
+// previous value, and the slot address arithmetic names the input pixel
+// through its index register.  Lifting succeeds when every input pixel
+// contributes exactly one update and all updates share one canonical index
+// expression — the Halide-style update definition `bins[f(in(x,y))] += d`.
+package lift
+
+import (
+	"fmt"
+
+	"helium/internal/ir"
+	"helium/internal/isa"
+	"helium/internal/trace"
+)
+
+// redEvent is one accumulate event observed in the trace.
+type redEvent struct {
+	seq  int
+	slot int // bin index, from the write address
+}
+
+// recognizeReduction lifts an accumulator region written by the filter
+// into an ir.Reduction.  in is the stage's input geometry (the image whose
+// pixels drive the updates), reg the clustered write region, known the
+// injected input.
+func recognizeReduction(name string, tr *trace.InstTrace, prog *isa.Program, in InputDesc, reg writeRegion, known KnownInput) (*ir.Reduction, *OutputDesc, error) {
+	if known.Interleaved {
+		return nil, nil, fmt.Errorf("lift: reduction over an interleaved input is not supported")
+	}
+	base := reg.addrs[0]
+	size := len(reg.addrs)
+	if last := reg.addrs[size-1]; last-base+1 != uint64(size) {
+		return nil, nil, fmt.Errorf("lift: accumulator region at %#x has %d holes; a reduction table is contiguous",
+			base, int(last-base+1)-size)
+	}
+
+	// Element width: every write to the region must use one width, which
+	// is the slot size.
+	elem := 0
+	var initSeqs, updSeqs []redEvent
+	for i := range tr.Insts {
+		di := &tr.Insts[i]
+		for e := range di.Effects {
+			ef := &di.Effects[e]
+			d := ef.Dst
+			if d.Space != trace.SpaceMem || d.Addr < base || d.Addr >= base+uint64(size) {
+				continue
+			}
+			if elem == 0 {
+				elem = int(d.Width)
+			} else if int(d.Width) != elem {
+				return nil, nil, fmt.Errorf("lift: accumulator writes mix %d- and %d-byte widths at %#x", elem, d.Width, d.Addr)
+			}
+			if (d.Addr-base)%uint64(elem) != 0 {
+				return nil, nil, fmt.Errorf("lift: accumulator write at %#x is not slot-aligned (element width %d)", d.Addr, elem)
+			}
+			ev := redEvent{seq: di.Seq, slot: int(d.Addr-base) / elem}
+			if ef.Op == trace.OpIdentity {
+				initSeqs = append(initSeqs, ev)
+			} else {
+				updSeqs = append(updSeqs, ev)
+			}
+		}
+	}
+	if elem == 0 || size%elem != 0 {
+		return nil, nil, fmt.Errorf("lift: accumulator region size %d is not a multiple of its %d-byte slots", size, elem)
+	}
+	bins := size / elem
+
+	// Per-slot initial values, from the identity stores that precede the
+	// accumulation (uninitialized slots keep whatever the dump read: the
+	// legacy binary never defined them, so neither do we — reject).
+	ex := &extractor{tr: tr, prog: prog, bufs: &Buffers{In: in}, abs: true}
+	init := make([]uint64, bins)
+	seenInit := make([]bool, bins)
+	for _, ev := range initSeqs {
+		di := &tr.Insts[ev.seq]
+		ef := findEffect(di, base+uint64(ev.slot*elem), uint8(elem))
+		if ef == nil {
+			return nil, nil, fmt.Errorf("lift: initializer at seq %d writes only part of slot %d", ev.seq, ev.slot)
+		}
+		c, err := ex.sliceConst(di.Seq, ef.Srcs[0])
+		if err != nil {
+			return nil, nil, fmt.Errorf("lift: slot %d initializer: %w", ev.slot, err)
+		}
+		init[ev.slot] = uint64(c)
+		seenInit[ev.slot] = true
+	}
+	for s, ok := range seenInit {
+		if !ok {
+			return nil, nil, fmt.Errorf("lift: accumulator slot %d is updated but never initialized by the filter", s)
+		}
+	}
+
+	// Accumulate events: slot += constant, with the slot index addressed
+	// through an input-dependent register.
+	var indexExpr *ir.Expr
+	delta := uint64(0)
+	haveDelta := false
+	seen := make(map[[2]int]int)
+	for _, ev := range updSeqs {
+		di := &tr.Insts[ev.seq]
+		slotAddr := base + uint64(ev.slot*elem)
+		ef := findEffect(di, slotAddr, uint8(elem))
+		if ef == nil {
+			return nil, nil, fmt.Errorf("lift: update at seq %d writes only part of slot %d", ev.seq, ev.slot)
+		}
+		if ef.Op != trace.OpAdd || len(ef.Srcs) != 2 {
+			return nil, nil, fmt.Errorf("lift: update %v at %#x (seq %d) is %v; only additive accumulation (add/inc into the slot) is liftable",
+				di.Op, di.Addr, ev.seq, ef.Op)
+		}
+		// One operand reads the slot back (the accumulator), the other is
+		// the constant contribution.
+		acc := -1
+		for s, src := range ef.Srcs {
+			if src.Space == trace.SpaceMem && src.Addr == slotAddr && int(src.Width) == elem {
+				acc = s
+			}
+		}
+		if acc < 0 {
+			return nil, nil, fmt.Errorf("lift: update %v at %#x (seq %d) does not read its own slot back; not an accumulation",
+				di.Op, di.Addr, ev.seq)
+		}
+		d, err := ex.sliceConst(di.Seq, ef.Srcs[1-acc])
+		if err != nil {
+			return nil, nil, fmt.Errorf("lift: update at seq %d: %w", ev.seq, err)
+		}
+		if haveDelta && uint64(d) != delta {
+			return nil, nil, fmt.Errorf("lift: updates add different constants (%d vs %d); only uniform deltas are liftable", delta, d)
+		}
+		delta, haveDelta = uint64(d), true
+
+		idx, px, py, err := ex.indexExpr(di, slotAddr, base, elem)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lift: update at seq %d: %w", ev.seq, err)
+		}
+		if indexExpr == nil {
+			indexExpr = idx
+		} else if indexExpr.Key() != idx.Key() {
+			return nil, nil, fmt.Errorf("lift: update at seq %d computes index %s, others %s; index expressions did not collapse",
+				ev.seq, idx, indexExpr)
+		}
+		seen[[2]int{px, py}]++
+	}
+	if indexExpr == nil {
+		return nil, nil, fmt.Errorf("lift: accumulator region at %#x has initializers but no updates", base)
+	}
+
+	// Every interior pixel must contribute exactly once: the reduction
+	// domain is the whole input.
+	for y := 0; y < known.Height; y++ {
+		for x := 0; x < known.Width; x++ {
+			switch n := seen[[2]int{x, y}]; {
+			case n == 0:
+				return nil, nil, fmt.Errorf("lift: input pixel (%d,%d) contributed no table update; the reduction domain is not the whole image", x, y)
+			case n > 1:
+				return nil, nil, fmt.Errorf("lift: input pixel (%d,%d) contributed %d updates; only one update per pixel is liftable", x, y, n)
+			}
+		}
+	}
+	if len(seen) != known.Width*known.Height {
+		return nil, nil, fmt.Errorf("lift: %d update pixels fall outside the %dx%d input interior", len(seen)-known.Width*known.Height, known.Width, known.Height)
+	}
+
+	red := &ir.Reduction{
+		Name: name,
+		DomW: known.Width, DomH: known.Height,
+		Bins: bins, Elem: elem,
+		Init:  init,
+		Index: indexExpr,
+		Delta: delta & (1<<(8*elem) - 1),
+	}
+	out := &OutputDesc{
+		Base:     base,
+		Stride:   int64(size),
+		RowBytes: size,
+		Rows:     1,
+		Channels: 1,
+	}
+	return red, out, nil
+}
+
+// sliceConst slices a reference and demands it canonicalize to an integer
+// constant.
+func (ex *extractor) sliceConst(seq int, ref trace.Ref) (int64, error) {
+	ex.memo = make(map[memoKey]*ir.Expr)
+	ex.nodes, ex.limit = 0, maxTreeNodes
+	e, err := ex.refExpr(seq, ref)
+	if err != nil {
+		return 0, err
+	}
+	c := Canonicalize(e)
+	if c.Op != ir.OpConst {
+		return 0, fmt.Errorf("value %s does not reduce to a constant", c)
+	}
+	return c.Val, nil
+}
+
+// indexExpr reconstructs the bin index of one update as an expression
+// over the input pixel that drove it.  The update's memory operand is
+// base + index*scale + disp; with scale equal to the slot width the index
+// register's slice *is* the bin index (plus a constant fold of the base
+// residual), and the absolute input load inside it names the pixel.
+func (ex *extractor) indexExpr(di *trace.DynInst, slotAddr, base uint64, elem int) (idx *ir.Expr, px, py int, err error) {
+	inst := ex.prog.At(di.Addr)
+	var memOp *isa.Operand
+	for _, o := range []*isa.Operand{&inst.Dst, &inst.Src, &inst.Src2} {
+		if o.Kind == isa.KindMem {
+			memOp = o
+			break
+		}
+	}
+	if memOp == nil || !di.HasMem || di.MemAddr != slotAddr {
+		return nil, 0, 0, fmt.Errorf("update %v at %#x has no addressable memory operand", di.Op, di.Addr)
+	}
+	if memOp.Index == isa.RegNone {
+		return nil, 0, 0, fmt.Errorf("update %v at %#x addresses a fixed slot; a data-dependent index register is what makes it a reduction", di.Op, di.Addr)
+	}
+	if int(memOp.Scale) != elem {
+		return nil, 0, 0, fmt.Errorf("update %v at %#x scales its index by %d but slots are %d bytes wide", di.Op, di.Addr, memOp.Scale, elem)
+	}
+
+	ex.memo = make(map[memoKey]*ir.Expr)
+	ex.nodes, ex.limit = 0, maxTreeNodes
+	e, err := ex.addrRegExpr(di.Seq, di, memOp.Index)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+
+	// Constant residual of the addressing: (base reg + disp - table base)
+	// in slots.
+	baseVal := int64(0)
+	if memOp.Base != isa.RegNone {
+		found := false
+		for _, ref := range di.AddrRefs {
+			if ref.Space == trace.SpaceReg && ref.Addr == trace.RegAddr(memOp.Base) {
+				baseVal, found = int64(ref.Val), true
+				break
+			}
+		}
+		if !found {
+			return nil, 0, 0, fmt.Errorf("update at %#x: base register %v not captured", di.Addr, memOp.Base)
+		}
+	}
+	residual := baseVal + int64(int32(memOp.Disp)) - int64(base)
+	if residual%int64(elem) != 0 {
+		return nil, 0, 0, fmt.Errorf("update at %#x: address residual %d is not slot-aligned", di.Addr, residual)
+	}
+	if k := residual / int64(elem); k != 0 {
+		e = ir.Bin(ir.OpAdd, 4, e, ir.Const(k))
+	}
+
+	// The slice carries absolute input loads; exactly one pixel must
+	// appear, and it becomes the reduction's relative (0,0) tap.
+	px, py = -1, -1
+	bad := false
+	visitLoads(e, func(l *ir.Expr) {
+		if l.DC != 0 || (px >= 0 && (l.DX != px || l.DY != py)) {
+			bad = true
+			return
+		}
+		px, py = l.DX, l.DY
+	})
+	if bad {
+		return nil, 0, 0, fmt.Errorf("update at %#x mixes several input pixels or channels in one index", di.Addr)
+	}
+	if px < 0 {
+		return nil, 0, 0, fmt.Errorf("update at %#x has an index independent of the input; not a data reduction", di.Addr)
+	}
+	visitLoads(e, func(l *ir.Expr) { l.DX, l.DY = 0, 0 })
+	return Canonicalize(e), px, py, nil
+}

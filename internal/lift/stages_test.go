@@ -1,0 +1,136 @@
+package lift_test
+
+import (
+	"fmt"
+	"testing"
+
+	"helium/internal/ir"
+	"helium/internal/legacy"
+	"helium/internal/lift"
+)
+
+// TestBlur2pStageStructure pins the discovered pipeline shape of the
+// two-pass blur: two stencil stages chained through the reconstructed
+// scratch plane, with the horizontal pass covering two extra rows and the
+// origins mapping the frames onto each other.
+func TestBlur2pStageStructure(t *testing.T) {
+	k, _ := legacy.Lookup("blur2p")
+	cfg := liftConfigs[0]
+	res, err := lift.Lift(k.Name, target(k.Instantiate(cfg)))
+	if err != nil {
+		t.Fatalf("Lift: %v", err)
+	}
+	if len(res.Stages) != 2 {
+		t.Fatalf("blur2p lifted to %d stage(s), want 2", len(res.Stages))
+	}
+	s0, s1 := &res.Stages[0], &res.Stages[1]
+	if s0.Kernel == nil || s1.Kernel == nil {
+		t.Fatal("blur2p stages must both be stencils")
+	}
+	if s0.Kernel.OutWidth != cfg.Width || s0.Kernel.OutHeight != cfg.Height+2 {
+		t.Errorf("stage 0 extent %dx%d, want %dx%d (one extra row above and below)",
+			s0.Kernel.OutWidth, s0.Kernel.OutHeight, cfg.Width, cfg.Height+2)
+	}
+	if s1.Kernel.OutWidth != cfg.Width || s1.Kernel.OutHeight != cfg.Height {
+		t.Errorf("stage 1 extent %dx%d, want %dx%d", s1.Kernel.OutWidth, s1.Kernel.OutHeight, cfg.Width, cfg.Height)
+	}
+	if s0.Kernel.OriginY != -1 || s1.Kernel.OriginY != 1 {
+		t.Errorf("stage origins y (%d, %d), want (-1, 1)", s0.Kernel.OriginY, s1.Kernel.OriginY)
+	}
+	// The scratch plane's stride is an addressing detail of the binary;
+	// reconstruction must have recovered it from the write runs.
+	if want := int64(cfg.Width + 4); s0.Out.Stride != want {
+		t.Errorf("scratch stride %d, want %d", s0.Out.Stride, want)
+	}
+	// Stage 1 reads the scratch region stage 0 wrote.
+	if s1.In.Base != s0.Out.Base || s1.In.Stride != s0.Out.Stride {
+		t.Errorf("stage 1 input %#x/%d does not chain to stage 0 output %#x/%d",
+			s1.In.Base, s1.In.Stride, s0.Out.Base, s0.Out.Stride)
+	}
+}
+
+// TestHist256ReductionStructure pins the recognized reduction: 256 4-byte
+// zero-initialized bins, indexed by the pixel value, incremented by one.
+func TestHist256ReductionStructure(t *testing.T) {
+	k, _ := legacy.Lookup("hist256")
+	cfg := liftConfigs[0]
+	res, err := lift.Lift(k.Name, target(k.Instantiate(cfg)))
+	if err != nil {
+		t.Fatalf("Lift: %v", err)
+	}
+	if res.Kernel != nil || res.Reduction == nil || len(res.Stages) != 1 {
+		t.Fatalf("hist256 must lift to a single reduction stage (kernel=%v reduction=%v stages=%d)",
+			res.Kernel != nil, res.Reduction != nil, len(res.Stages))
+	}
+	r := res.Reduction
+	if r.Bins != 256 || r.Elem != 4 || r.Delta != 1 {
+		t.Errorf("reduction is %d bins x %d bytes += %d, want 256 x 4 += 1", r.Bins, r.Elem, r.Delta)
+	}
+	if r.DomW != cfg.Width || r.DomH != cfg.Height {
+		t.Errorf("reduction domain %dx%d, want %dx%d", r.DomW, r.DomH, cfg.Width, cfg.Height)
+	}
+	for i, v := range r.Init {
+		if v != 0 {
+			t.Errorf("bin %d initializes to %d, want 0", i, v)
+		}
+	}
+	if r.Index.Op != ir.OpLoad || r.Index.DX != 0 || r.Index.DY != 0 {
+		t.Errorf("reduction index is %s, want in(x, y)", r.Index)
+	}
+}
+
+// TestClampSharpDiverges asserts the property that makes clampsharp a
+// predicated-lifting test at all: on every configuration the pipeline is
+// exercised with, the clamp branches must go all three ways (below range,
+// in range, above range), so the merge really sees divergent paths.
+func TestClampSharpDiverges(t *testing.T) {
+	configs := append([]legacy.Config{}, liftConfigs...)
+	configs = append(configs,
+		legacy.Config{Width: 40, Height: 24, Seed: 1}, // CLI and gen default
+		legacy.Config{Width: 37, Height: 14, Seed: 99},
+		legacy.Config{Width: 33, Height: 17, Seed: 9},
+	)
+	for _, cfg := range configs {
+		t.Run(fmt.Sprint(cfg), func(t *testing.T) {
+			if !legacy.ClampSharpDiverges(cfg) {
+				t.Errorf("clamp branches do not diverge three ways at %s; pick another seed", cfg)
+			}
+		})
+	}
+}
+
+// TestClampSharpGuards checks that predicated extraction really produced
+// branch guards and that they survive worker-count changes (determinism of
+// the guard records themselves, not just the value trees).
+func TestClampSharpGuards(t *testing.T) {
+	k, _ := legacy.Lookup("clampsharp")
+	tgt, _, tres, bufs := traceFor(t, k, liftConfigs[0])
+	serial, err := lift.ExtractWorkers(tres.Trace, tgt.Prog, bufs, 1)
+	if err != nil {
+		t.Fatalf("ExtractWorkers(1): %v", err)
+	}
+	guarded := 0
+	for _, st := range serial {
+		if len(st.Guards) > 0 {
+			guarded++
+		}
+	}
+	if guarded == 0 {
+		t.Fatal("no sample carries branch guards; predicated extraction is not firing")
+	}
+	par, err := lift.ExtractWorkers(tres.Trace, tgt.Prog, bufs, 4)
+	if err != nil {
+		t.Fatalf("ExtractWorkers(4): %v", err)
+	}
+	for i := range par {
+		if len(par[i].Guards) != len(serial[i].Guards) {
+			t.Fatalf("sample %d guard count differs between 4 workers and serial", i)
+		}
+		for j := range par[i].Guards {
+			if par[i].Guards[j].Key != serial[i].Guards[j].Key ||
+				par[i].Guards[j].Taken != serial[i].Guards[j].Taken {
+				t.Fatalf("sample %d guard %d differs between 4 workers and serial", i, j)
+			}
+		}
+	}
+}

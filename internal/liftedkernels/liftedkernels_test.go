@@ -57,7 +57,8 @@ func TestGeneratedKernelsMatchVM(t *testing.T) {
 		if !ok {
 			t.Fatalf("%s: input cannot be materialized as a flat image", k.Name)
 		}
-		got, err := gk.Eval(img, res.Kernel.OutWidth, res.Kernel.OutHeight)
+		w, h := res.EvalDims()
+		got, err := gk.Eval(img, w, h)
 		if err != nil {
 			t.Fatalf("%s: generated eval: %v", k.Name, err)
 		}
@@ -74,7 +75,7 @@ func TestGeneratedKernelsMatchVM(t *testing.T) {
 			}
 			t.Errorf("%s: generated output differs from the VM's on %d/%d samples at %s", k.Name, bad, len(want), cfg)
 		}
-		if gk.DefaultWidth == res.Kernel.OutWidth && gk.DefaultHeight == res.Kernel.OutHeight {
+		if gk.DefaultWidth == w && gk.DefaultHeight == h {
 			t.Errorf("%s: test geometry %dx%d accidentally equals the gen-time default; pick a different size",
 				k.Name, gk.DefaultWidth, gk.DefaultHeight)
 		}
