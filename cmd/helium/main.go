@@ -9,42 +9,62 @@
 //
 //	helium [-kernel name] [-width N] [-height N] [-seed N] [-v]
 //	       [-backend interp|compiled|generated] [-workers N]
-//	helium -bench [-bench-out BENCH_lift.json] [-cpuprofile f] [-memprofile f]
-//	helium gen [-out dir] [-check]
+//	       [-schedules schedules.json]
+//	helium -bench [-bench-out BENCH_lift.json] [-workers-sweep auto|1,2,4]
+//	       [-cpuprofile f] [-memprofile f]
+//	helium tune [-out schedules.json] [-smoke] [-width N] [-height N]
+//	helium gen [-out dir] [-check] [-schedules schedules.json]
 //
 // With no -kernel, every corpus kernel is lifted.  The default backend
 // compiles the lifted trees to register programs and evaluates them both
-// serially and with the cache-blocked parallel driver; -backend interp
-// selects the tree-walking evaluator and -backend generated the
-// ahead-of-time Go code in internal/liftedkernels.  Either way the output
-// is compared byte for byte with what the legacy binary wrote.
+// serially and with the cache-blocked parallel driver — plus, when a
+// tuned schedule set is present, under that schedule (sliding-window
+// fusion included); -backend interp selects the tree-walking evaluator
+// and -backend generated the ahead-of-time Go code in
+// internal/liftedkernels.  Either way the output is compared byte for
+// byte with what the legacy binary wrote.
 //
-// -bench times VM emulation against all execution backends over the
-// corpus and writes a machine-readable JSON report.
+// -bench times VM emulation against all execution backends (including
+// the tuned schedule) over the corpus, sweeps the parallel backends over
+// worker counts, and writes a machine-readable JSON report.
+//
+// The tune subcommand is the autotuner: it races candidate schedules
+// (tiles, workers, materialize vs sliding-window fusion) per kernel,
+// verifying each candidate bit-exact before timing it, and writes the
+// winners to schedules.json; -smoke runs a tiny grid and asserts the
+// artifact round-trips, for CI.
 //
 // The gen subcommand regenerates the internal/liftedkernels package from
-// the corpus (true ahead-of-time codegen); -check verifies the checked-in
+// the corpus (true ahead-of-time codegen), embedding the tuned schedules
+// as the generated kernels' defaults; -check verifies the checked-in
 // package is up to date instead of writing, for CI.
 //
-// The exit status is nonzero if anything fails to lift, verify or
+// The exit status is nonzero if anything fails to lift, verify, tune or
 // regenerate cleanly.
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"helium/internal/ir"
 	"helium/internal/legacy"
 	"helium/internal/lift"
 	"helium/internal/liftedkernels"
+	"helium/internal/schedule"
 	"helium/internal/vm"
 )
 
@@ -52,6 +72,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "gen" {
 		if err := runGen(os.Args[2:]); err != nil {
 			fmt.Fprintf(os.Stderr, "helium: gen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "tune" {
+		if err := runTune(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "helium: tune: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -70,6 +97,8 @@ func main() {
 		benchOut   = flag.String("bench-out", "BENCH_lift.json", "benchmark report path (with -bench)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the bench run to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile after the bench run to this file")
+		schedPath  = flag.String("schedules", "schedules.json", "tuned schedule set consumed by run/bench (missing file = heuristic defaults)")
+		sweep      = flag.String("workers-sweep", "auto", "bench worker-count sweep: comma list or \"auto\" (powers of two up to GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -107,9 +136,14 @@ func main() {
 		kernels = []legacy.Kernel{k}
 	}
 
+	scheds, err := loadSchedules(*schedPath, *verbose)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "helium: %v\n", err)
+		os.Exit(1)
+	}
 	cfg := legacy.Config{Width: *width, Height: *height, Seed: *seed}
 	if *bench {
-		if err := runBench(kernels, cfg, *workers, *benchOut, *cpuProf, *memProf); err != nil {
+		if err := runBench(kernels, cfg, *workers, *benchOut, *cpuProf, *memProf, scheds, *sweep); err != nil {
 			fmt.Fprintf(os.Stderr, "helium: bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -118,7 +152,7 @@ func main() {
 
 	failed := false
 	for _, k := range kernels {
-		if err := run(k, cfg, *backend, *workers, *verbose); err != nil {
+		if err := run(k, cfg, *backend, *workers, *verbose, scheds.For(k.Name)); err != nil {
 			fmt.Fprintf(os.Stderr, "helium: %s: %v\n", k.Name, err)
 			failed = true
 		}
@@ -126,6 +160,25 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// loadSchedules reads the tuned schedule set.  A missing file is fine —
+// heuristic defaults apply, the set is an optimization — but a file that
+// exists and fails to parse or validate is an error: silently ignoring a
+// corrupt schedules.json would bench and generate against defaults while
+// claiming to use the tuned set.
+func loadSchedules(path string, verbose bool) (*schedule.Set, error) {
+	set, err := schedule.Load(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			if verbose {
+				fmt.Printf("schedules: %s not found; using heuristic defaults\n", path)
+			}
+			return nil, nil
+		}
+		return nil, err
+	}
+	return set, nil
 }
 
 func target(inst *legacy.Instance) lift.Target {
@@ -195,7 +248,7 @@ func printLifted(res *lift.Result) {
 	}
 }
 
-func run(k legacy.Kernel, cfg legacy.Config, backend string, workers int, verbose bool) error {
+func run(k legacy.Kernel, cfg legacy.Config, backend string, workers int, verbose bool, tuned *schedule.Schedule) error {
 	inst := k.Instantiate(cfg)
 
 	fmt.Printf("=== %s (%s)\n", k.Name, cfg)
@@ -240,6 +293,20 @@ func run(k legacy.Kernel, cfg legacy.Config, backend string, workers int, verbos
 			fmt.Printf("compiled: %d instruction(s), %d pooled constant(s), %d tap(s) across %d channel program(s) in %d stage(s), lane bits %v\n",
 				insts, consts, loads, len(progs), len(res.Stages), lanes)
 		}
+		if tuned != nil {
+			if err := ck.VerifySchedule(tuned); err != nil {
+				return err
+			}
+			if verbose {
+				line := fmt.Sprintf("schedule: tuned [%s] verified", tuned)
+				if tuned.FusionKind() == schedule.SlidingWindow {
+					if rings, err := ck.RingRows(tuned.WindowRows); err == nil {
+						line += fmt.Sprintf(", intermediate ring rows %v", rings)
+					}
+				}
+				fmt.Println(line)
+			}
+		}
 		fmt.Printf("verified: %d samples pixel-exact (compiled backend, serial + %d workers)\n\n",
 			res.Samples, ck.Workers(workers))
 	case "generated":
@@ -264,17 +331,22 @@ func run(k legacy.Kernel, cfg legacy.Config, backend string, workers int, verbos
 func runGen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	var (
-		out    = fs.String("out", filepath.Join("internal", "liftedkernels"), "output package directory")
-		check  = fs.Bool("check", false, "verify the checked-in package matches instead of writing")
-		width  = fs.Int("width", 40, "image width the corpus is lifted at")
-		height = fs.Int("height", 24, "image height the corpus is lifted at")
-		seed   = fs.Uint64("seed", 1, "deterministic input pattern seed")
+		out       = fs.String("out", filepath.Join("internal", "liftedkernels"), "output package directory")
+		check     = fs.Bool("check", false, "verify the checked-in package matches instead of writing")
+		width     = fs.Int("width", 40, "image width the corpus is lifted at")
+		height    = fs.Int("height", 24, "image height the corpus is lifted at")
+		seed      = fs.Uint64("seed", 1, "deterministic input pattern seed")
+		schedPath = fs.String("schedules", "schedules.json", "tuned schedule set embedded as the generated kernels' default")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	files, err := GenerateCorpusPackage(legacy.Config{Width: *width, Height: *height, Seed: *seed})
+	scheds, err := loadSchedules(*schedPath, false)
+	if err != nil {
+		return err
+	}
+	files, err := GenerateCorpusPackage(legacy.Config{Width: *width, Height: *height, Seed: *seed}, scheds)
 	if err != nil {
 		return err
 	}
@@ -308,8 +380,10 @@ func runGen(args []string) error {
 }
 
 // GenerateCorpusPackage lifts every corpus kernel at the given config and
-// renders the liftedkernels package sources: file name -> content.
-func GenerateCorpusPackage(cfg legacy.Config) (map[string]string, error) {
+// renders the liftedkernels package sources: file name -> content.  The
+// tuned schedule set (nil = none) is embedded as each kernel's default
+// schedule.
+func GenerateCorpusPackage(cfg legacy.Config, scheds *schedule.Set) (map[string]string, error) {
 	var units []ir.GenKernel
 	for _, k := range legacy.Kernels() {
 		inst := k.Instantiate(cfg)
@@ -317,7 +391,7 @@ func GenerateCorpusPackage(cfg legacy.Config) (map[string]string, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", k.Name, err)
 		}
-		u := ir.GenKernel{Name: k.Name}
+		u := ir.GenKernel{Name: k.Name, Sched: scheds.For(k.Name)}
 		for i := range res.Stages {
 			st := &res.Stages[i]
 			if st.Red != nil {
@@ -325,9 +399,6 @@ func GenerateCorpusPackage(cfg legacy.Config) (map[string]string, error) {
 			} else {
 				u.Stages = append(u.Stages, st.Kernel)
 			}
-		}
-		if u.Red != nil && len(u.Stages) > 0 {
-			return nil, fmt.Errorf("%s: pipelines mixing stencil stages and reductions are not generatable yet", k.Name)
 		}
 		units = append(units, u)
 	}
@@ -349,6 +420,13 @@ type benchEntry struct {
 	Samples     int                `json:"samples"`
 	NsPerSample map[string]float64 `json:"ns_per_sample"`
 	Speedup     map[string]float64 `json:"speedup_vs_interp"`
+	// Schedule is the tuned schedule the "scheduled" backend ran (JSON of
+	// schedule.Schedule; omitted for reduction-only kernels).
+	Schedule *schedule.Schedule `json:"schedule,omitempty"`
+	// WorkersSweep maps a worker count to per-backend ns/sample for the
+	// parallel backends, so multi-core scaling lands in the report when a
+	// multi-core machine runs it.
+	WorkersSweep map[string]map[string]float64 `json:"ns_per_sample_by_workers,omitempty"`
 }
 
 // benchReport is the whole machine-readable benchmark artifact.
@@ -361,36 +439,88 @@ type benchReport struct {
 
 // benchBackends is the timing matrix, in report order: VM emulation, the
 // tree-walking interpreter, the serial row-vectorized register executor,
-// the cache-blocked tiled parallel driver, and the ahead-of-time generated
-// Go code (single-threaded).
-var benchBackends = []string{"vm", "interp", "compiled", "compiled-tiled", "generated"}
+// the cache-blocked tiled parallel driver, the tiled driver under the
+// tuned schedule, and the ahead-of-time generated Go code
+// (single-threaded).
+var benchBackends = []string{"vm", "interp", "compiled", "compiled-tiled", "scheduled", "generated"}
 
-// timeIt measures fn's steady-state nanoseconds per call: at least three
-// iterations and at least ~40ms of wall time.
-func timeIt(fn func() error) (float64, error) {
-	const (
-		minIters = 3
-		minTime  = 40 * time.Millisecond
-	)
-	iters := 0
-	start := time.Now()
-	for {
-		if err := fn(); err != nil {
-			return 0, err
-		}
-		iters++
-		if iters >= minIters && time.Since(start) >= minTime {
-			break
+// sweepWorkers parses the -workers-sweep flag: a comma list of counts, or
+// "auto" for powers of two up to GOMAXPROCS (always including GOMAXPROCS
+// itself).
+func sweepWorkers(spec string) ([]int, error) {
+	maxp := runtime.GOMAXPROCS(0)
+	var out []int
+	seen := map[int]bool{}
+	add := func(w int) {
+		if w >= 1 && !seen[w] {
+			seen[w] = true
+			out = append(out, w)
 		}
 	}
-	return float64(time.Since(start).Nanoseconds()) / float64(iters), nil
+	if spec == "auto" || spec == "" {
+		for w := 1; w <= maxp; w *= 2 {
+			add(w)
+		}
+		add(maxp)
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -workers-sweep entry %q", part)
+		}
+		add(w)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// timeIt measures fn's steady-state nanoseconds per call: after one
+// warmup call, three measurement rounds of at least two iterations and
+// ~15ms each, keeping the fastest round.  The minimum across rounds is
+// far more robust to scheduler and thermal noise on a shared machine than
+// one long mean, which matters because the committed baseline asserts
+// cross-backend orderings.
+func timeIt(fn func() error) (float64, error) {
+	const (
+		rounds   = 3
+		minIters = 2
+		minTime  = 15 * time.Millisecond
+	)
+	if err := fn(); err != nil {
+		return 0, err
+	}
+	best := math.Inf(1)
+	for r := 0; r < rounds; r++ {
+		iters := 0
+		start := time.Now()
+		for {
+			if err := fn(); err != nil {
+				return 0, err
+			}
+			iters++
+			if iters >= minIters && time.Since(start) >= minTime {
+				break
+			}
+		}
+		if ns := float64(time.Since(start).Nanoseconds()) / float64(iters); ns < best {
+			best = ns
+		}
+	}
+	return best, nil
 }
 
 // runBench lifts each kernel once, verifies every backend, then times VM
-// emulation, the tree-walking interpreter, the compiled backend (serial
-// and cache-blocked parallel) and the generated Go code over the same
-// image, writing ns-per-sample per kernel per backend to the JSON report.
-func runBench(kernels []legacy.Kernel, cfg legacy.Config, workers int, outPath, cpuProf, memProf string) error {
+// emulation, the tree-walking interpreter, the compiled backend (serial,
+// cache-blocked parallel, and under the tuned schedule), and the
+// generated Go code over the same image, writing ns-per-sample per kernel
+// per backend — plus a worker-count sweep of the parallel backends — to
+// the JSON report.
+func runBench(kernels []legacy.Kernel, cfg legacy.Config, workers int, outPath, cpuProf, memProf string, scheds *schedule.Set, sweepSpec string) error {
+	sweep, err := sweepWorkers(sweepSpec)
+	if err != nil {
+		return err
+	}
 	if cpuProf != "" {
 		f, err := os.Create(cpuProf)
 		if err != nil {
@@ -434,6 +564,14 @@ func runBench(kernels []legacy.Kernel, cfg legacy.Config, workers int, outPath, 
 		samples := len(want)
 		report.Workers = ck.Workers(workers)
 
+		tuned := scheds.For(k.Name)
+		if tuned == nil {
+			tuned = schedule.Default()
+		}
+		if err := ck.VerifySchedule(tuned); err != nil {
+			return fmt.Errorf("%s: %w", k.Name, err)
+		}
+
 		m := vm.NewMachine(inst.Prog)
 		runs := map[string]func() error{
 			"vm": func() error {
@@ -452,6 +590,10 @@ func runBench(kernels []legacy.Kernel, cfg legacy.Config, workers int, outPath, 
 				_, err := ck.EvalParallelAt(src, outW, outH, workers)
 				return err
 			},
+			"scheduled": func() error {
+				_, err := ck.EvalScheduledAt(src, outW, outH, tuned)
+				return err
+			},
 			"generated": func() error {
 				_, err := gk.Eval(img, outW, outH)
 				return err
@@ -461,7 +603,8 @@ func runBench(kernels []legacy.Kernel, cfg legacy.Config, workers int, outPath, 
 		// the reduction evaluator itself, so only the honest backends are
 		// timed.
 		backends := benchBackends
-		if res.Reduction != nil && res.Kernel == nil {
+		isRed := res.Reduction != nil && res.Kernel == nil
+		if isRed {
 			backends = []string{"vm", "interp", "generated"}
 		}
 		entry := benchEntry{
@@ -472,12 +615,43 @@ func runBench(kernels []legacy.Kernel, cfg legacy.Config, workers int, outPath, 
 			NsPerSample: make(map[string]float64),
 			Speedup:     make(map[string]float64),
 		}
+		if !isRed {
+			entry.Schedule = tuned
+		}
 		for _, name := range backends {
 			ns, err := timeIt(runs[name])
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", k.Name, name, err)
 			}
 			entry.NsPerSample[name] = ns / float64(samples)
+		}
+		// Worker sweep: the parallel backends re-timed at each worker
+		// count, so multi-core scaling is captured when the machine has
+		// the cores (a 1-core container sweeps only {1}).
+		if !isRed {
+			entry.WorkersSweep = map[string]map[string]float64{}
+			for _, w := range sweep {
+				row := map[string]float64{}
+				ns, err := timeIt(func() error {
+					_, err := ck.EvalParallelAt(src, outW, outH, w)
+					return err
+				})
+				if err != nil {
+					return fmt.Errorf("%s/compiled-tiled@%d: %w", k.Name, w, err)
+				}
+				row["compiled-tiled"] = ns / float64(samples)
+				wsc := *tuned
+				wsc.Workers = w
+				ns, err = timeIt(func() error {
+					_, err := ck.EvalScheduledAt(src, outW, outH, &wsc)
+					return err
+				})
+				if err != nil {
+					return fmt.Errorf("%s/scheduled@%d: %w", k.Name, w, err)
+				}
+				row["scheduled"] = ns / float64(samples)
+				entry.WorkersSweep[fmt.Sprint(w)] = row
+			}
 		}
 		base := entry.NsPerSample["interp"]
 		for name, ns := range entry.NsPerSample {
@@ -490,10 +664,11 @@ func runBench(kernels []legacy.Kernel, cfg legacy.Config, workers int, outPath, 
 		if g := entry.NsPerSample["generated"]; g > 0 {
 			genVsCompiled = entry.NsPerSample["compiled"] / g
 		}
-		fmt.Printf("%-10s %7d samples   vm %9.1f   interp %7.2f   compiled %6.2f   tiled %6.2f   generated %6.2f  ns/sample  (generated %0.1fx interp, %0.1fx compiled)\n",
+		fmt.Printf("%-10s %7d samples   vm %9.1f   interp %7.2f   compiled %6.2f   tiled %6.2f   scheduled %6.2f   generated %6.2f  ns/sample  (generated %0.1fx interp, %0.1fx compiled)\n",
 			k.Name, samples,
 			entry.NsPerSample["vm"], entry.NsPerSample["interp"],
 			entry.NsPerSample["compiled"], entry.NsPerSample["compiled-tiled"],
+			entry.NsPerSample["scheduled"],
 			entry.NsPerSample["generated"],
 			entry.Speedup["generated"], genVsCompiled)
 	}

@@ -7,10 +7,44 @@ import (
 	"testing"
 
 	"helium/internal/legacy"
+	"helium/internal/schedule"
 )
 
 // repoRoot locates the repository root relative to this package.
 func repoRoot() string { return filepath.Join("..", "..") }
+
+// repoSchedules loads the committed tuned schedule set.
+func repoSchedules(t *testing.T) *schedule.Set {
+	t.Helper()
+	set, err := schedule.Load(filepath.Join(repoRoot(), "schedules.json"))
+	if err != nil {
+		t.Fatalf("committed schedules.json missing or invalid: %v (run `helium tune`)", err)
+	}
+	return set
+}
+
+// TestSchedulesCoverCorpus asserts the committed autotuner artifact
+// parses, names the tuning machine, and holds a valid schedule for every
+// corpus kernel.
+func TestSchedulesCoverCorpus(t *testing.T) {
+	set := repoSchedules(t)
+	if set.Config == "" || set.GoMaxProcs < 1 {
+		t.Fatalf("schedules.json header incomplete: %+v", set)
+	}
+	for _, k := range legacy.Kernels() {
+		sc := set.For(k.Name)
+		if sc == nil {
+			t.Errorf("schedules.json is missing corpus kernel %q", k.Name)
+			continue
+		}
+		if err := sc.Validate(8); err != nil {
+			t.Errorf("%s: committed schedule invalid: %v", k.Name, err)
+		}
+	}
+	if len(set.Kernels) != len(legacy.Kernels()) {
+		t.Errorf("schedules.json holds %d kernels, corpus has %d", len(set.Kernels), len(legacy.Kernels()))
+	}
+}
 
 // TestBenchBaselineCoversCorpus asserts the committed benchmark baseline
 // parses, covers every corpus kernel with every backend, and preserves the
@@ -65,6 +99,19 @@ func TestBenchBaselineCoversCorpus(t *testing.T) {
 			t.Errorf("%s: generated backend (%.2f ns/sample) does not beat the register executor (%.2f ns/sample)",
 				k.Name, gen, comp)
 		}
+		// The autotuned schedule must never lose to the previous
+		// hard-coded strategy (the heuristic tiled driver); 10%% headroom
+		// absorbs measurement noise between the two timings.
+		if sched, tiled := e.NsPerSample["scheduled"], e.NsPerSample["compiled-tiled"]; sched > tiled*1.10 {
+			t.Errorf("%s: tuned schedule (%.2f ns/sample) is slower than the hard-coded strategy (%.2f ns/sample)",
+				k.Name, sched, tiled)
+		}
+		if e.Schedule == nil {
+			t.Errorf("%s: baseline entry records no schedule", k.Name)
+		}
+		if len(e.WorkersSweep) == 0 {
+			t.Errorf("%s: baseline entry has no workers sweep", k.Name)
+		}
 	}
 	if len(byName) != len(legacy.Kernels()) {
 		t.Errorf("baseline holds %d kernels, corpus has %d", len(byName), len(legacy.Kernels()))
@@ -76,7 +123,7 @@ func TestBenchBaselineCoversCorpus(t *testing.T) {
 // between the lifting pipeline and the committed generated code fails
 // tier-1 — not just the CI gen-check job.
 func TestGeneratedPackageUpToDate(t *testing.T) {
-	files, err := GenerateCorpusPackage(legacy.Config{Width: 40, Height: 24, Seed: 1})
+	files, err := GenerateCorpusPackage(legacy.Config{Width: 40, Height: 24, Seed: 1}, repoSchedules(t))
 	if err != nil {
 		t.Fatalf("GenerateCorpusPackage: %v", err)
 	}

@@ -31,6 +31,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"helium/internal/schedule"
 )
 
 // laneTypeName maps a lane width to the Go type generated code computes in.
@@ -106,6 +108,10 @@ type progGen struct {
 
 	c      int // channel this function renders
 	kernel string
+	// cvar spells the channel as a function parameter `c` instead of the
+	// literal g.c, so structurally identical channel programs render to
+	// identical bodies and collapse into one shared row function.
+	cvar bool
 
 	// isFloat[i] marks instructions computing in the float domain.
 	isFloat []bool
@@ -138,16 +144,21 @@ type fileGen struct {
 	needBits  bool
 }
 
-// GenKernel is one unit of ahead-of-time generation: a stencil pipeline of
-// one or more stages (multi-stage kernels chain through freshly allocated
-// intermediate buffers), or a reduction.
+// GenKernel is one unit of ahead-of-time generation: a stencil pipeline
+// of one or more stages (multi-stage kernels chain through intermediate
+// buffers), a reduction, or stencil stages chained into a final
+// reduction.
 type GenKernel struct {
 	Name string
-	// Stages holds the stencil stages in execution order.  Exactly one of
-	// Stages and Red must be set.
+	// Stages holds the stencil stages in execution order.  At least one of
+	// Stages and Red must be set; when both are, the last stage's output
+	// becomes the reduction's input image.
 	Stages []*Kernel
-	// Red is the reduction alternative (for example a histogram).
+	// Red is the reduction (for example a histogram).
 	Red *Reduction
+	// Sched, when non-nil, is the tuned default schedule embedded in the
+	// registration (EvalTuned runs it; Eval stays the serial reference).
+	Sched *schedule.Schedule
 }
 
 // Generate emits the Go source of a package holding ahead-of-time
@@ -173,21 +184,20 @@ func GenerateUnits(pkg string, units []GenKernel) (string, error) {
 		if i > 0 && ks[i].Name == ks[i-1].Name {
 			return "", fmt.Errorf("ir: generate: duplicate kernel name %q", ks[i].Name)
 		}
-		if (len(ks[i].Stages) == 0) == (ks[i].Red == nil) {
-			return "", fmt.Errorf("ir: generate: kernel %q must have either stages or a reduction", ks[i].Name)
+		if len(ks[i].Stages) == 0 && ks[i].Red == nil {
+			return "", fmt.Errorf("ir: generate: kernel %q must have stages, a reduction, or both", ks[i].Name)
 		}
 	}
 
 	fg := &fileGen{tables: map[string]string{}, tableDefs: &strings.Builder{}}
 	var body strings.Builder
 	for _, u := range ks {
-		if u.Red != nil {
-			if err := genReduction(&body, fg, u.Name, u.Red); err != nil {
+		switch {
+		case u.Red != nil && len(u.Stages) == 0:
+			if err := genReduction(&body, fg, u.Name, u.Red, u.Sched); err != nil {
 				return "", err
 			}
-			continue
-		}
-		if len(u.Stages) == 1 {
+		case u.Red == nil && len(u.Stages) == 1:
 			k := u.Stages[0]
 			if k.Name != u.Name {
 				kc := *k
@@ -198,13 +208,13 @@ func GenerateUnits(pkg string, units []GenKernel) (string, error) {
 			if err != nil {
 				return "", fmt.Errorf("ir: generate %s: %w", u.Name, err)
 			}
-			if err := genKernel(&body, fg, k, ck); err != nil {
+			if err := genKernel(&body, fg, k, ck, u.Sched); err != nil {
 				return "", err
 			}
-			continue
-		}
-		if err := genStaged(&body, fg, u); err != nil {
-			return "", err
+		default:
+			if err := genStaged(&body, fg, u); err != nil {
+				return "", err
+			}
 		}
 	}
 
@@ -234,13 +244,145 @@ func GenerateUnits(pkg string, units []GenKernel) (string, error) {
 	return string(formatted), nil
 }
 
-// genKernel emits the registration literal and the per-channel row
-// functions of one kernel.
-func genKernel(b *strings.Builder, fg *fileGen, k *Kernel, ck *CompiledKernel) error {
+// rowSet records how one compiled kernel's row functions were emitted:
+// one function per channel, or — when every channel program renders to an
+// identical body — one shared channel-parameterized function plus a thin
+// whole-kernel wrapper that loops the channels.
+type rowSet struct {
+	lanes  []string
+	rows   []string // per-channel function names; nil when shared
+	rowAll string   // wrapper name when the channels collapsed
+}
+
+// regLines writes the registration fields of the row set at the given
+// indent.
+func (rs *rowSet) regLines(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%sLaneBits: []int{%s},\n", indent, strings.Join(rs.lanes, ", "))
+	if rs.rowAll != "" {
+		fmt.Fprintf(b, "%sRowAll:   %s,\n", indent, rs.rowAll)
+		return
+	}
+	fmt.Fprintf(b, "%sRows:     []RowFunc{%s},\n", indent, strings.Join(rs.rows, ", "))
+}
+
+// channelBodies renders every channel program with the channel spelled as
+// a parameter, against scratch file state, so structural equality of the
+// channel programs reduces to string equality of the bodies.  One scratch
+// fileGen is shared across the channels: table names intern by content
+// there, so channels applying the same table render the same token while
+// channels applying different tables render different ones — distinct
+// LUTs must never collapse into one shared body.
+func channelBodies(ck *CompiledKernel) ([]string, error) {
+	out := make([]string, len(ck.Progs))
+	scratch := &fileGen{tables: map[string]string{}, tableDefs: &strings.Builder{}}
+	for c, p := range ck.Progs {
+		var b strings.Builder
+		g := &progGen{
+			p: p, fg: scratch, b: &b,
+			bits: p.width.laneBits,
+			c:    c, cvar: true, kernel: "X",
+		}
+		g.T = laneTypeName(g.bits)
+		g.S = signedTypeName(g.bits)
+		if err := g.emitRowFunc("shared"); err != nil {
+			return nil, err
+		}
+		out[c] = b.String()
+	}
+	return out, nil
+}
+
+// emitRowSet emits one compiled kernel's row functions.  prefix names the
+// function family (for example "rowSharpen" or "rowBlur2pS0").
+func emitRowSet(b *strings.Builder, fg *fileGen, what string, ck *CompiledKernel, prefix string) (rowSet, error) {
+	rs := rowSet{lanes: make([]string, len(ck.Progs))}
+	for c, p := range ck.Progs {
+		rs.lanes[c] = fmt.Sprint(p.LaneBits())
+	}
+
+	if len(ck.Progs) > 1 {
+		bodies, err := channelBodies(ck)
+		if err != nil {
+			return rs, fmt.Errorf("%s: %w", what, err)
+		}
+		same := true
+		for _, body := range bodies[1:] {
+			if body != bodies[0] {
+				same = false
+				break
+			}
+		}
+		if same {
+			shared := prefix
+			rs.rowAll = prefix + "All"
+			g := &progGen{
+				p: ck.Progs[0], fg: fg, b: b,
+				bits: ck.Progs[0].width.laneBits,
+				c:    0, cvar: true, kernel: prefix,
+			}
+			g.T = laneTypeName(g.bits)
+			g.S = signedTypeName(g.bits)
+			if err := g.emitRowFunc(shared); err != nil {
+				return rs, fmt.Errorf("%s: %w", what, err)
+			}
+			fmt.Fprintf(b, "// %s renders all %d channels of one output row through the shared\n", rs.rowAll, len(ck.Progs))
+			fmt.Fprintf(b, "// channel body, with the reference x-then-c error selection.\n")
+			fmt.Fprintf(b, "func %s(dst []byte, img *Image, y, xbase, n int) (int, int, error) {\n", rs.rowAll)
+			fmt.Fprintf(b, "\terrX, errC := -1, -1\n")
+			fmt.Fprintf(b, "\tvar firstErr error\n")
+			fmt.Fprintf(b, "\tfor c := 0; c < %d; c++ {\n", len(ck.Progs))
+			fmt.Fprintf(b, "\t\tx, err := %s(dst[c:], %d, img, y, xbase, n, c)\n", shared, len(ck.Progs))
+			fmt.Fprintf(b, "\t\tif err != nil && (errX < 0 || x < errX) {\n")
+			fmt.Fprintf(b, "\t\t\terrX, errC, firstErr = x, c, err\n")
+			fmt.Fprintf(b, "\t\t}\n\t}\n")
+			fmt.Fprintf(b, "\treturn errX, errC, firstErr\n}\n\n")
+			return rs, nil
+		}
+	}
+
+	rs.rows = make([]string, len(ck.Progs))
+	for c, p := range ck.Progs {
+		rs.rows[c] = fmt.Sprintf("%sC%d", prefix, c)
+		g := &progGen{
+			p: p, fg: fg, b: b,
+			bits: p.width.laneBits,
+			c:    c, kernel: prefix,
+		}
+		g.T = laneTypeName(g.bits)
+		g.S = signedTypeName(g.bits)
+		if err := g.emitRowFunc(rs.rows[c]); err != nil {
+			return rs, fmt.Errorf("%s channel %d: %w", what, c, err)
+		}
+	}
+	return rs, nil
+}
+
+// emitSched writes the kernel's tuned default schedule when it differs
+// from the reference serial-materialize strategy.  Only the portable
+// fields embed: per-stage tile and lane overrides tune the register
+// executor's tiled driver, which has no counterpart in generated code
+// (the row loops are fully inlined at fixed lanes), so a schedule whose
+// only content is stage overrides generates the zero Sched.
+func emitSched(b *strings.Builder, sc *schedule.Schedule) {
+	if sc == nil || (sc.Workers == 0 && sc.FusionKind() == schedule.Materialize && sc.WindowRows == 0) {
+		return
+	}
+	fmt.Fprintf(b, "\t\tSched: ScheduleSpec{Workers: %d, Fusion: %q, WindowRows: %d},\n",
+		sc.Workers, string(sc.FusionKind()), sc.WindowRows)
+}
+
+// genKernel emits the registration literal and the row functions of one
+// single-stage kernel.
+func genKernel(b *strings.Builder, fg *fileGen, k *Kernel, ck *CompiledKernel, sc *schedule.Schedule) error {
 	ident := goIdent(k.Name)
 	fmt.Fprintf(b, "// %s is the lifted stencil\n", k.Name)
 	for _, line := range strings.Split(strings.TrimRight(k.String(), "\n"), "\n") {
 		fmt.Fprintf(b, "//\n//\t%s\n", line)
+	}
+	var fns strings.Builder
+	rs, err := emitRowSet(&fns, fg, fmt.Sprintf("ir: generate %s", k.Name), ck, "row"+ident)
+	if err != nil {
+		return err
 	}
 	fmt.Fprintf(b, "func init() {\n")
 	fmt.Fprintf(b, "\tregister(&Kernel{\n")
@@ -250,41 +392,38 @@ func genKernel(b *strings.Builder, fg *fileGen, k *Kernel, ck *CompiledKernel) e
 	fmt.Fprintf(b, "\t\tOriginY:       %d,\n", k.OriginY)
 	fmt.Fprintf(b, "\t\tDefaultWidth:  %d,\n", k.OutWidth)
 	fmt.Fprintf(b, "\t\tDefaultHeight: %d,\n", k.OutHeight)
-	lanes := make([]string, len(ck.Progs))
-	rows := make([]string, len(ck.Progs))
-	for c, p := range ck.Progs {
-		lanes[c] = fmt.Sprint(p.LaneBits())
-		rows[c] = fmt.Sprintf("row%sC%d", ident, c)
-	}
-	fmt.Fprintf(b, "\t\tLaneBits:      []int{%s},\n", strings.Join(lanes, ", "))
-	fmt.Fprintf(b, "\t\tRows:          []RowFunc{%s},\n", strings.Join(rows, ", "))
+	rs.regLines(b, "\t\t")
+	emitSched(b, sc)
 	fmt.Fprintf(b, "\t})\n}\n\n")
-
-	for c, p := range ck.Progs {
-		g := &progGen{
-			p: p, fg: fg, b: b,
-			bits: p.width.laneBits,
-			c:    c, kernel: ident,
-		}
-		g.T = laneTypeName(g.bits)
-		g.S = signedTypeName(g.bits)
-		if err := g.emitRowFunc(rows[c]); err != nil {
-			return fmt.Errorf("ir: generate %s channel %d: %w", k.Name, c, err)
-		}
-	}
+	b.WriteString(fns.String())
 	return nil
 }
 
-// genStaged emits a multi-stage pipeline: one set of row functions per
-// stage, chained by the runtime through freshly allocated intermediate
-// buffers whose extents track the requested output size by the constant
-// per-stage deltas recorded at lift time.
+// genStaged emits a multi-stage pipeline, optionally chained into a final
+// reduction: one set of row functions per stage, chained by the runtime
+// through intermediate buffers whose extents track the requested output
+// size by the constant per-stage deltas recorded at lift time.  With a
+// reduction the deltas are relative to the reduction's input domain and
+// the last stage's output becomes the reduction's input image.
 func genStaged(b *strings.Builder, fg *fileGen, u GenKernel) error {
 	ident := goIdent(u.Name)
-	final := u.Stages[len(u.Stages)-1]
-	fmt.Fprintf(b, "// %s is the lifted %d-stage stencil pipeline\n", u.Name, len(u.Stages))
+	finalW := u.Stages[len(u.Stages)-1].OutWidth
+	finalH := u.Stages[len(u.Stages)-1].OutHeight
+	channels := u.Stages[len(u.Stages)-1].Channels
+	if u.Red != nil {
+		finalW, finalH = u.Red.DomW, u.Red.DomH
+		channels = 1
+		fmt.Fprintf(b, "// %s is the lifted %d-stage pipeline ending in a reduction\n", u.Name, len(u.Stages))
+	} else {
+		fmt.Fprintf(b, "// %s is the lifted %d-stage stencil pipeline\n", u.Name, len(u.Stages))
+	}
 	for _, k := range u.Stages {
 		for _, line := range strings.Split(strings.TrimRight(k.String(), "\n"), "\n") {
+			fmt.Fprintf(b, "//\n//\t%s\n", line)
+		}
+	}
+	if u.Red != nil {
+		for _, line := range strings.Split(strings.TrimRight(u.Red.String(), "\n"), "\n") {
 			fmt.Fprintf(b, "//\n//\t%s\n", line)
 		}
 	}
@@ -297,72 +436,65 @@ func genStaged(b *strings.Builder, fg *fileGen, u GenKernel) error {
 		cks[si] = ck
 	}
 
+	var fns strings.Builder
+	sets := make([]rowSet, len(cks))
+	for si, ck := range cks {
+		rs, err := emitRowSet(&fns, fg, fmt.Sprintf("ir: generate %s stage %d", u.Name, si), ck, fmt.Sprintf("row%sS%d", ident, si))
+		if err != nil {
+			return err
+		}
+		sets[si] = rs
+	}
+
 	fmt.Fprintf(b, "func init() {\n")
 	fmt.Fprintf(b, "\tregister(&Kernel{\n")
 	fmt.Fprintf(b, "\t\tName:          %q,\n", u.Name)
-	fmt.Fprintf(b, "\t\tChannels:      %d,\n", final.Channels)
-	fmt.Fprintf(b, "\t\tDefaultWidth:  %d,\n", final.OutWidth)
-	fmt.Fprintf(b, "\t\tDefaultHeight: %d,\n", final.OutHeight)
+	fmt.Fprintf(b, "\t\tChannels:      %d,\n", channels)
+	fmt.Fprintf(b, "\t\tDefaultWidth:  %d,\n", finalW)
+	fmt.Fprintf(b, "\t\tDefaultHeight: %d,\n", finalH)
 	fmt.Fprintf(b, "\t\tStages: []StageSpec{\n")
 	for si, k := range u.Stages {
-		lanes := make([]string, len(cks[si].Progs))
-		rows := make([]string, len(cks[si].Progs))
-		for c, p := range cks[si].Progs {
-			lanes[c] = fmt.Sprint(p.LaneBits())
-			rows[c] = fmt.Sprintf("row%sS%dC%d", ident, si, c)
-		}
-		fmt.Fprintf(b, "\t\t\t{Channels: %d, OriginX: %d, OriginY: %d, DW: %d, DH: %d,\n",
-			k.Channels, k.OriginX, k.OriginY, k.OutWidth-final.OutWidth, k.OutHeight-final.OutHeight)
-		fmt.Fprintf(b, "\t\t\t\tLaneBits: []int{%s},\n", strings.Join(lanes, ", "))
-		fmt.Fprintf(b, "\t\t\t\tRows:     []RowFunc{%s}},\n", strings.Join(rows, ", "))
+		g := cks[si].readFootprint()
+		fmt.Fprintf(b, "\t\t\t{Channels: %d, OriginX: %d, OriginY: %d, DW: %d, DH: %d, MinDY: %d, MaxDY: %d, MinDX: %d, MaxDX: %d,\n",
+			k.Channels, k.OriginX, k.OriginY, k.OutWidth-finalW, k.OutHeight-finalH, g.loY, g.hiY, g.loX, g.hiX)
+		sets[si].regLines(b, "\t\t\t\t")
+		fmt.Fprintf(b, "\t\t\t},\n")
 	}
 	fmt.Fprintf(b, "\t\t},\n")
-	fmt.Fprintf(b, "\t})\n}\n\n")
-
-	for si, ck := range cks {
-		for c, p := range ck.Progs {
-			g := &progGen{
-				p: p, fg: fg, b: b,
-				bits: p.width.laneBits,
-				c:    c, kernel: ident,
-			}
-			g.T = laneTypeName(g.bits)
-			g.S = signedTypeName(g.bits)
-			if err := g.emitRowFunc(fmt.Sprintf("row%sS%dC%d", ident, si, c)); err != nil {
-				return fmt.Errorf("ir: generate %s stage %d channel %d: %w", u.Name, si, c, err)
-			}
+	if u.Red != nil {
+		rp, err := compileReduction(u.Name, u.Red)
+		if err != nil {
+			return err
+		}
+		if err := emitReductionSpec(b, &fns, fg, u.Name, ident, u.Red, rp); err != nil {
+			return err
 		}
 	}
+	emitSched(b, u.Sched)
+	fmt.Fprintf(b, "\t})\n}\n\n")
+	b.WriteString(fns.String())
 	return nil
 }
 
-// genReduction emits an accumulate-into-table kernel: a per-row
-// accumulation function driven by the runtime's reduction driver.  Only
-// 4-byte bins are generated (the corpus shape); wider tables would need a
-// second bin type in the runtime.
-func genReduction(b *strings.Builder, fg *fileGen, name string, r *Reduction) error {
+// compileReduction validates a reduction's generatable shape and lowers
+// its index expression — the one compile both reduction emitters share.
+func compileReduction(name string, r *Reduction) (*Program, error) {
 	if r.Elem != 4 {
-		return fmt.Errorf("ir: generate %s: reduction bins are %d bytes; only 4-byte bins are generatable", name, r.Elem)
+		return nil, fmt.Errorf("ir: generate %s: reduction bins are %d bytes; only 4-byte bins are generatable", name, r.Elem)
 	}
 	p, err := CompileExpr(r.Index)
 	if err != nil {
-		return fmt.Errorf("ir: generate %s: index: %w", name, err)
+		return nil, fmt.Errorf("ir: generate %s: index: %w", name, err)
 	}
 	if p.rootFloat {
-		return fmt.Errorf("ir: generate %s: float-valued reduction index is not generatable", name)
+		return nil, fmt.Errorf("ir: generate %s: float-valued reduction index is not generatable", name)
 	}
-	ident := goIdent(name)
-	fmt.Fprintf(b, "// %s is the lifted reduction\n", name)
-	for _, line := range strings.Split(strings.TrimRight(r.String(), "\n"), "\n") {
-		fmt.Fprintf(b, "//\n//\t%s\n", line)
-	}
-	fmt.Fprintf(b, "func init() {\n")
-	fmt.Fprintf(b, "\tregister(&Kernel{\n")
-	fmt.Fprintf(b, "\t\tName:          %q,\n", name)
-	fmt.Fprintf(b, "\t\tChannels:      1,\n")
-	fmt.Fprintf(b, "\t\tDefaultWidth:  %d,\n", r.DomW)
-	fmt.Fprintf(b, "\t\tDefaultHeight: %d,\n", r.DomH)
-	fmt.Fprintf(b, "\t\tLaneBits:      []int{%d},\n", p.LaneBits())
+	return p, nil
+}
+
+// emitReductionSpec writes the Red registration field and the reduction
+// row function (into fns) for a pre-compiled index program.
+func emitReductionSpec(b, fns *strings.Builder, fg *fileGen, name, ident string, r *Reduction, p *Program) error {
 	fmt.Fprintf(b, "\t\tRed: &ReductionSpec{\n")
 	fmt.Fprintf(b, "\t\t\tBins: %d,\n", r.Bins)
 	allZero := true
@@ -380,10 +512,9 @@ func genReduction(b *strings.Builder, fg *fileGen, name string, r *Reduction) er
 	}
 	fmt.Fprintf(b, "\t\t\tRow:  red%s,\n", ident)
 	fmt.Fprintf(b, "\t\t},\n")
-	fmt.Fprintf(b, "\t})\n}\n\n")
 
 	g := &progGen{
-		p: p, fg: fg, b: b,
+		p: p, fg: fg, b: fns,
 		bits:   p.width.laneBits,
 		c:      0,
 		kernel: ident,
@@ -393,6 +524,37 @@ func genReduction(b *strings.Builder, fg *fileGen, name string, r *Reduction) er
 	if err := g.emitReductionFunc(fmt.Sprintf("red%s", ident), r); err != nil {
 		return fmt.Errorf("ir: generate %s: %w", name, err)
 	}
+	return nil
+}
+
+// genReduction emits an accumulate-into-table kernel: a per-row
+// accumulation function driven by the runtime's reduction driver.  Only
+// 4-byte bins are generated (the corpus shape); wider tables would need a
+// second bin type in the runtime.
+func genReduction(b *strings.Builder, fg *fileGen, name string, r *Reduction, sc *schedule.Schedule) error {
+	p, err := compileReduction(name, r)
+	if err != nil {
+		return err
+	}
+	ident := goIdent(name)
+	fmt.Fprintf(b, "// %s is the lifted reduction\n", name)
+	for _, line := range strings.Split(strings.TrimRight(r.String(), "\n"), "\n") {
+		fmt.Fprintf(b, "//\n//\t%s\n", line)
+	}
+	var fns strings.Builder
+	fmt.Fprintf(b, "func init() {\n")
+	fmt.Fprintf(b, "\tregister(&Kernel{\n")
+	fmt.Fprintf(b, "\t\tName:          %q,\n", name)
+	fmt.Fprintf(b, "\t\tChannels:      1,\n")
+	fmt.Fprintf(b, "\t\tDefaultWidth:  %d,\n", r.DomW)
+	fmt.Fprintf(b, "\t\tDefaultHeight: %d,\n", r.DomH)
+	fmt.Fprintf(b, "\t\tLaneBits:      []int{%d},\n", p.LaneBits())
+	if err := emitReductionSpec(b, &fns, fg, name, ident, r, p); err != nil {
+		return err
+	}
+	emitSched(b, sc)
+	fmt.Fprintf(b, "\t})\n}\n\n")
+	b.WriteString(fns.String())
 	return nil
 }
 
@@ -616,6 +778,30 @@ func (g *progGen) sxExpr(id int32, sh uint8) (expr string, signed bool) {
 	return fmt.Sprintf("%s(%s<<%d)>>%d", g.S, g.ref(id), shl, shl), true
 }
 
+// chanExpr renders the channel coordinate of an error report: a literal
+// when the function is channel-specialized, `c` (plus the tap's channel
+// delta) when the channel is a parameter.
+func (g *progGen) chanExpr(dc int32) string {
+	if !g.cvar {
+		return fmt.Sprint(g.c + int(dc))
+	}
+	switch {
+	case dc > 0:
+		return fmt.Sprintf("c+%d", dc)
+	case dc < 0:
+		return fmt.Sprintf("c-%d", -dc)
+	}
+	return "c"
+}
+
+// chanTerm renders the channel term of pos0.
+func (g *progGen) chanTerm() string {
+	if g.cvar {
+		return "c"
+	}
+	return fmt.Sprint(g.c)
+}
+
 // offExpr renders a tap's flat offset in terms of the image geometry.
 func offExpr(dx, dy, dc int32) string {
 	var terms []string
@@ -719,6 +905,9 @@ func (g *progGen) emitBody(offDefs []string) error {
 }
 
 // emitRowFunc writes the complete row function for one channel program.
+// With cvar set the channel is a trailing parameter instead of a baked-in
+// literal, so one function can serve every channel of a kernel whose
+// channel programs are structurally identical.
 func (g *progGen) emitRowFunc(name string) error {
 	g.floatness()
 	g.computeAliases()
@@ -726,13 +915,21 @@ func (g *progGen) emitRowFunc(name string) error {
 	b := g.b
 
 	offDefs := g.collectOffsets()
-	fmt.Fprintf(b, "// %s renders channel %d rows in %d-bit lanes (%d instructions, %d taps).\n",
-		name, g.c, g.bits, len(g.p.insts), len(offDefs))
-	fmt.Fprintf(b, "func %s(dst []byte, step int, img *Image, y, xbase, n int) (int, error) {\n", name)
+	if g.cvar {
+		fmt.Fprintf(b, "// %s renders any channel's rows in %d-bit lanes (%d instructions, %d taps);\n// the kernel's channel programs are identical, so one body serves them all.\n",
+			name, g.bits, len(g.p.insts), len(offDefs))
+		fmt.Fprintf(b, "func %s(dst []byte, step int, img *Image, y, xbase, n, c int) (int, error) {\n", name)
+	} else {
+		fmt.Fprintf(b, "// %s renders channel %d rows in %d-bit lanes (%d instructions, %d taps).\n",
+			name, g.c, g.bits, len(g.p.insts), len(offDefs))
+		fmt.Fprintf(b, "func %s(dst []byte, step int, img *Image, y, xbase, n int) (int, error) {\n", name)
+	}
 	if len(offDefs) > 0 {
 		fmt.Fprintf(b, "\tpix := img.Pix\n")
 		fmt.Fprintf(b, "\tps := img.PixStep\n")
-		fmt.Fprintf(b, "\tpos0 := img.Base + y*img.Stride + xbase*ps + %d*img.ChanStep\n", g.c)
+		fmt.Fprintf(b, "\tpos0 := img.Base + y*img.Stride + xbase*ps + %s*img.ChanStep\n", g.chanTerm())
+	} else if g.cvar {
+		fmt.Fprintf(b, "\t_ = c\n")
 	}
 	return g.emitBody(offDefs)
 }
@@ -865,14 +1062,14 @@ func (g *progGen) emitInst(i int, w func(string, ...any), checked bool) error {
 		case OpLoad:
 			if checked {
 				w("if uint(p+%s) >= uint(len(pix)) {", g.offVars[i])
-				w("\treturn x, errLoad(xbase+x+(%d), y+(%d), %d)", in.dx, in.dy, g.c+int(in.dc))
+				w("\treturn x, errLoad(xbase+x+(%d), y+(%d), %s)", in.dx, in.dy, g.chanExpr(in.dc))
 				w("}")
 			}
 		case opSumTaps:
 			if checked {
 				for _, ov := range g.tapOffVars[i] {
 					w("if uint(p+%s) >= uint(len(pix)) {", ov)
-					w("\treturn x, errLoad(xbase+x, y, %d)", g.c)
+					w("\treturn x, errLoad(xbase+x, y, %s)", g.chanExpr(0))
 					w("}")
 				}
 			}
@@ -894,7 +1091,7 @@ func (g *progGen) emitInst(i int, w func(string, ...any), checked bool) error {
 		if checked {
 			w("i%d := p + %s", i, g.offVars[i])
 			w("if uint(i%d) >= uint(len(pix)) {", i)
-			w("\treturn x, errLoad(xbase+x+(%d), y+(%d), %d)", in.dx, in.dy, g.c+int(in.dc))
+			w("\treturn x, errLoad(xbase+x+(%d), y+(%d), %s)", in.dx, in.dy, g.chanExpr(in.dc))
 			w("}")
 			w("%s := %s(pix[i%d])", v, T, i)
 		} else {
@@ -910,7 +1107,7 @@ func (g *progGen) emitInst(i int, w func(string, ...any), checked bool) error {
 			for j, ov := range g.tapOffVars[i] {
 				w("i%d_%d := p + %s", i, j, ov)
 				w("if uint(i%d_%d) >= uint(len(pix)) {", i, j)
-				w("\treturn x, errLoad(xbase+x, y, %d)", g.c)
+				w("\treturn x, errLoad(xbase+x, y, %s)", g.chanExpr(0))
 				w("}")
 				terms = append(terms, fmt.Sprintf("%s(pix[i%d_%d])", T, i, j))
 			}
@@ -1138,7 +1335,8 @@ func mask64Suffix(mask uint64) string {
 
 // GenerateRuntime emits the fixed runtime half of the generated package:
 // the Image geometry, the Kernel driver with reference-exact error
-// selection, and the shared error constructors.
+// selection, the ScheduleSpec execution layer (worker row strips and
+// sliding-window stage fusion), and the shared error constructors.
 func GenerateRuntime(pkg string) string {
 	var b strings.Builder
 	b.WriteString("// Code generated by \"helium gen\"; DO NOT EDIT.\n\n")
@@ -1149,13 +1347,17 @@ func GenerateRuntime(pkg string) string {
 // drop-in replacement for the legacy filter.
 //
 // Values, error positions and error messages are bit-identical to the
-// helium/internal/ir interpreter and register executors; the generator's
-// differential tests enforce this with the real toolchain.
+// helium/internal/ir interpreter and register executors — under every
+// ScheduleSpec: a schedule changes only the execution strategy (worker
+// count, stage fusion), never the result.  The generator's differential
+// tests enforce this with the real toolchain.
 package %s
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Image is a flat 8-bit pixel backing: channel c of pixel (x, y) lives at
@@ -1172,6 +1374,32 @@ type Image struct {
 // the first faulting x and its error, or (-1, nil).
 type RowFunc func(dst []byte, step int, img *Image, y, xbase, n int) (int, error)
 
+// RowAllFunc renders ALL channels of one output row into the row-major
+// row slice dst, returning the first fault in x-then-c order as
+// (x, c, err), or (-1, -1, nil).  The generator emits one when a kernel's
+// channel programs are structurally identical, so one body serves every
+// channel.
+type RowAllFunc func(dst []byte, img *Image, y, xbase, n int) (int, int, error)
+
+// ScheduleSpec selects an execution strategy.  The zero value is the
+// production default: GOMAXPROCS workers, materializing stage chaining.
+type ScheduleSpec struct {
+	// Workers is the row-strip worker count; <= 0 means GOMAXPROCS, 1 is
+	// the serial reference.
+	Workers int
+	// Fusion is the inter-stage strategy of multi-stage pipelines:
+	// "" or "materialize" computes every stage fully into a fresh
+	// intermediate buffer; "slidingWindow" streams the stages through
+	// ring buffers sized to the consumer's row footprint.
+	Fusion string
+	// WindowRows is the ring height under slidingWindow; 0 picks the
+	// minimal window, values clamp to [footprint, stage height].
+	WindowRows int
+}
+
+// Serial is the reference schedule: one worker, materializing chaining.
+func Serial() ScheduleSpec { return ScheduleSpec{Workers: 1} }
+
 // Kernel is one regenerated stencil kernel.
 type Kernel struct {
 	Name             string
@@ -1184,26 +1412,41 @@ type Kernel struct {
 	// LaneBits records the integer width each channel's row loop
 	// computes in (8, 16, 32 or 64).
 	LaneBits []int
-	Rows     []RowFunc
+	// Rows holds one row function per channel; RowAll replaces it when
+	// the channel programs collapsed into one shared body.
+	Rows   []RowFunc
+	RowAll RowAllFunc
 	// Stages, when non-empty, makes the kernel a multi-stage pipeline:
-	// Eval chains the stages through freshly allocated intermediate
-	// buffers and the flat Rows/LaneBits fields above are unused.
+	// Eval chains the stages and the flat Rows/RowAll fields above are
+	// unused.
 	Stages []StageSpec
 	// Red, when non-nil, makes the kernel a reduction: Eval accumulates
-	// over the outW x outH input domain and returns the serialized
-	// little-endian bin table.
+	// over the outW x outH domain (the last stage's output when Stages
+	// is non-empty, the input image otherwise) and returns the
+	// serialized little-endian bin table.
 	Red *ReductionSpec
+	// Sched is the autotuned default schedule (zero when the kernel was
+	// generated without one); EvalTuned runs it.
+	Sched ScheduleSpec
 }
 
 // StageSpec is one stage of a multi-stage pipeline.  DW and DH are the
-// stage's output extents minus the final stage's, so intermediate buffer
-// sizes track any requested output size.
+// stage's output extents minus the final extents (the last stage's for
+// stencil pipelines, the reduction domain for pipelines ending in a
+// reduction), so intermediate buffer sizes track any requested output
+// size.  MinDY and MaxDY bound the input rows the stage reads for output
+// row y — [y+MinDY, y+MaxDY], origin included — the footprint the
+// sliding-window executor sizes its rings with; MinDX and MaxDX are the
+// column counterpart, which fusion validates against the producer width.
 type StageSpec struct {
 	Channels         int
 	OriginX, OriginY int
 	DW, DH           int
+	MinDY, MaxDY     int
+	MinDX, MaxDX     int
 	LaneBits         []int
 	Rows             []RowFunc
+	RowAll           RowAllFunc
 }
 
 // ReductionSpec is the accumulate-into-table form: Row accumulates one
@@ -1235,73 +1478,360 @@ func Kernels() []*Kernel {
 }
 
 // Eval renders an outW x outH output region against img in row-major
-// sample order, exactly like the lifting pipeline's evaluators: when
-// several channels fault on one row, the reported error is the one an
-// x-then-c per-sample scan hits first.  Multi-stage kernels chain their
-// stages through intermediate buffers; reductions treat outW x outH as
-// the input domain and return the serialized bin table.
+// sample order with the serial reference schedule, exactly like the
+// lifting pipeline's evaluators: when several channels fault on one row,
+// the reported error is the one an x-then-c per-sample scan hits first.
+// Multi-stage kernels chain their stages through intermediate buffers;
+// reductions treat outW x outH as the domain and return the serialized
+// bin table.
 func (k *Kernel) Eval(img *Image, outW, outH int) ([]byte, error) {
+	return k.EvalSched(img, outW, outH, Serial())
+}
+
+// EvalTuned is Eval under the kernel's autotuned default schedule.
+func (k *Kernel) EvalTuned(img *Image, outW, outH int) ([]byte, error) {
+	return k.EvalSched(img, outW, outH, k.Sched)
+}
+
+// EvalSched is Eval under an explicit schedule.  The output — and any
+// reported error, position and message included — is identical to Eval's
+// for every valid spec.
+func (k *Kernel) EvalSched(img *Image, outW, outH int, spec ScheduleSpec) ([]byte, error) {
+	switch spec.Fusion {
+	case "", "materialize":
+	case "slidingWindow":
+		if len(k.Stages) < 2 {
+			return nil, fmt.Errorf("ir: kernel %%s: slidingWindow fusion needs at least 2 stages, kernel has %%d", k.Name, len(k.Stages))
+		}
+	default:
+		return nil, fmt.Errorf("ir: kernel %%s: unknown fusion strategy %%q", k.Name, spec.Fusion)
+	}
+	if len(k.Stages) > 0 {
+		fimg, err := k.evalStages(img, outW, outH, spec)
+		if err != nil {
+			return nil, err
+		}
+		if k.Red != nil {
+			return k.evalReduction(fimg, outW, outH)
+		}
+		return fimg.Pix, nil
+	}
 	if k.Red != nil {
 		return k.evalReduction(img, outW, outH)
 	}
-	if len(k.Stages) > 0 {
-		return k.evalStages(img, outW, outH)
-	}
 	out := make([]byte, outW*outH*k.Channels)
-	if err := evalRows(out, img, k.Name, -1, k.Channels, k.OriginX, k.OriginY, outW, outH, k.Rows); err != nil {
-		return nil, err
+	if e := evalStrips(out, img, k.Channels, k.OriginX, k.OriginY, outW, 0, outH, spec.Workers, k.Rows, k.RowAll); e != nil {
+		return nil, fmt.Errorf("ir: kernel %%s at (%%d,%%d,%%d): %%w", k.Name, e.x, e.y, e.c, e.err)
 	}
 	return out, nil
 }
 
-// evalRows renders one stage's rows into out with the reference error
-// selection (x-then-c within a row); stage >= 0 tags pipeline stages.
-func evalRows(out []byte, img *Image, name string, stage, channels, originX, originY, outW, outH int, rows []RowFunc) error {
-	for y := 0; y < outH; y++ {
-		base := y * outW * channels
-		errX, errC := -1, -1
-		var firstErr error
-		for c, row := range rows {
-			x, err := row(out[base+c:], channels, img, y+originY, originX, outW)
-			if err != nil && (errX < 0 || x < errX) {
-				errX, errC, firstErr = x, c, err
-			}
+// rowErr is one row range's first failure in scan order.
+type rowErr struct {
+	y, x, c int
+	err     error
+}
+
+// before orders failures by the serial per-sample scan: row-major, then
+// x, then channel.
+func (e *rowErr) before(o *rowErr) bool {
+	if e.y != o.y {
+		return e.y < o.y
+	}
+	if e.x != o.x {
+		return e.x < o.x
+	}
+	return e.c < o.c
+}
+
+// runRow renders one output row with the reference x-then-c error
+// selection; dst is the row-major row slice.
+func runRow(dst []byte, img *Image, channels, originX, originY, y, outW int, rows []RowFunc, rowAll RowAllFunc) *rowErr {
+	if rowAll != nil {
+		x, c, err := rowAll(dst, img, y+originY, originX, outW)
+		if err != nil {
+			return &rowErr{y: y, x: x, c: c, err: err}
 		}
-		if firstErr != nil {
-			if stage >= 0 {
-				return fmt.Errorf("ir: kernel %%s stage %%d at (%%d,%%d,%%d): %%w", name, stage, errX, y, errC, firstErr)
-			}
-			return fmt.Errorf("ir: kernel %%s at (%%d,%%d,%%d): %%w", name, errX, y, errC, firstErr)
+		return nil
+	}
+	errX, errC := -1, -1
+	var firstErr error
+	for c, row := range rows {
+		x, err := row(dst[c:], channels, img, y+originY, originX, outW)
+		if err != nil && (errX < 0 || x < errX) {
+			errX, errC, firstErr = x, c, err
+		}
+	}
+	if firstErr != nil {
+		return &rowErr{y: y, x: errX, c: errC, err: firstErr}
+	}
+	return nil
+}
+
+// evalRowsRange renders output rows [y0, y1) into out (the full
+// row-major buffer), returning the range's scan-order-first failure.
+func evalRowsRange(out []byte, img *Image, channels, originX, originY, outW, y0, y1 int, rows []RowFunc, rowAll RowAllFunc) *rowErr {
+	for y := y0; y < y1; y++ {
+		if e := runRow(out[y*outW*channels:], img, channels, originX, originY, y, outW, rows, rowAll); e != nil {
+			return e
 		}
 	}
 	return nil
 }
 
-// evalStages chains the pipeline: every stage renders at the requested
-// output size shifted by its recorded extent deltas, and its output
-// becomes the next stage's input image.
-func (k *Kernel) evalStages(img *Image, outW, outH int) ([]byte, error) {
+// evalStrips renders output rows [y0, y1) split across workers.  Every
+// strip renders (no early abort) and the scan-order-minimum failure is
+// reported, so the result — values and error — matches the serial scan
+// for every worker count.
+func evalStrips(out []byte, img *Image, channels, originX, originY, outW, y0, y1, workers int, rows []RowFunc, rowAll RowAllFunc) *rowErr {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > y1-y0 {
+		workers = y1 - y0
+	}
+	if workers <= 1 {
+		return evalRowsRange(out, img, channels, originX, originY, outW, y0, y1, rows, rowAll)
+	}
+	errs := make([]*rowErr, workers)
+	var wg sync.WaitGroup
+	for t := 0; t < workers; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			s0 := y0 + t*(y1-y0)/workers
+			s1 := y0 + (t+1)*(y1-y0)/workers
+			errs[t] = evalRowsRange(out, img, channels, originX, originY, outW, s0, s1, rows, rowAll)
+		}(t)
+	}
+	wg.Wait()
+	var best *rowErr
+	for _, e := range errs {
+		if e != nil && (best == nil || e.before(best)) {
+			best = e
+		}
+	}
+	return best
+}
+
+// evalStages chains the pipeline under the schedule and returns the last
+// stage's output as an image (the reduction driver's input when the
+// kernel ends in one).  Every stage renders at the requested output size
+// shifted by its recorded extent deltas.
+func (k *Kernel) evalStages(img *Image, outW, outH int, spec ScheduleSpec) (*Image, error) {
+	ws := make([]int, len(k.Stages))
+	hs := make([]int, len(k.Stages))
+	for si := range k.Stages {
+		st := &k.Stages[si]
+		ws[si], hs[si] = outW+st.DW, outH+st.DH
+		if ws[si] <= 0 || hs[si] <= 0 {
+			return nil, fmt.Errorf("ir: kernel %%s stage %%d extent %%dx%%d is empty", k.Name, si, ws[si], hs[si])
+		}
+	}
+	if spec.Fusion == "slidingWindow" {
+		return k.evalStagesFused(img, ws, hs, spec)
+	}
 	cur := img
 	for si := range k.Stages {
 		st := &k.Stages[si]
-		w, h := outW+st.DW, outH+st.DH
-		if w <= 0 || h <= 0 {
-			return nil, fmt.Errorf("ir: kernel %%s stage %%d extent %%dx%%d is empty", k.Name, si, w, h)
-		}
+		w, h := ws[si], hs[si]
 		out := make([]byte, w*h*st.Channels)
-		if err := evalRows(out, cur, k.Name, si, st.Channels, st.OriginX, st.OriginY, w, h, st.Rows); err != nil {
-			return nil, err
-		}
-		if si == len(k.Stages)-1 {
-			return out, nil
+		if e := evalStrips(out, cur, st.Channels, st.OriginX, st.OriginY, w, 0, h, spec.Workers, st.Rows, st.RowAll); e != nil {
+			return nil, fmt.Errorf("ir: kernel %%s stage %%d at (%%d,%%d,%%d): %%w", k.Name, si, e.x, e.y, e.c, e.err)
 		}
 		cur = &Image{Pix: out, Stride: w * st.Channels, PixStep: st.Channels, ChanStep: 1}
 	}
-	return nil, fmt.Errorf("ir: kernel %%s has no stages", k.Name)
+	return cur, nil
+}
+
+// fusedStage is one stage's streaming state within one worker strip of
+// the sliding-window executor.
+type fusedStage struct {
+	st   *StageSpec
+	w, h int
+	in   *Image // the image this stage reads
+	// Ring buffer of this stage's output (nil for the final stage).
+	ring             []byte
+	stride           int
+	ringRows, winOut int
+	yBase            int
+	ringImg          *Image // what the consumer reads; Base tracks yBase
+	cursor, hi       int
+	alive            bool
+	fe               *rowErr
+}
+
+// evalStagesFused streams the pipeline: a producer stage computes only
+// the rows its consumer still needs, ring-buffered, so no full-size
+// intermediate plane is ever allocated.  Worker strips split the final
+// rows and recompute their halo rows independently; per-stage errors
+// merge to the scan-order first, and the earliest erroring stage wins —
+// exactly the materializing executor's reporting.
+func (k *Kernel) evalStagesFused(img *Image, ws, hs []int, spec ScheduleSpec) (*Image, error) {
+	n := len(k.Stages)
+	for si := 1; si < n; si++ {
+		st := &k.Stages[si]
+		if k.Stages[si-1].Channels != 1 {
+			return nil, fmt.Errorf("ir: kernel %%s: only planar single-channel intermediates stream (stage %%d has %%d channels)", k.Name, si-1, k.Stages[si-1].Channels)
+		}
+		if st.MinDY < 0 || hs[si]-1+st.MaxDY >= hs[si-1] {
+			return nil, fmt.Errorf("ir: kernel %%s stage %%d reads rows [%%d,%%d], outside its %%d-row producer", k.Name, si, st.MinDY, hs[si]-1+st.MaxDY, hs[si-1])
+		}
+		if st.MinDX < 0 || ws[si]-1+st.MaxDX >= ws[si-1] {
+			// A horizontal overread wraps differently in a ring than in a
+			// full plane; erroring keeps fusion result-identical or loud.
+			return nil, fmt.Errorf("ir: kernel %%s stage %%d reads columns [%%d,%%d], outside its %%d-column producer", k.Name, si, st.MinDX, ws[si]-1+st.MaxDX, ws[si-1])
+		}
+	}
+	last := n - 1
+	out := make([]byte, ws[last]*hs[last]*k.Stages[last].Channels)
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	strips := workers
+	if strips > hs[last] {
+		strips = hs[last]
+	}
+	if strips < 1 {
+		strips = 1
+	}
+	stripErrs := make([][]*rowErr, strips)
+	var wg sync.WaitGroup
+	for t := 0; t < strips; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			s0 := t * hs[last] / strips
+			s1 := (t + 1) * hs[last] / strips
+			stripErrs[t] = k.fusedStrip(img, out, ws, hs, spec.WindowRows, s0, s1, t == 0, t == strips-1)
+		}(t)
+	}
+	wg.Wait()
+	for si := 0; si < n; si++ {
+		var best *rowErr
+		for _, se := range stripErrs {
+			if se[si] != nil && (best == nil || se[si].before(best)) {
+				best = se[si]
+			}
+		}
+		if best != nil {
+			return nil, fmt.Errorf("ir: kernel %%s stage %%d at (%%d,%%d,%%d): %%w", k.Name, si, best.x, best.y, best.c, best.err)
+		}
+	}
+	return &Image{Pix: out, Stride: ws[last] * k.Stages[last].Channels, PixStep: k.Stages[last].Channels, ChanStep: 1}, nil
+}
+
+// fusedStrip streams final-stage rows [s0, s1) through the chain and
+// returns each stage's first error (nil entries for clean stages).  The
+// first and drain strips also produce the producer rows no consumer row
+// pulls — below and above the consumers' summed footprint — because the
+// materializing chain computes every producer row and an error in one of
+// them must not be lost.
+func (k *Kernel) fusedStrip(img *Image, out []byte, ws, hs []int, windowRows, s0, s1 int, first, drain bool) []*rowErr {
+	n := len(k.Stages)
+	fs := make([]fusedStage, n)
+	lo := make([]int, n)
+	hi := make([]int, n)
+	lo[n-1], hi[n-1] = s0, s1
+	for i := n - 2; i >= 0; i-- {
+		st := &k.Stages[i+1]
+		lo[i] = lo[i+1] + st.MinDY
+		if lo[i] < 0 || first {
+			lo[i] = 0
+		}
+		hi[i] = hi[i+1] + st.MaxDY
+		if hi[i] > hs[i] || drain {
+			hi[i] = hs[i]
+		}
+	}
+	for i := range fs {
+		s := &fs[i]
+		s.st = &k.Stages[i]
+		s.w, s.h = ws[i], hs[i]
+		s.cursor, s.hi = lo[i], hi[i]
+		s.alive = true
+		if i < n-1 {
+			win := k.Stages[i+1].MaxDY - k.Stages[i+1].MinDY + 1
+			rows := windowRows
+			if rows < win {
+				rows = win
+			}
+			if rows > hs[i] {
+				rows = hs[i]
+			}
+			s.winOut, s.ringRows = win, rows
+			s.stride = ws[i] // intermediates are planar single-channel
+			s.ring = make([]byte, rows*s.stride)
+			s.yBase = lo[i]
+			s.ringImg = &Image{Pix: s.ring, Base: -s.yBase * s.stride, Stride: s.stride, PixStep: 1}
+		}
+	}
+	fs[0].in = img
+	for i := 1; i < n; i++ {
+		fs[i].in = fs[i-1].ringImg
+	}
+	for fs[n-1].alive && fs[n-1].cursor < fs[n-1].hi {
+		fusedProduce(fs, out, n-1)
+	}
+	for i := n - 2; i >= 0; i-- {
+		for fs[i].alive && fs[i].cursor < fs[i].hi {
+			fusedProduce(fs, out, i)
+		}
+	}
+	errs := make([]*rowErr, n)
+	for i := range fs {
+		errs[i] = fs[i].fe
+	}
+	return errs
+}
+
+// fusedProduce computes the current row of stage i, pulling the producer
+// rows it needs first.  Stages stop at their first error; a stage whose
+// producer died stops without an error of its own (the producer's
+// dominates).
+func fusedProduce(fs []fusedStage, out []byte, i int) {
+	s := &fs[i]
+	y := s.cursor
+	if i > 0 {
+		p := &fs[i-1]
+		top := y + s.st.MaxDY
+		for p.alive && p.cursor <= top && p.cursor < p.hi {
+			fusedProduce(fs, out, i-1)
+		}
+		if !p.alive {
+			s.alive = false
+			return
+		}
+	}
+	var dst []byte
+	if i == len(fs)-1 {
+		dst = out[y*s.w*s.st.Channels:]
+	} else {
+		ph := y - s.yBase
+		if ph >= s.ringRows {
+			// Recycle: slide the last winOut-1 rows (still needed by the
+			// consumer) to the top and move the consumer's view so logical
+			// row numbers stay put.
+			shift := s.ringRows - (s.winOut - 1)
+			copy(s.ring, s.ring[shift*s.stride:s.ringRows*s.stride])
+			s.yBase += shift
+			s.ringImg.Base = -s.yBase * s.stride
+			ph = y - s.yBase
+		}
+		dst = s.ring[ph*s.stride:]
+	}
+	if e := runRow(dst, s.in, s.st.Channels, s.st.OriginX, s.st.OriginY, y, s.w, s.st.Rows, s.st.RowAll); e != nil {
+		s.alive = false
+		s.fe = e
+		return
+	}
+	s.cursor++
 }
 
 // evalReduction accumulates over the domW x domH input domain and
-// serializes the 4-byte bins little-endian.
+// serializes the 4-byte bins little-endian.  The bin updates commute but
+// error detection is a scan, so reduction rows always run serially.
 func (k *Kernel) evalReduction(img *Image, domW, domH int) ([]byte, error) {
 	r := k.Red
 	bins := make([]uint32, r.Bins)

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"helium/internal/image"
 )
 
 // TestGenerateDeterministic pins byte-identical output across runs — the
@@ -69,7 +71,7 @@ func genHarness(t *testing.T, dir, kernelsSrc string, outW, outH int) {
 	plane := diffPlane()
 	pix, base, stride := plane.Flat()
 	var b strings.Builder
-	b.WriteString("package main\n\nimport (\n\t\"fmt\"\n\t\"encoding/hex\"\n\n\tlk \"gentest/lk\"\n)\n\n")
+	b.WriteString("package main\n\nimport (\n\t\"bytes\"\n\t\"fmt\"\n\t\"encoding/hex\"\n\n\tlk \"gentest/lk\"\n)\n\n")
 	fmt.Fprintf(&b, "var pix = []byte{")
 	for i, v := range pix {
 		if i%16 == 0 {
@@ -78,7 +80,17 @@ func genHarness(t *testing.T, dir, kernelsSrc string, outW, outH int) {
 		fmt.Fprintf(&b, "%#04x, ", v)
 	}
 	b.WriteString("\n}\n\n")
-	fmt.Fprintf(&b, `func main() {
+	// Alongside the serial reference Eval, every kernel re-runs under
+	// non-default schedules (worker strips; sliding-window fusion for
+	// multi-stage kernels) and the harness itself asserts the result —
+	// values or error text — is identical.
+	fmt.Fprintf(&b, `var scheds = []lk.ScheduleSpec{
+	{Workers: 3},
+	{Workers: 2, Fusion: "slidingWindow", WindowRows: 2},
+	{Workers: 1, Fusion: "slidingWindow"},
+}
+
+func main() {
 	img := &lk.Image{Pix: pix, Base: %d, Stride: %d, PixStep: 1, ChanStep: 0}
 	for _, k := range lk.Kernels() {
 		out, err := k.Eval(img, %d, %d)
@@ -87,10 +99,45 @@ func genHarness(t *testing.T, dir, kernelsSrc string, outW, outH int) {
 		} else {
 			fmt.Printf("%%s\tOK\t%%s\n", k.Name, hex.EncodeToString(out))
 		}
+		for si, spec := range scheds {
+			if spec.Fusion == "slidingWindow" && len(k.Stages) < 2 {
+				continue
+			}
+			got, gerr := k.EvalSched(img, %d, %d, spec)
+			status, detail := "OK", ""
+			switch {
+			case err != nil && (gerr == nil || gerr.Error() != err.Error()):
+				status, detail = "BAD", fmt.Sprintf("error %%v, want %%v", gerr, err)
+			case err == nil && gerr != nil:
+				status, detail = "BAD", fmt.Sprintf("unexpected error %%v", gerr)
+			case err == nil && !bytes.Equal(got, out):
+				status, detail = "BAD", "output differs from Eval"
+			}
+			fmt.Printf("%%s@sched%%d\t%%s\t%%s\n", k.Name, si, status, detail)
+		}
 	}
 }
-`, base, stride, outW, outH)
+`, base, stride, outW, outH, outW, outH)
 	write("main.go", b.String())
+}
+
+// checkSchedLines asserts every schedule re-run the harness performed
+// agreed with the reference Eval.
+func checkSchedLines(t *testing.T, results map[string][2]string) {
+	t.Helper()
+	n := 0
+	for name, got := range results {
+		if !strings.Contains(name, "@sched") {
+			continue
+		}
+		n++
+		if got[0] != "OK" {
+			t.Errorf("%s: scheduled execution diverged: %s", name, got[1])
+		}
+	}
+	if n == 0 {
+		t.Error("harness ran no scheduled executions")
+	}
 }
 
 // runHarness compiles and runs the generated module with the real Go
@@ -166,6 +213,43 @@ func TestGeneratedCodeDifferential(t *testing.T) {
 	addTree("selparity", &Expr{Op: OpSelect, Args: []*Expr{
 		Bin(OpCmpEq, 4, Bin(OpAnd, 4, ld(0, 0), Const(1)), Const(0)), ld(1, 1), ld(-1, -1)}})
 
+	// Multi-channel kernels: chansame's three identical channel programs
+	// must collapse into one shared row function; chandiff's distinct
+	// programs must keep per-channel functions; chanfault exercises the
+	// x-then-c error merge through the shared body.
+	sameTree := Bin(OpAdd, 4, ld(0, 0), ld(1, 1))
+	kernels = append(kernels, &Kernel{Name: "chansame", OutWidth: outW, OutHeight: outH,
+		Channels: 3, OriginX: 1, OriginY: 1,
+		Trees: []*Expr{sameTree, sameTree.Clone(), sameTree.Clone()}})
+	kernels = append(kernels, &Kernel{Name: "chandiff", OutWidth: outW, OutHeight: outH,
+		Channels: 3, OriginX: 1, OriginY: 1,
+		Trees: []*Expr{
+			Bin(OpAdd, 4, ld(0, 0), Const(1)),
+			Bin(OpAdd, 4, ld(0, 0), Const(2)),
+			Bin(OpAdd, 4, ld(0, 0), Const(3)),
+		}})
+	shortTab := make([]byte, 100)
+	for i := range shortTab {
+		shortTab[i] = byte(i)
+	}
+	faultTree := &Expr{Op: OpTable, Table: shortTab, Elem: 1, Args: []*Expr{Load(0, 0, 0)}}
+	kernels = append(kernels, &Kernel{Name: "chanfault", OutWidth: outW, OutHeight: outH,
+		Channels: 3, OriginX: 1, OriginY: 1,
+		Trees: []*Expr{faultTree, faultTree.Clone(), faultTree.Clone()}})
+	// chantabs: channel programs structurally identical except for their
+	// lookup tables — these must NOT collapse into a shared body (each
+	// channel applies its own LUT).
+	lut := func(mul int) *Expr {
+		tab := make([]byte, 256)
+		for i := range tab {
+			tab[i] = byte(i * mul)
+		}
+		return &Expr{Op: OpTable, Table: tab, Elem: 1, Args: []*Expr{Load(0, 0, 0)}}
+	}
+	kernels = append(kernels, &Kernel{Name: "chantabs", OutWidth: outW, OutHeight: outH,
+		Channels: 3, OriginX: 1, OriginY: 1,
+		Trees: []*Expr{lut(1), lut(3), lut(7)}})
+
 	for i := 0; i < 80; i++ {
 		r := testRNG(uint64(i)*131 + 7)
 		g := &treeGen{r: &r}
@@ -188,9 +272,19 @@ func TestGeneratedCodeDifferential(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Generate: %v", err)
 	}
+	if !strings.Contains(srcCode, "rowChansameAll") || strings.Contains(srcCode, "rowChansameC0") {
+		t.Error("chansame's identical channel programs did not collapse into a shared row function")
+	}
+	if !strings.Contains(srcCode, "rowChandiffC2") {
+		t.Error("chandiff's distinct channel programs lost their per-channel functions")
+	}
+	if !strings.Contains(srcCode, "rowChantabsC2") || strings.Contains(srcCode, "rowChantabsAll") {
+		t.Error("chantabs' distinct per-channel tables wrongly collapsed into a shared row function")
+	}
 	dir := t.TempDir()
 	genHarness(t, dir, srcCode, outW, outH)
 	results := runHarness(t, dir)
+	checkSchedLines(t, results)
 
 	values, faults := 0, 0
 	for _, k := range kernels {
@@ -234,4 +328,116 @@ func TestGeneratedCodeDifferential(t *testing.T) {
 		t.Fatalf("differential corpus is unbalanced: %d value kernels, %d faulting kernels", values, faults)
 	}
 	t.Logf("generated-code differential: %d kernels (%d values, %d faults) bit-exact", len(kernels), values, faults)
+}
+
+// evalStagedRef chains the interpreter over a stage list the way the
+// generated runtime's materializing driver does: full planes between
+// stages, exact extents.
+func evalStagedRef(stages []*Kernel, src Source) ([]byte, error) {
+	var out []byte
+	var err error
+	for i, k := range stages {
+		out, err = k.Eval(src)
+		if err != nil {
+			return nil, err
+		}
+		if i+1 < len(stages) {
+			p := image.NewPlane(k.OutWidth, k.OutHeight, 0)
+			p.SetInterior(out)
+			src = PlaneSource{P: p}
+		}
+	}
+	return out, nil
+}
+
+// TestGeneratedStagedAndReduction compiles multi-stage units — including
+// a pipeline that chains a reduction after a stencil stage — with the
+// real toolchain and checks values against the interpreter chain, plus
+// (via the harness's schedule re-runs) that worker strips and
+// sliding-window fusion reproduce Eval exactly, faults included.
+func TestGeneratedStagedAndReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles generated code with the go toolchain")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+
+	const outW, outH = 7, 6
+	plane := diffPlane()
+	src := PlaneSource{P: plane}
+	zx := func(e *Expr) *Expr { return &Expr{Op: OpZExt, Width: 4, SrcWidth: 1, Args: []*Expr{e}} }
+
+	// pipe2: horizontal then vertical pass (the blur2p shape).
+	h0 := &Kernel{Name: "pipe2#0", OutWidth: outW, OutHeight: outH + 2, Channels: 1, OriginX: 1, OriginY: 0,
+		Trees: []*Expr{Bin(OpDiv, 4, &Expr{Op: OpAdd, Width: 4,
+			Args: []*Expr{zx(Load(-1, 0, 0)), zx(Load(0, 0, 0)), zx(Load(1, 0, 0))}}, Const(3))}}
+	v1 := &Kernel{Name: "pipe2#1", OutWidth: outW, OutHeight: outH, Channels: 1, OriginX: 0, OriginY: 1,
+		Trees: []*Expr{Bin(OpDiv, 4, &Expr{Op: OpAdd, Width: 4,
+			Args: []*Expr{zx(Load(0, -1, 0)), zx(Load(0, 0, 0)), zx(Load(0, 1, 0))}}, Const(3))}}
+
+	// pipefault: the second stage divides by the difference between an
+	// intermediate sample and a value the intermediate provably takes at
+	// (5, 4), so the chain faults there deterministically.
+	f0 := &Kernel{Name: "pipefault#0", OutWidth: outW + 1, OutHeight: outH + 1, Channels: 1, OriginX: 0, OriginY: 0,
+		Trees: []*Expr{Bin(OpShr, 4, zx(Load(0, 0, 0)), Const(3))}}
+	collide := int64(plane.At(5, 4) >> 3)
+	f1 := &Kernel{Name: "pipefault#1", OutWidth: outW, OutHeight: outH, Channels: 1, OriginX: 0, OriginY: 0,
+		Trees: []*Expr{Bin(OpDiv, 4, Const(77),
+			Bin(OpSub, 4, zx(Load(1, 1, 0)), Const(collide)))}}
+
+	// redchain: a stencil stage feeding a histogram reduction.
+	r0 := &Kernel{Name: "redchain#0", OutWidth: outW, OutHeight: outH, Channels: 1, OriginX: 1, OriginY: 1,
+		Trees: []*Expr{Bin(OpAnd, 4, Bin(OpAdd, 4, zx(Load(0, 0, 0)), zx(Load(1, 1, 0))), Const(0xff))}}
+	red := &Reduction{Name: "redchain", DomW: outW, DomH: outH, Bins: 256, Elem: 4,
+		Init: make([]uint64, 256), Index: Load(0, 0, 0), Delta: 1}
+
+	units := []GenKernel{
+		{Name: "pipe2", Stages: []*Kernel{h0, v1}},
+		{Name: "pipefault", Stages: []*Kernel{f0, f1}},
+		{Name: "redchain", Stages: []*Kernel{r0}, Red: red},
+	}
+	srcCode, err := GenerateUnits("liftedkernels", units)
+	if err != nil {
+		t.Fatalf("GenerateUnits: %v", err)
+	}
+	dir := t.TempDir()
+	genHarness(t, dir, srcCode, outW, outH)
+	results := runHarness(t, dir)
+	checkSchedLines(t, results)
+
+	// pipe2: values must match the interpreter chain.
+	want, err := evalStagedRef([]*Kernel{h0, v1}, src)
+	if err != nil {
+		t.Fatalf("pipe2 reference: %v", err)
+	}
+	if got := results["pipe2"]; got[0] != "OK" || got[1] != hex.EncodeToString(want) {
+		t.Errorf("pipe2: harness %v, want OK %s", got, hex.EncodeToString(want))
+	}
+
+	// pipefault: the interpreter chain faults; the harness must too (the
+	// schedule re-runs above already proved fused == materialize).
+	if _, err := evalStagedRef([]*Kernel{f0, f1}, src); err == nil {
+		t.Fatal("pipefault reference did not fault")
+	}
+	if got := results["pipefault"]; got[0] != "ERR" {
+		t.Errorf("pipefault: harness returned %v, want ERR", got)
+	}
+
+	// redchain: histogram of the stage output.
+	stageOut, err := r0.Eval(src)
+	if err != nil {
+		t.Fatalf("redchain stage reference: %v", err)
+	}
+	bins := make([]uint32, 256)
+	for _, v := range stageOut {
+		bins[v]++
+	}
+	ref := make([]byte, 0, 1024)
+	for _, v := range bins {
+		ref = append(ref, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	if got := results["redchain"]; got[0] != "OK" || got[1] != hex.EncodeToString(ref) {
+		t.Errorf("redchain: harness %v, want OK %s", got, hex.EncodeToString(ref))
+	}
 }

@@ -1,0 +1,327 @@
+// Sliding-window fusion of multi-stage compiled pipelines.  The
+// materializing chain evaluates each stage fully into a freshly allocated
+// intermediate plane before its consumer starts; the fused driver instead
+// streams the stages, computing only the producer rows the consumer still
+// needs and recycling them through a small ring buffer — a blur2p-style
+// two-pass pipeline never holds a full-size intermediate plane, and rows
+// move from producer to consumer while still cache-hot.
+//
+// Fusion is purely an execution strategy: values, error positions and
+// error messages are bit-identical to the materializing chain for every
+// window size and worker count.  Values are exact because every row is
+// computed by the same channel programs from the same inputs (worker
+// strips recompute their halo rows rather than share them).  Errors are
+// exact because the materializing chain reports the first error of the
+// earliest stage that has one (an erroring stage aborts the chain before
+// later stages run), and the fused driver reproduces that selection: each
+// stage computes its rows in ascending order and stops at its first
+// error, upstream stages still run to their full extents afterwards (the
+// drain pass), and the driver reports the lowest-numbered erroring
+// stage's first error in row-then-x-then-channel order.
+package ir
+
+import (
+	"fmt"
+
+	"helium/internal/image"
+	"helium/internal/par"
+	"helium/internal/schedule"
+)
+
+// fuseGeom is the per-stage read footprint the fused driver schedules
+// around: the rows and columns of the stage's input that its whole output
+// row y (respectively column x) depends on, origins applied.
+type fuseGeom struct {
+	loY, hiY int // input rows read for output row y: [y+loY, y+hiY]
+	loX, hiX int // input columns read for output column x: [x+loX, x+hiX]
+}
+
+// readFootprint collects the kernel's tap bounds across every channel
+// program, including taps fused into sums.  Dead instructions are skipped
+// exactly as the executors skip them (fault-capable loads are never
+// marked dead, so no observable tap is missed).
+func (ck *CompiledKernel) readFootprint() fuseGeom {
+	minDX, maxDX, minDY, maxDY := 0, 0, 0, 0
+	first := true
+	see := func(dx, dy int32) {
+		if first {
+			minDX, maxDX, minDY, maxDY = int(dx), int(dx), int(dy), int(dy)
+			first = false
+			return
+		}
+		minDX, maxDX = min(minDX, int(dx)), max(maxDX, int(dx))
+		minDY, maxDY = min(minDY, int(dy)), max(maxDY, int(dy))
+	}
+	for _, p := range ck.Progs {
+		for i := range p.insts {
+			in := &p.insts[i]
+			if in.dead {
+				continue
+			}
+			switch in.op {
+			case OpLoad:
+				see(in.dx, in.dy)
+			case opSumTaps:
+				for _, t := range in.taps {
+					see(t.dx, t.dy)
+				}
+			}
+		}
+	}
+	return fuseGeom{
+		loY: ck.OriginY + minDY, hiY: ck.OriginY + maxDY,
+		loX: ck.OriginX + minDX, hiX: ck.OriginX + maxDX,
+	}
+}
+
+// fusePlan validates a stage chain for sliding-window fusion and computes
+// the per-gap ring heights.
+type fusePlan struct {
+	geoms []fuseGeom
+	// ringRows[i] is the ring height between stage i and stage i+1;
+	// wins[i] is the minimal legal window (stage i+1's vertical read
+	// footprint).
+	ringRows, wins []int
+}
+
+// planFusion checks that a compiled chain is fusable — at least two
+// stages, all stencils, planar single-channel intermediates, and every
+// consumer's read footprint inside its producer's extent — and sizes the
+// rings: windowRows == 0 picks the minimal window, larger values trade
+// memory for fewer ring shifts, and everything clamps to [window,
+// producer height].
+func planFusion(stages []*CompiledKernel, windowRows int) (*fusePlan, error) {
+	if len(stages) < 2 {
+		return nil, fmt.Errorf("ir: fusion needs at least 2 stages, got %d", len(stages))
+	}
+	pl := &fusePlan{geoms: make([]fuseGeom, len(stages))}
+	for i, ck := range stages {
+		if ck == nil {
+			return nil, fmt.Errorf("ir: fusion stage %d is not a stencil", i)
+		}
+		pl.geoms[i] = ck.readFootprint()
+	}
+	for i := 1; i < len(stages); i++ {
+		p, c := stages[i-1], stages[i]
+		g := pl.geoms[i]
+		if p.Channels != 1 {
+			return nil, fmt.Errorf("ir: fusion intermediate %d has %d channels; only planar single-channel intermediates stream", i-1, p.Channels)
+		}
+		if g.loY < 0 || c.OutHeight-1+g.hiY >= p.OutHeight ||
+			g.loX < 0 || c.OutWidth-1+g.hiX >= p.OutWidth {
+			return nil, fmt.Errorf("ir: fusion stage %d reads rows [%d,%d] cols [%d,%d], outside its %dx%d producer",
+				i, g.loY, c.OutHeight-1+g.hiY, g.loX, c.OutWidth-1+g.hiX, p.OutWidth, p.OutHeight)
+		}
+		win := g.hiY - g.loY + 1
+		rows := windowRows
+		if rows < win {
+			rows = win
+		}
+		rows = min(rows, p.OutHeight)
+		pl.wins = append(pl.wins, win)
+		pl.ringRows = append(pl.ringRows, rows)
+	}
+	return pl, nil
+}
+
+// FusedRingRows reports the ring-buffer heights (one per stage gap) the
+// fused driver will allocate for a chain under the given window setting,
+// or an error when the chain cannot fuse.  Drivers report it; tests use
+// it to prove no full-size intermediate plane exists.
+func FusedRingRows(stages []*CompiledKernel, windowRows int) ([]int, error) {
+	pl, err := planFusion(stages, windowRows)
+	if err != nil {
+		return nil, err
+	}
+	return pl.ringRows, nil
+}
+
+// fusedStage is one stage's streaming state within one worker strip.
+type fusedStage struct {
+	ck *CompiledKernel
+	ex *Executor
+	// Ring buffer of this stage's OUTPUT (nil for the final stage, which
+	// writes the shared out buffer directly).
+	ringPix              []byte
+	ringBase, ringStride int
+	ringRows, winOut     int
+	yBase                int // logical row at physical ring row 0
+	cursor, hi           int // next row to produce; strip production bound
+	geomHiY              int // highest producer row offset this stage reads
+	alive                bool
+	err                  tileError
+	hasErr               bool
+}
+
+// fusedRun drives one worker strip of the chain.
+type fusedRun struct {
+	stages []fusedStage
+	out    []byte
+}
+
+// produce computes the current row of stage i, pulling producer rows
+// first.  It must not be called on a dead or finished stage.
+func (f *fusedRun) produce(i int) {
+	s := &f.stages[i]
+	y := s.cursor
+	k := s.ck
+	if i > 0 {
+		p := &f.stages[i-1]
+		top := y + s.geomHiY
+		for p.alive && p.cursor <= top && p.cursor < p.hi {
+			f.produce(i - 1)
+		}
+		if !p.alive {
+			s.alive = false // dominated by the producer's error
+			return
+		}
+	}
+	var dst []byte
+	step := 1
+	if i == len(f.stages)-1 {
+		dst = f.out[y*k.OutWidth*k.Channels:]
+		step = k.Channels
+	} else {
+		p := y - s.yBase
+		if p >= s.ringRows {
+			// Recycle: slide the last winOut-1 rows (still needed by the
+			// consumer) to the top of the ring and move the consumer's
+			// flat binding so logical row numbers stay put.
+			shift := s.ringRows - (s.winOut - 1)
+			copy(s.ringPix[s.ringBase:], s.ringPix[s.ringBase+shift*s.ringStride:s.ringBase+s.ringRows*s.ringStride])
+			s.yBase += shift
+			f.stages[i+1].ex.shiftBase(-shift * s.ringStride)
+			p = y - s.yBase
+		}
+		dst = s.ringPix[s.ringBase+p*s.ringStride:]
+	}
+	n := k.OutWidth
+	errX, errC := -1, -1
+	var firstErr error
+	for c := 0; c < k.Channels; c++ {
+		x, err := s.ex.rows[c].runRow(k.OriginX, y+k.OriginY, c, n)
+		if err != nil && (errX < 0 || x < errX) {
+			errX, errC, firstErr = x, c, err
+		}
+		if err == nil {
+			s.ex.rows[c].storeRow(dst[c:], step, n)
+		}
+	}
+	if firstErr != nil {
+		s.alive = false
+		s.err = tileError{x: errX, y: y, c: errC, err: firstErr}
+		s.hasErr = true
+		return
+	}
+	s.cursor++
+}
+
+// EvalFused evaluates a compiled multi-stage stencil chain with
+// sliding-window fusion under the given schedule: sc.WindowRows sizes the
+// rings, sc.Workers picks the strip count (final-stage rows split across
+// workers, halo rows recomputed per strip), and per-stage Lane overrides
+// apply.  Tile extents do not apply — fused stages always stream whole
+// rows.  The output and any reported error are identical to the
+// materializing chain's.
+func EvalFused(stages []*CompiledKernel, src Source, sc *schedule.Schedule) ([]byte, error) {
+	pl, err := planFusion(stages, sc.WindowRows)
+	if err != nil {
+		return nil, err
+	}
+	n := len(stages)
+	final := stages[n-1]
+	out := make([]byte, final.OutWidth*final.OutHeight*final.Channels)
+
+	strips := min(sc.EffectiveWorkers(), final.OutHeight)
+	if strips < 1 {
+		strips = 1
+	}
+	stripErrs := make([][]fusedStage, strips)
+	_ = par.For(strips, 1, strips, func(int) func(int, int) error {
+		return func(t0, t1 int) error {
+			for t := t0; t < t1; t++ {
+				s0 := t * final.OutHeight / strips
+				s1 := (t + 1) * final.OutHeight / strips
+				run := buildStrip(stages, pl, src, sc, out, s0, s1, t == 0, t == strips-1)
+				f := &run
+				last := len(f.stages) - 1
+				for f.stages[last].alive && f.stages[last].cursor < f.stages[last].hi {
+					f.produce(last)
+				}
+				// Drain: upstream stages finish their strip extents so a
+				// late producer error still dominates a consumer's.
+				for i := last - 1; i >= 0; i-- {
+					for f.stages[i].alive && f.stages[i].cursor < f.stages[i].hi {
+						f.produce(i)
+					}
+				}
+				stripErrs[t] = f.stages
+			}
+			return nil
+		}
+	})
+
+	// Merge: per stage, the scan-order-first error across strips; then the
+	// earliest erroring stage wins, exactly like the materializing chain.
+	for i := 0; i < n; i++ {
+		best := tileError{}
+		has := false
+		for _, st := range stripErrs {
+			if st[i].hasErr && (!has || st[i].err.before(best)) {
+				best = st[i].err
+				has = true
+			}
+		}
+		if has {
+			return nil, stages[i].wrapTileError(best)
+		}
+	}
+	return out, nil
+}
+
+// buildStrip assembles the streaming state for final-stage rows [s0, s1):
+// per-stage production ranges (halo included), ring allocations, and
+// executors chained through the rings.  The first and last strips also
+// produce the producer rows no consumer row ever pulls — below the
+// consumers' summed footprint and above it, respectively — because the
+// materializing chain computes every producer row and an error in one of
+// them must not be lost.
+func buildStrip(stages []*CompiledKernel, pl *fusePlan, src Source, sc *schedule.Schedule, out []byte, s0, s1 int, first, last bool) fusedRun {
+	n := len(stages)
+	f := fusedRun{stages: make([]fusedStage, n), out: out}
+	lo := make([]int, n)
+	hi := make([]int, n)
+	lo[n-1], hi[n-1] = s0, s1
+	for i := n - 2; i >= 0; i-- {
+		g := pl.geoms[i+1]
+		lo[i] = max(lo[i+1]+g.loY, 0)
+		hi[i] = min(hi[i+1]-1+g.hiY+1, stages[i].OutHeight)
+		if first {
+			lo[i] = 0
+		}
+		if last {
+			hi[i] = stages[i].OutHeight
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := &f.stages[i]
+		s.ck = stages[i]
+		s.cursor, s.hi = lo[i], hi[i]
+		s.alive = true
+		s.geomHiY = pl.geoms[i].hiY
+		if i < n-1 {
+			s.ringRows = pl.ringRows[i]
+			s.winOut = pl.wins[i]
+			s.yBase = lo[i]
+			ring := image.NewPlane(stages[i].OutWidth, s.ringRows, 0)
+			s.ringPix, s.ringBase, s.ringStride = ring.Flat()
+			// The consumer executor reads the ring; its binding slides so
+			// logical rows resolve to physical ring rows.
+			c := &f.stages[i+1]
+			c.ex = stages[i+1].newExecutor(PlaneSource{P: ring}, stages[i+1].OutWidth, sc.StageAt(i+1).Lane)
+			c.ex.shiftBase(-s.yBase * s.ringStride)
+		}
+	}
+	f.stages[0].ex = stages[0].newExecutor(src, stages[0].OutWidth, sc.StageAt(0).Lane)
+	return f
+}
