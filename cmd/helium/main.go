@@ -178,6 +178,14 @@ func loadSchedules(path string, verbose bool) (*schedule.Set, error) {
 		}
 		return nil, err
 	}
+	// A schedule is a measurement only on the machine class that timed it.
+	// Apply it anyway — it is still a better guess than the heuristic — but
+	// never silently: a tile or worker count tuned elsewhere is a
+	// hypothesis here.
+	if host := schedule.HostMachineKey(); set.Machine != "" && set.Machine != host {
+		fmt.Fprintf(os.Stderr, "helium: warning: %s was tuned on machine class %s; this host is %s (re-run `helium tune` to re-measure)\n",
+			path, set.Machine, host)
+	}
 	return set, nil
 }
 
@@ -423,16 +431,19 @@ type benchEntry struct {
 	// Schedule is the tuned schedule the "scheduled" backend ran (JSON of
 	// schedule.Schedule; omitted for reduction-only kernels).
 	Schedule *schedule.Schedule `json:"schedule,omitempty"`
-	// WorkersSweep maps a worker count to per-backend ns/sample for the
-	// parallel backends, so multi-core scaling lands in the report when a
-	// multi-core machine runs it.
-	WorkersSweep map[string]map[string]float64 `json:"ns_per_sample_by_workers,omitempty"`
+	// Sweeps maps the GOMAXPROCS value the sweep ran under to worker-count
+	// rows of per-backend ns/sample — scaling curves keyed by the
+	// parallelism actually available, so a 1-core container's flat curve
+	// is never mistaken for a multi-core measurement.
+	Sweeps map[string]map[string]map[string]float64 `json:"sweeps_by_gomaxprocs,omitempty"`
 }
 
 // benchReport is the whole machine-readable benchmark artifact.
 type benchReport struct {
 	Config   string       `json:"config"`
 	MaxProcs int          `json:"gomaxprocs"`
+	CPUs     int          `json:"cpus"`
+	Machine  string       `json:"machine"`
 	Workers  int          `json:"workers"`
 	Kernels  []benchEntry `json:"kernels"`
 }
@@ -536,6 +547,8 @@ func runBench(kernels []legacy.Kernel, cfg legacy.Config, workers int, outPath, 
 	report := benchReport{
 		Config:   cfg.String(),
 		MaxProcs: runtime.GOMAXPROCS(0),
+		CPUs:     runtime.NumCPU(),
+		Machine:  schedule.HostMachineKey(),
 	}
 	for _, k := range kernels {
 		inst := k.Instantiate(cfg)
@@ -626,10 +639,12 @@ func runBench(kernels []legacy.Kernel, cfg legacy.Config, workers int, outPath, 
 			entry.NsPerSample[name] = ns / float64(samples)
 		}
 		// Worker sweep: the parallel backends re-timed at each worker
-		// count, so multi-core scaling is captured when the machine has
-		// the cores (a 1-core container sweeps only {1}).
+		// count, keyed by the GOMAXPROCS the sweep ran under — scaling
+		// curves only when the machine has the cores (a 1-core container's
+		// curve is flat and honestly labeled "1").
 		if !isRed {
-			entry.WorkersSweep = map[string]map[string]float64{}
+			gsc := new(liftedkernels.Scratch)
+			rows := map[string]map[string]float64{}
 			for _, w := range sweep {
 				row := map[string]float64{}
 				ns, err := timeIt(func() error {
@@ -650,7 +665,19 @@ func runBench(kernels []legacy.Kernel, cfg legacy.Config, workers int, outPath, 
 					return fmt.Errorf("%s/scheduled@%d: %w", k.Name, w, err)
 				}
 				row["scheduled"] = ns / float64(samples)
-				entry.WorkersSweep[fmt.Sprint(w)] = row
+				gspec := liftedkernels.ScheduleSpec{Workers: w, Fusion: gk.Sched.Fusion, WindowRows: gk.Sched.WindowRows, Stages: gk.Sched.Stages}
+				ns, err = timeIt(func() error {
+					_, err := gk.EvalInto(gsc, img, outW, outH, gspec)
+					return err
+				})
+				if err != nil {
+					return fmt.Errorf("%s/generated@%d: %w", k.Name, w, err)
+				}
+				row["generated"] = ns / float64(samples)
+				rows[fmt.Sprint(w)] = row
+			}
+			entry.Sweeps = map[string]map[string]map[string]float64{
+				fmt.Sprint(report.MaxProcs): rows,
 			}
 		}
 		base := entry.NsPerSample["interp"]

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 
 	"helium/internal/legacy"
@@ -28,7 +29,7 @@ func repoSchedules(t *testing.T) *schedule.Set {
 // corpus kernel.
 func TestSchedulesCoverCorpus(t *testing.T) {
 	set := repoSchedules(t)
-	if set.Config == "" || set.GoMaxProcs < 1 {
+	if set.Config == "" || set.GoMaxProcs < 1 || set.Machine == "" {
 		t.Fatalf("schedules.json header incomplete: %+v", set)
 	}
 	for _, k := range legacy.Kernels() {
@@ -109,8 +110,49 @@ func TestBenchBaselineCoversCorpus(t *testing.T) {
 		if e.Schedule == nil {
 			t.Errorf("%s: baseline entry records no schedule", k.Name)
 		}
-		if len(e.WorkersSweep) == 0 {
-			t.Errorf("%s: baseline entry has no workers sweep", k.Name)
+		if len(e.Sweeps) == 0 {
+			t.Errorf("%s: baseline entry has no worker sweeps", k.Name)
+		}
+		for gmpStr, rows := range e.Sweeps {
+			gmp, err := strconv.Atoi(gmpStr)
+			if err != nil || gmp < 1 {
+				t.Errorf("%s: bad sweep gomaxprocs key %q", k.Name, gmpStr)
+				continue
+			}
+			if len(rows) == 0 {
+				t.Errorf("%s: sweep under gomaxprocs %d is empty", k.Name, gmp)
+				continue
+			}
+			for wStr, row := range rows {
+				if w, err := strconv.Atoi(wStr); err != nil || w < 1 {
+					t.Errorf("%s: bad sweep worker key %q", k.Name, wStr)
+				}
+				for _, backend := range []string{"compiled-tiled", "scheduled", "generated"} {
+					if ns, ok := row[backend]; !ok || ns <= 0 {
+						t.Errorf("%s: sweep %s@%s: backend %q missing or nonpositive", k.Name, gmpStr, wStr, backend)
+					}
+				}
+			}
+			// Scaling is only assertable when the sweep actually had the
+			// cores: a 1-core container's curve is honestly flat, and a
+			// sweep oversubscribed past the physical CPUs proves nothing.
+			if gmp < 2 || gmp > report.CPUs {
+				continue
+			}
+			base, ok := rows["1"]
+			if !ok {
+				t.Errorf("%s: multi-core sweep under gomaxprocs %d lacks the 1-worker row", k.Name, gmp)
+				continue
+			}
+			scaled := false
+			for wStr, row := range rows {
+				if w, _ := strconv.Atoi(wStr); w >= 2 && row["generated"] > 0 && row["generated"] < base["generated"] {
+					scaled = true
+				}
+			}
+			if !scaled {
+				t.Errorf("%s: generated backend shows no >1x scaling at 2+ workers under gomaxprocs %d", k.Name, gmp)
+			}
 		}
 	}
 	if len(byName) != len(legacy.Kernels()) {

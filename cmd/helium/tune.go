@@ -35,11 +35,12 @@ type tuneResult struct {
 func runTune(args []string) error {
 	fs := flag.NewFlagSet("tune", flag.ExitOnError)
 	var (
-		out    = fs.String("out", "schedules.json", "schedule set output path")
-		smoke  = fs.Bool("smoke", false, "tiny candidate grid for CI; asserts the written set round-trips")
-		width  = fs.Int("width", 256, "image width candidates are timed at")
-		height = fs.Int("height", 192, "image height candidates are timed at")
-		seed   = fs.Uint64("seed", 1, "deterministic input pattern seed")
+		out        = fs.String("out", "schedules.json", "schedule set output path")
+		smoke      = fs.Bool("smoke", false, "tiny candidate grid for CI; asserts the written set round-trips")
+		width      = fs.Int("width", 256, "image width candidates are timed at")
+		height     = fs.Int("height", 192, "image height candidates are timed at")
+		seed       = fs.Uint64("seed", 1, "deterministic input pattern seed")
+		maxWorkers = fs.Int("max-workers", 0, "cap of the worker-count search (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,11 +62,12 @@ func runTune(args []string) error {
 	set := &schedule.Set{
 		Config:     cfg.String(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Machine:    schedule.HostMachineKey(),
 		Kernels:    map[string]*schedule.Schedule{},
 	}
 	var results []tuneResult
 	for _, k := range legacy.Kernels() {
-		r, err := tuneKernel(k, cfg, *smoke)
+		r, err := tuneKernel(k, cfg, *smoke, *maxWorkers)
 		if err != nil {
 			return fmt.Errorf("%s: %w", k.Name, err)
 		}
@@ -105,7 +107,8 @@ func max64f(v, lo float64) float64 {
 }
 
 // tuneKernel lifts one kernel, verifies it, and races the candidate grid.
-func tuneKernel(k legacy.Kernel, cfg legacy.Config, smoke bool) (*tuneResult, error) {
+// maxWorkers caps the worker-count search; 0 searches up to GOMAXPROCS.
+func tuneKernel(k legacy.Kernel, cfg legacy.Config, smoke bool, maxWorkers int) (*tuneResult, error) {
 	inst := k.Instantiate(cfg)
 	res, err := lift.Lift(k.Name, target(inst))
 	if err != nil {
@@ -140,11 +143,14 @@ func tuneKernel(k legacy.Kernel, cfg legacy.Config, smoke bool) (*tuneResult, er
 		return &tuneResult{kernel: k.Name, sched: sc, bestNs: perSample, defaultNs: perSample, candidates: 1}, nil
 	}
 
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
 	opts := schedule.GridOpts{
 		Stages:     1,
 		OutW:       outW,
 		OutH:       outH,
-		MaxWorkers: runtime.GOMAXPROCS(0),
+		MaxWorkers: maxWorkers,
 		Smoke:      smoke,
 	}
 	if c.Fusable() {

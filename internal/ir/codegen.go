@@ -133,7 +133,37 @@ type progGen struct {
 	// storeFn overrides the per-sample store the loop ends with (the
 	// reduction emitter accumulates into bins instead of storing a byte).
 	storeFn func(w func(string, ...any))
+
+	// xTerm spells the current sample index in emitted statements: "x" in
+	// the rolled loops, "x+3" inside a batch-unrolled lane block.
+	xTerm string
+	// bceSlice maps a tap offset local ("o2") to the row slice hoisted
+	// over it ("s2") in the bounds-check-free fast path; nil elsewhere.
+	bceSlice map[string]string
+	// bceDst names the re-sliced output row in the bounds-check-free fast
+	// path; empty elsewhere (the store then spells dst[x*step]).
+	bceDst string
+	// bceIdx spells the ELEMENT index inside the head-cutting loops: a
+	// lane constant ("0".."7" in the batch block, "0" in the tail) while
+	// xTerm keeps the running sample coordinate for fault reporting.
+	// Constant element indexes against slices whose heads advance in
+	// lockstep are the one chunked idiom the prove pass discharges fully;
+	// counted `s[x+k]` forms all keep at least the +k lanes checked.
+	bceIdx string
+	// flatCh > 0 marks the flat-interleaved variant: the loop scans
+	// n*flatCh contiguous samples and a fault splits the flat index back
+	// into (x, c) through the variant's ok-return shape.
+	flatCh int
+	// noBCE suppresses the bounds-check-free fast path (reductions whose
+	// bin store the compiler could not prove in-bounds).
+	noBCE bool
 }
+
+// bceLanes is the unroll factor of the bounds-check-free batch loop: 8
+// samples per iteration amortizes the loop control and gives the
+// compiler straight-line blocks to schedule, while the scalar tail keeps
+// any n exact.
+const bceLanes = 8
 
 // fileGen tracks file-wide state: emitted tables (deduplicated by
 // content) and required imports.
@@ -142,6 +172,7 @@ type fileGen struct {
 	tableDefs *strings.Builder
 	needMath  bool
 	needBits  bool
+	needFmt   bool
 }
 
 // GenKernel is one unit of ahead-of-time generation: a stencil pipeline
@@ -222,6 +253,9 @@ func GenerateUnits(pkg string, units []GenKernel) (string, error) {
 	out.WriteString("// Code generated by \"helium gen\"; DO NOT EDIT.\n\n")
 	fmt.Fprintf(&out, "package %s\n\n", pkg)
 	var imports []string
+	if fg.needFmt {
+		imports = append(imports, `"fmt"`)
+	}
 	if fg.needMath {
 		imports = append(imports, `"math"`)
 	}
@@ -325,9 +359,34 @@ func emitRowSet(b *strings.Builder, fg *fileGen, what string, ck *CompiledKernel
 			if err := g.emitRowFunc(shared); err != nil {
 				return rs, fmt.Errorf("%s: %w", what, err)
 			}
+			// On the flat-interleaved layout the whole row is one
+			// contiguous run of n*channels samples, so a second variant
+			// scans it as a single flat loop — the only shape on which a
+			// multi-channel kernel reaches the bounds-check-free batch
+			// path (the per-channel calls below run at step == channels).
+			flat := ""
+			gf := &progGen{
+				p: ck.Progs[0], fg: fg, b: b,
+				bits: ck.Progs[0].width.laneBits,
+				c:    0, cvar: true, kernel: prefix,
+				flatCh: len(ck.Progs),
+			}
+			gf.T = laneTypeName(gf.bits)
+			gf.S = signedTypeName(gf.bits)
+			if gf.hasLoads() {
+				flat = prefix + "Flat"
+				if err := gf.emitFlatRowFunc(flat); err != nil {
+					return rs, fmt.Errorf("%s: %w", what, err)
+				}
+			}
 			fmt.Fprintf(b, "// %s renders all %d channels of one output row through the shared\n", rs.rowAll, len(ck.Progs))
 			fmt.Fprintf(b, "// channel body, with the reference x-then-c error selection.\n")
 			fmt.Fprintf(b, "func %s(dst []byte, img *Image, y, xbase, n int) (int, int, error) {\n", rs.rowAll)
+			if flat != "" {
+				fmt.Fprintf(b, "\tif img.PixStep == %d && img.ChanStep == 1 {\n", len(ck.Progs))
+				fmt.Fprintf(b, "\t\tif x, c, err, ok := %s(dst, img, y, xbase, n); ok {\n", flat)
+				fmt.Fprintf(b, "\t\t\treturn x, c, err\n\t\t}\n\t}\n")
+			}
 			fmt.Fprintf(b, "\terrX, errC := -1, -1\n")
 			fmt.Fprintf(b, "\tvar firstErr error\n")
 			fmt.Fprintf(b, "\tfor c := 0; c < %d; c++ {\n", len(ck.Progs))
@@ -358,17 +417,86 @@ func emitRowSet(b *strings.Builder, fg *fileGen, what string, ck *CompiledKernel
 }
 
 // emitSched writes the kernel's tuned default schedule when it differs
-// from the reference serial-materialize strategy.  Only the portable
-// fields embed: per-stage tile and lane overrides tune the register
-// executor's tiled driver, which has no counterpart in generated code
-// (the row loops are fully inlined at fixed lanes), so a schedule whose
-// only content is stage overrides generates the zero Sched.
+// from the reference serial-materialize strategy.  Workers, fusion,
+// window and per-stage tile extents embed (tiles drive the generated
+// runtime's cache-blocked driver and, at one worker, the baked serial
+// tile nest); lane overrides have no counterpart in generated code — the
+// row loops are fully inlined at fixed lanes — so they do not embed.
 func emitSched(b *strings.Builder, sc *schedule.Schedule) {
-	if sc == nil || (sc.Workers == 0 && sc.FusionKind() == schedule.Materialize && sc.WindowRows == 0) {
+	if sc == nil {
 		return
 	}
-	fmt.Fprintf(b, "\t\tSched: ScheduleSpec{Workers: %d, Fusion: %q, WindowRows: %d},\n",
+	hasTiles := false
+	for _, st := range sc.Stages {
+		if st.TileW > 0 || st.TileH > 0 {
+			hasTiles = true
+		}
+	}
+	if sc.Workers == 0 && sc.FusionKind() == schedule.Materialize && sc.WindowRows == 0 && !hasTiles {
+		return
+	}
+	fmt.Fprintf(b, "\t\tSched: ScheduleSpec{Workers: %d, Fusion: %q, WindowRows: %d",
 		sc.Workers, string(sc.FusionKind()), sc.WindowRows)
+	if hasTiles {
+		fmt.Fprintf(b, ", Stages: []StageSched{")
+		for i, st := range sc.Stages {
+			if i > 0 {
+				fmt.Fprintf(b, ", ")
+			}
+			fmt.Fprintf(b, "{TileW: %d, TileH: %d}", st.TileW, st.TileH)
+		}
+		fmt.Fprintf(b, "}")
+	}
+	fmt.Fprintf(b, "},\n")
+}
+
+// emitTunedDriver writes a serial driver whose loop nest carries the
+// tuned tile extents as literal bounds — the schedule baked into the
+// code itself.  EvalTuned dispatches to it when the embedded schedule
+// resolves to one worker; the parallel path keeps the generic tiled
+// driver, which reads the same tiles from the embedded ScheduleSpec.
+func emitTunedDriver(b *strings.Builder, fg *fileGen, k *Kernel, rs *rowSet, name string, tileW, tileH int) {
+	fg.needFmt = true
+	ch := k.Channels
+	fmt.Fprintf(b, "// %s renders through the tuned %dx%d tile blocking baked in as\n", name, tileW, tileH)
+	fmt.Fprintf(b, "// literal loop bounds (the embedded schedule's serial fast path).\n")
+	fmt.Fprintf(b, "func %s(sc *Scratch, img *Image, outW, outH int) ([]byte, error) {\n", name)
+	fmt.Fprintf(b, "\tconst tileW, tileH = %d, %d\n", tileW, tileH)
+	fmt.Fprintf(b, "\tout := sc.outBuf(outW * outH * %d)\n", ch)
+	fmt.Fprintf(b, "\tvar first *rowErr\n")
+	fmt.Fprintf(b, "\tfor ty := 0; ty < outH; ty += tileH {\n")
+	fmt.Fprintf(b, "\t\tth := outH - ty\n\t\tif th > tileH {\n\t\t\tth = tileH\n\t\t}\n")
+	fmt.Fprintf(b, "\t\tfor tx := 0; tx < outW; tx += tileW {\n")
+	fmt.Fprintf(b, "\t\t\ttw := outW - tx\n\t\t\tif tw > tileW {\n\t\t\t\ttw = tileW\n\t\t\t}\n")
+	fmt.Fprintf(b, "\t\t\tfor y := ty; y < ty+th; y++ {\n")
+	switch {
+	case rs.rowAll != "":
+		fmt.Fprintf(b, "\t\t\t\tx, c, err := %s(out[(y*outW+tx)*%d:], img, y+%d, %d+tx, tw)\n", rs.rowAll, ch, k.OriginY, k.OriginX)
+		fmt.Fprintf(b, "\t\t\t\tif err != nil {\n")
+		fmt.Fprintf(b, "\t\t\t\t\te := &rowErr{y: y, x: x + tx, c: c, err: err}\n")
+	case len(rs.rows) == 1:
+		fmt.Fprintf(b, "\t\t\t\tx, err := %s(out[(y*outW+tx)*%d:], %d, img, y+%d, %d+tx, tw)\n", rs.rows[0], ch, ch, k.OriginY, k.OriginX)
+		fmt.Fprintf(b, "\t\t\t\tif err != nil {\n")
+		fmt.Fprintf(b, "\t\t\t\t\te := &rowErr{y: y, x: x + tx, c: 0, err: err}\n")
+	default:
+		// Distinct per-channel bodies: replicate the reference x-then-c
+		// selection (the first channel keeps ties).
+		fmt.Fprintf(b, "\t\t\t\terrX, errC := -1, -1\n")
+		fmt.Fprintf(b, "\t\t\t\tvar ferr error\n")
+		for c, row := range rs.rows {
+			fmt.Fprintf(b, "\t\t\t\tif x, err := %s(out[(y*outW+tx)*%d+%d:], %d, img, y+%d, %d+tx, tw); err != nil && (errX < 0 || x < errX) {\n",
+				row, ch, c, ch, k.OriginY, k.OriginX)
+			fmt.Fprintf(b, "\t\t\t\t\terrX, errC, ferr = x, %d, err\n\t\t\t\t}\n", c)
+		}
+		fmt.Fprintf(b, "\t\t\t\tif ferr != nil {\n")
+		fmt.Fprintf(b, "\t\t\t\t\te := &rowErr{y: y, x: errX + tx, c: errC, err: ferr}\n")
+	}
+	fmt.Fprintf(b, "\t\t\t\t\tif first == nil || e.before(first) {\n\t\t\t\t\t\tfirst = e\n\t\t\t\t\t}\n")
+	fmt.Fprintf(b, "\t\t\t\t\tbreak\n\t\t\t\t}\n")
+	fmt.Fprintf(b, "\t\t\t}\n\t\t}\n\t}\n")
+	fmt.Fprintf(b, "\tif first != nil {\n")
+	fmt.Fprintf(b, "\t\treturn nil, fmt.Errorf(\"ir: kernel %s at (%%d,%%d,%%d): %%w\", first.x, first.y, first.c, first.err)\n", k.Name)
+	fmt.Fprintf(b, "\t}\n\treturn out, nil\n}\n\n")
 }
 
 // genKernel emits the registration literal and the row functions of one
@@ -384,6 +512,13 @@ func genKernel(b *strings.Builder, fg *fileGen, k *Kernel, ck *CompiledKernel, s
 	if err != nil {
 		return err
 	}
+	tuned := ""
+	if sc != nil {
+		if st := sc.StageAt(0); st.TileW > 0 && st.TileH > 0 {
+			tuned = "tuned" + ident
+			emitTunedDriver(&fns, fg, k, &rs, tuned, st.TileW, st.TileH)
+		}
+	}
 	fmt.Fprintf(b, "func init() {\n")
 	fmt.Fprintf(b, "\tregister(&Kernel{\n")
 	fmt.Fprintf(b, "\t\tName:          %q,\n", k.Name)
@@ -393,10 +528,77 @@ func genKernel(b *strings.Builder, fg *fileGen, k *Kernel, ck *CompiledKernel, s
 	fmt.Fprintf(b, "\t\tDefaultWidth:  %d,\n", k.OutWidth)
 	fmt.Fprintf(b, "\t\tDefaultHeight: %d,\n", k.OutHeight)
 	rs.regLines(b, "\t\t")
+	if tuned != "" {
+		fmt.Fprintf(b, "\t\tTuned:    %s,\n", tuned)
+	}
 	emitSched(b, sc)
 	fmt.Fprintf(b, "\t})\n}\n\n")
 	b.WriteString(fns.String())
 	return nil
+}
+
+// emitFusedDriver writes the footprint-specialized sliding-window strip
+// body for a two-stage planar pipeline: the consumer's recorded row
+// footprint becomes literal ring geometry (ring height, slide amount,
+// pull horizon), replacing the generic fusedProduce dispatch.  The
+// runtime calls it only at the minimal window — an explicit WindowRows
+// falls back to the generic ring — and only after evalStagesFused has
+// validated the footprint, so the body may assume in-range reads.
+// Returns the emitted function's name, or "" when the pipeline shape
+// does not specialize (more than two stages, interleaved intermediates,
+// or collapsed channel bodies).
+func emitFusedDriver(b *strings.Builder, u GenKernel, cks []*CompiledKernel, sets []rowSet, ident string) string {
+	if len(u.Stages) != 2 {
+		return ""
+	}
+	for si, k := range u.Stages {
+		if k.Channels != 1 || sets[si].rowAll != "" || len(sets[si].rows) != 1 {
+			return ""
+		}
+	}
+	g := cks[1].readFootprint()
+	minDY, maxDY := g.loY, g.hiY
+	ringRows := maxDY - minDY + 1
+	name := "fused" + ident
+	fmt.Fprintf(b, "// %s streams stage 0 through a %d-row ring sized by stage 1's\n", name, ringRows)
+	fmt.Fprintf(b, "// literal row footprint [%d,%d] — the baked sliding-window strip body.\n", minDY, maxDY)
+	fmt.Fprintf(b, "func %s(sc *Scratch, img *Image, out []byte, ws, hs []int, s0, s1 int, first, drain bool, errs []*rowErr) {\n", name)
+	fmt.Fprintf(b, "\tconst maxDY = %d\n", maxDY)
+	fmt.Fprintf(b, "\tconst ringRows = %d\n", ringRows)
+	fmt.Fprintf(b, "\tw0, w1 := ws[0], ws[1]\n")
+	fmt.Fprintf(b, "\tlo0 := s0 + %d\n", minDY)
+	fmt.Fprintf(b, "\tif lo0 < 0 || first {\n\t\tlo0 = 0\n\t}\n")
+	fmt.Fprintf(b, "\thi0 := s1 + maxDY\n")
+	fmt.Fprintf(b, "\tif hi0 > hs[0] || drain {\n\t\thi0 = hs[0]\n\t}\n")
+	fmt.Fprintf(b, "\tring := sc.buf(0, ringRows*w0)\n")
+	fmt.Fprintf(b, "\trim := sc.img(0)\n")
+	fmt.Fprintf(b, "\t*rim = Image{Pix: ring, Base: -lo0 * w0, Stride: w0, PixStep: 1}\n")
+	fmt.Fprintf(b, "\tyBase, cur := lo0, lo0\n")
+	fmt.Fprintf(b, "\tproduce := func(y int) bool {\n")
+	fmt.Fprintf(b, "\t\tph := y - yBase\n")
+	fmt.Fprintf(b, "\t\tif ph >= ringRows {\n")
+	fmt.Fprintf(b, "\t\t\tcopy(ring, ring[w0:ringRows*w0])\n")
+	fmt.Fprintf(b, "\t\t\tyBase++\n")
+	fmt.Fprintf(b, "\t\t\trim.Base = -yBase * w0\n")
+	fmt.Fprintf(b, "\t\t\tph = y - yBase\n")
+	fmt.Fprintf(b, "\t\t}\n")
+	fmt.Fprintf(b, "\t\tx, err := %s(ring[ph*w0:], 1, img, y+%d, %d, w0)\n", sets[0].rows[0], u.Stages[0].OriginY, u.Stages[0].OriginX)
+	fmt.Fprintf(b, "\t\tif err != nil {\n")
+	fmt.Fprintf(b, "\t\t\terrs[0] = &rowErr{y: y, x: x, c: 0, err: err}\n")
+	fmt.Fprintf(b, "\t\t\treturn false\n\t\t}\n\t\treturn true\n\t}\n")
+	fmt.Fprintf(b, "\tfor y := s0; y < s1; y++ {\n")
+	fmt.Fprintf(b, "\t\tfor top := y + maxDY; cur <= top && cur < hi0; cur++ {\n")
+	fmt.Fprintf(b, "\t\t\tif !produce(cur) {\n\t\t\t\treturn\n\t\t\t}\n\t\t}\n")
+	fmt.Fprintf(b, "\t\tx, err := %s(out[y*w1:], 1, rim, y+%d, %d, w1)\n", sets[1].rows[0], u.Stages[1].OriginY, u.Stages[1].OriginX)
+	fmt.Fprintf(b, "\t\tif err != nil {\n")
+	fmt.Fprintf(b, "\t\t\terrs[1] = &rowErr{y: y, x: x, c: 0, err: err}\n")
+	fmt.Fprintf(b, "\t\t\tbreak\n\t\t}\n\t}\n")
+	fmt.Fprintf(b, "\t// Drain: the materializing chain computes every producer row, so a\n")
+	fmt.Fprintf(b, "\t// fault above the consumed range must still surface.\n")
+	fmt.Fprintf(b, "\tfor ; cur < hi0; cur++ {\n")
+	fmt.Fprintf(b, "\t\tif !produce(cur) {\n\t\t\treturn\n\t\t}\n\t}\n")
+	fmt.Fprintf(b, "}\n\n")
+	return name
 }
 
 // genStaged emits a multi-stage pipeline, optionally chained into a final
@@ -445,6 +647,7 @@ func genStaged(b *strings.Builder, fg *fileGen, u GenKernel) error {
 		}
 		sets[si] = rs
 	}
+	fused := emitFusedDriver(&fns, u, cks, sets, ident)
 
 	fmt.Fprintf(b, "func init() {\n")
 	fmt.Fprintf(b, "\tregister(&Kernel{\n")
@@ -461,6 +664,9 @@ func genStaged(b *strings.Builder, fg *fileGen, u GenKernel) error {
 		fmt.Fprintf(b, "\t\t\t},\n")
 	}
 	fmt.Fprintf(b, "\t\t},\n")
+	if fused != "" {
+		fmt.Fprintf(b, "\t\tFusedStrip: %s,\n", fused)
+	}
 	if u.Red != nil {
 		rp, err := compileReduction(u.Name, u.Red)
 		if err != nil {
@@ -802,6 +1008,29 @@ func (g *progGen) chanTerm() string {
 	return fmt.Sprint(g.c)
 }
 
+// faultRet renders the return statement reporting a fault at the current
+// sample (g.xTerm).  The flat-interleaved variant scans all channels in
+// one flat index, so it splits the index back into (x, c) and returns
+// through its four-value ok shape.
+func (g *progGen) faultRet(errExpr string) string {
+	if g.flatCh > 0 {
+		return fmt.Sprintf("return (%s) / %d, (%s) %% %d, %s, true", g.xTerm, g.flatCh, g.xTerm, g.flatCh, errExpr)
+	}
+	return fmt.Sprintf("return %s, %s", g.xTerm, errExpr)
+}
+
+// writerAt returns a statement writer at the given tab depth.  Emitted
+// source is gofmt-normalized at the end, so depth only needs to keep the
+// output parseable.
+func (g *progGen) writerAt(indent int) func(string, ...any) {
+	tabs := strings.Repeat("\t", indent)
+	return func(format string, args ...any) {
+		g.b.WriteString(tabs)
+		fmt.Fprintf(g.b, format, args...)
+		g.b.WriteString("\n")
+	}
+}
+
 // offExpr renders a tap's flat offset in terms of the image geometry.
 func offExpr(dx, dy, dc int32) string {
 	var terms []string
@@ -821,6 +1050,10 @@ func offExpr(dx, dy, dc int32) string {
 }
 
 // tableVar interns a lookup table as a deduplicated package-level literal.
+// Tables are sized arrays, not slices: an array's length is a compile-time
+// constant, which is what lets the Go prove pass discharge the lookup's
+// bounds check inside the batch loops (a package-level slice's length is
+// mutable as far as the compiler knows).
 func (g *progGen) tableVar(table []byte, elem int) string {
 	key := fmt.Sprintf("%x/%d/%d", tableFingerprint(table), len(table), elem)
 	if name, ok := g.fg.tables[key]; ok {
@@ -829,7 +1062,7 @@ func (g *progGen) tableVar(table []byte, elem int) string {
 	name := fmt.Sprintf("tab%d", len(g.fg.tables))
 	g.fg.tables[key] = name
 	d := g.fg.tableDefs
-	fmt.Fprintf(d, "var %s = []byte{", name)
+	fmt.Fprintf(d, "var %s = [%d]byte{", name, len(table))
 	for i, v := range table {
 		if i%16 == 0 {
 			d.WriteString("\n\t")
@@ -870,8 +1103,9 @@ func (g *progGen) collectOffsets() (offDefs []string) {
 }
 
 // emitBody writes the loop halves shared by the row and reduction
-// emitters: a fast loop under a hoisted whole-span bounds check when the
-// program has loads, plus the checked edge path.
+// emitters: under a hoisted whole-span bounds check, first the
+// bounds-check-free batch+tail path (contiguous geometry only), then the
+// strided fast loop; plus the checked edge path.
 func (g *progGen) emitBody(offDefs []string) error {
 	b := g.b
 	if len(offDefs) > 0 {
@@ -885,6 +1119,9 @@ func (g *progGen) emitBody(offDefs []string) error {
 			conds = append(conds, fmt.Sprintf("spanIn(pos0+o%d, pos0+o%d+(n-1)*ps, len(pix))", i, i))
 		}
 		fmt.Fprintf(b, "\tif n > 0 && %s {\n", strings.Join(conds, " &&\n\t\t"))
+		if err := g.emitFastPath(len(offDefs)); err != nil {
+			return err
+		}
 		if err := g.emitLoop(2, false); err != nil {
 			return err
 		}
@@ -902,6 +1139,156 @@ func (g *progGen) emitBody(offDefs []string) error {
 	}
 	fmt.Fprintf(b, "\treturn -1, nil\n}\n\n")
 	return nil
+}
+
+// emitFastPath writes the bounds-check-free half of the fast path: on
+// contiguous geometry (unit pixel stride, and for row functions a unit
+// output step) every tap's row re-slices to exactly the loop extent, so
+// the compiler's prove pass discharges each load and store in the batch
+// and tail loops.  It runs inside the whole-span guard and returns on
+// completion; non-contiguous geometry falls through to the strided loop.
+func (g *progGen) emitFastPath(nOffs int) error {
+	if g.noBCE {
+		return nil
+	}
+	b := g.b
+	gate := "ps == 1 && step == 1"
+	if g.storeFn != nil {
+		gate = "ps == 1"
+	}
+	fmt.Fprintf(b, "\t\tif %s {\n", gate)
+	if err := g.emitBCELoops(nOffs, "n", 3); err != nil {
+		return err
+	}
+	fmt.Fprintf(b, "\t\t\treturn -1, nil\n")
+	fmt.Fprintf(b, "\t\t}\n")
+	return nil
+}
+
+// emitBCELoops writes the hoisted tap re-slices, the bceLanes-wide
+// unrolled batch loop and the scalar tail over lenVar samples at tab
+// depth d.  Everything between the bce:begin/bce:end markers must compile
+// with zero bounds checks — the repository's check_bce gate greps the
+// compiler's diagnostics against these markers.
+//
+// The loops are head-cutting, not counted: every live row slice (and the
+// output row) advances in lockstep — s = s[8:] per batch block, s = s[1:]
+// per tail sample — and elements are addressed by lane CONSTANTS (s[0]
+// .. s[7]).  The loop condition is a conjunction of len(s) >= lanes over
+// the advancing slices, which the prove pass discharges exactly; counted
+// forms (`for x+8 <= n { s[x+k] }` in any spelling) leave the +k lanes
+// checked.  The sample counter x still runs alongside purely so faults
+// report the true coordinate.
+func (g *progGen) emitBCELoops(nOffs int, lenVar string, d int) error {
+	b := g.b
+	t := strings.Repeat("\t", d)
+	live := map[string]bool{}
+	for i := range g.p.insts {
+		if !g.used[i] {
+			continue
+		}
+		switch g.p.insts[i].op {
+		case OpLoad:
+			live[g.offVars[i]] = true
+		case opSumTaps:
+			for _, ov := range g.tapOffVars[i] {
+				live[ov] = true
+			}
+		}
+	}
+	g.bceSlice = map[string]string{}
+	var adv []string // slices advanced in lockstep, in emission order
+	for i := 0; i < nOffs; i++ {
+		ov := fmt.Sprintf("o%d", i)
+		if !live[ov] {
+			continue
+		}
+		sv := fmt.Sprintf("s%d", i)
+		g.bceSlice[ov] = sv
+		adv = append(adv, sv)
+		// Full-slice re-slice: every advancing slice starts at exactly
+		// lenVar elements, so the lockstep head-cuts keep their lengths
+		// equal and the len() conjunctions below cover every access.
+		fmt.Fprintf(b, "%s%s := pix[pos0+%s : pos0+%s+%s : pos0+%s+%s]\n", t, sv, ov, ov, lenVar, ov, lenVar)
+	}
+	if g.storeFn == nil {
+		g.bceDst = "d"
+		adv = append(adv, "d")
+		fmt.Fprintf(b, "%sd := dst[:%s:%s]\n", t, lenVar, lenVar)
+	}
+	defer func() {
+		g.bceSlice = nil
+		g.bceDst = ""
+		g.bceIdx = ""
+		g.xTerm = ""
+	}()
+	if len(adv) == 0 {
+		// No slice is indexed per sample (a reduction whose index program
+		// reads no taps): a plain counted loop is already check-free — the
+		// bin store is proved by the index's value range, not the loop.
+		g.xTerm, g.bceIdx = "x", ""
+		fmt.Fprintf(b, "%s// bce:begin\n", t)
+		fmt.Fprintf(b, "%sfor x := 0; x < %s; x++ {\n", t, lenVar)
+		if err := g.emitSampleBody(g.writerAt(d+1), false); err != nil {
+			return err
+		}
+		fmt.Fprintf(b, "%s}\n", t)
+		fmt.Fprintf(b, "%s// bce:end\n", t)
+		return nil
+	}
+	lhs := strings.Join(adv, ", ")
+	cut := func(step int) string {
+		parts := make([]string, len(adv))
+		for i, sv := range adv {
+			parts[i] = fmt.Sprintf("%s[%d:]", sv, step)
+		}
+		return strings.Join(parts, ", ")
+	}
+	conds := func(cmp string) string {
+		parts := make([]string, len(adv))
+		for i, sv := range adv {
+			parts[i] = fmt.Sprintf("len(%s) %s", sv, cmp)
+		}
+		return strings.Join(parts, " && ")
+	}
+	fmt.Fprintf(b, "%sx := 0\n", t)
+	fmt.Fprintf(b, "%s// bce:begin\n", t)
+	fmt.Fprintf(b, "%sfor %s {\n", t, conds(fmt.Sprintf(">= %d", bceLanes)))
+	for k := 0; k < bceLanes; k++ {
+		g.xTerm = "x"
+		if k > 0 {
+			g.xTerm = fmt.Sprintf("x+%d", k)
+		}
+		g.bceIdx = fmt.Sprintf("%d", k)
+		fmt.Fprintf(b, "%s\t{\n", t)
+		if err := g.emitSampleBody(g.writerAt(d+2), false); err != nil {
+			return err
+		}
+		fmt.Fprintf(b, "%s\t}\n", t)
+	}
+	fmt.Fprintf(b, "%s\t%s = %s\n", t, lhs, cut(bceLanes))
+	fmt.Fprintf(b, "%s\tx += %d\n", t, bceLanes)
+	fmt.Fprintf(b, "%s}\n", t)
+	g.xTerm, g.bceIdx = "x", "0"
+	fmt.Fprintf(b, "%sfor %s {\n", t, conds("> 0"))
+	if err := g.emitSampleBody(g.writerAt(d+1), false); err != nil {
+		return err
+	}
+	fmt.Fprintf(b, "%s\t%s = %s\n", t, lhs, cut(1))
+	fmt.Fprintf(b, "%s\tx++\n", t)
+	fmt.Fprintf(b, "%s}\n", t)
+	fmt.Fprintf(b, "%s// bce:end\n", t)
+	return nil
+}
+
+// elemIdx spells the element index for slice accesses in the emitted
+// sample body: the lane constant inside the head-cutting loops, the
+// running counter everywhere else.
+func (g *progGen) elemIdx() string {
+	if g.bceIdx != "" {
+		return g.bceIdx
+	}
+	return g.xTerm
 }
 
 // emitRowFunc writes the complete row function for one channel program.
@@ -948,6 +1335,11 @@ func (g *progGen) emitReductionFunc(name string, r *Reduction) error {
 
 	root := g.resolve(p.root)
 	safe := g.bits <= 32 && p.width.hi[root] < uint64(r.Bins)
+	// The batch path is only worth emitting when the compiler itself can
+	// prove the bin store: the bins re-slice below makes len(bins) the
+	// constant Bins, so an index whose TYPE ranges below Bins is free.
+	g.noBCE = !safe || g.laneMax() >= uint64(r.Bins)
+	defer func() { g.noBCE = false }()
 	g.storeFn = func(w func(string, ...any)) {
 		if safe {
 			w("bins[%s] += %d", g.ref(p.root), uint32(r.Delta))
@@ -955,7 +1347,7 @@ func (g *progGen) emitReductionFunc(name string, r *Reduction) error {
 		}
 		w("bi := %s", g.refInt64(p.root))
 		w("if bi < 0 || bi >= %d {", r.Bins)
-		w("\treturn x, errRedIndex(bi, %d)", r.Bins)
+		w("\t%s", g.faultRet(fmt.Sprintf("errRedIndex(bi, %d)", r.Bins)))
 		w("}")
 		w("bins[bi] += %d", uint32(r.Delta))
 	}
@@ -965,6 +1357,9 @@ func (g *progGen) emitReductionFunc(name string, r *Reduction) error {
 	fmt.Fprintf(b, "// %s accumulates one input row into the bin table in %d-bit lanes (%d instructions).\n",
 		name, g.bits, len(p.insts))
 	fmt.Fprintf(b, "func %s(bins []uint32, img *Image, y, n int) (int, error) {\n", name)
+	if !g.noBCE {
+		fmt.Fprintf(b, "\tbins = bins[:%d:%d]\n", r.Bins, r.Bins)
+	}
 	if len(offDefs) > 0 {
 		fmt.Fprintf(b, "\tpix := img.Pix\n")
 		fmt.Fprintf(b, "\tps := img.PixStep\n")
@@ -976,30 +1371,97 @@ func (g *progGen) emitReductionFunc(name string, r *Reduction) error {
 	return g.emitBody(offDefs)
 }
 
-// emitLoop writes the per-sample loop at the given indent; checked selects
-// bounds-checked loads.
-func (g *progGen) emitLoop(indent int, checked bool) error {
-	p := g.p
-	tabs := strings.Repeat("\t", indent)
-	w := func(format string, args ...any) {
-		g.b.WriteString(tabs)
-		g.b.WriteString("\t")
-		fmt.Fprintf(g.b, format, args...)
-		g.b.WriteString("\n")
-	}
-	g.b.WriteString(tabs + "for x := 0; x < n; x++ {\n")
-	pixUsed := false
-	for i := range p.insts {
-		in := &p.insts[i]
-		switch in.op {
+// hasLoads reports whether the program reads the pixel backing at all
+// (the flat-interleaved variant is pointless — and unemittable — without
+// tap offsets).
+func (g *progGen) hasLoads() bool {
+	for i := range g.p.insts {
+		switch g.p.insts[i].op {
 		case OpLoad:
-			pixUsed = pixUsed || g.used[i] || checked
+			return true
 		case opSumTaps:
-			pixUsed = pixUsed || len(in.taps) > 0 && (g.used[i] || checked)
+			if len(g.p.insts[i].taps) > 0 {
+				return true
+			}
 		}
 	}
-	if pixUsed {
-		w("p := pos0 + x*ps")
+	return false
+}
+
+// emitFlatRowFunc writes the flat-interleaved variant of a collapsed
+// multi-channel kernel: on PixStep == channels, ChanStep == 1 layouts one
+// output row is n*channels contiguous samples whose tap offsets are
+// channel-independent, so the whole row runs as a single unit-stride scan
+// — the shape the bounds-check-free batch loops need.  The scan order
+// (x-major, channel-minor) is exactly the reference x-then-c error order,
+// and a fault's flat index splits back into (x, c).  ok reports whether
+// the variant applied; on false the caller falls back to the per-channel
+// path, whose checked loops report edge faults exactly.
+func (g *progGen) emitFlatRowFunc(name string) error {
+	g.floatness()
+	g.computeAliases()
+	g.liveness()
+	b := g.b
+	ch := g.flatCh
+
+	offDefs := g.collectOffsets()
+	fmt.Fprintf(b, "// %s renders all %d interleaved channels of one output row as one flat\n", name, ch)
+	fmt.Fprintf(b, "// unit-stride scan of n*%d samples (bounds-check-free batch loops); ok is\n", ch)
+	fmt.Fprintf(b, "// false when a tap leaves the backing and the caller must fall back.\n")
+	fmt.Fprintf(b, "func %s(dst []byte, img *Image, y, xbase, n int) (int, int, error, bool) {\n", name)
+	fmt.Fprintf(b, "\tpix := img.Pix\n")
+	fmt.Fprintf(b, "\tps := img.PixStep\n")
+	fmt.Fprintf(b, "\tpos0 := img.Base + y*img.Stride + xbase*ps\n")
+	fmt.Fprintf(b, "\tm := n * %d\n", ch)
+	fmt.Fprintf(b, "\tif m == 0 {\n\t\treturn -1, -1, nil, true\n\t}\n")
+	for _, d := range offDefs {
+		fmt.Fprintf(b, "\t%s\n", d)
+	}
+	var conds []string
+	for i := range offDefs {
+		conds = append(conds, fmt.Sprintf("spanIn(pos0+o%d, pos0+o%d+m-1, len(pix))", i, i))
+	}
+	fmt.Fprintf(b, "\tif %s {\n", strings.Join(conds, " &&\n\t\t"))
+	if err := g.emitBCELoops(len(offDefs), "m", 2); err != nil {
+		return err
+	}
+	fmt.Fprintf(b, "\t\treturn -1, -1, nil, true\n\t}\n")
+	fmt.Fprintf(b, "\treturn 0, 0, nil, false\n}\n\n")
+	return nil
+}
+
+// emitLoop writes the rolled per-sample loop at the given indent; checked
+// selects bounds-checked loads.
+func (g *progGen) emitLoop(indent int, checked bool) error {
+	g.xTerm = "x"
+	tabs := strings.Repeat("\t", indent)
+	g.b.WriteString(tabs + "for x := 0; x < n; x++ {\n")
+	if err := g.emitSampleBody(g.writerAt(indent+1), checked); err != nil {
+		return err
+	}
+	g.b.WriteString(tabs + "}\n")
+	return nil
+}
+
+// emitSampleBody writes one sample's instruction sequence and final store.
+// The sample index is g.xTerm, so the batch-unrolled lane blocks of the
+// bounds-check-free path reuse this body verbatim at shifted indices.
+func (g *progGen) emitSampleBody(w func(string, ...any), checked bool) error {
+	p := g.p
+	if g.bceSlice == nil {
+		pixUsed := false
+		for i := range p.insts {
+			in := &p.insts[i]
+			switch in.op {
+			case OpLoad:
+				pixUsed = pixUsed || g.used[i] || checked
+			case opSumTaps:
+				pixUsed = pixUsed || len(in.taps) > 0 && (g.used[i] || checked)
+			}
+		}
+		if pixUsed {
+			w("p := pos0 + x*ps")
+		}
 	}
 	for i := range p.insts {
 		if err := g.emitInst(i, w, checked); err != nil {
@@ -1008,8 +1470,11 @@ func (g *progGen) emitLoop(indent int, checked bool) error {
 	}
 	if g.storeFn != nil {
 		g.storeFn(w)
-		g.b.WriteString(tabs + "}\n")
 		return nil
+	}
+	target := "dst[x*step]"
+	if g.bceDst != "" {
+		target = fmt.Sprintf("%s[%s]", g.bceDst, g.elemIdx())
 	}
 	// Final store: narrow the root to one sample byte exactly like the
 	// reference executors (float roots store the low byte of their IEEE
@@ -1017,14 +1482,13 @@ func (g *progGen) emitLoop(indent int, checked bool) error {
 	switch ri := g.instIdx(g.resolve(p.root)); {
 	case ri >= 0 && g.isFloat[ri]:
 		g.fg.needMath = true
-		w("dst[x*step] = uint8(math.Float64bits(%s))", g.refF(p.root))
+		w("%s = uint8(math.Float64bits(%s))", target, g.refF(p.root))
 	case ri >= 0:
-		w("dst[x*step] = uint8(%s)", g.ref(p.root))
+		w("%s = uint8(%s)", target, g.ref(p.root))
 	default:
 		// Constant root (the whole tree folded): the byte is a literal.
-		w("dst[x*step] = %d", uint8(p.consts[p.root]))
+		w("%s = %d", target, uint8(p.consts[p.root]))
 	}
-	g.b.WriteString(tabs + "}\n")
 	return nil
 }
 
@@ -1049,7 +1513,7 @@ func (g *progGen) emitInst(i int, w func(string, ...any), checked bool) error {
 				errFn = "errModZero"
 			}
 			w("if %s%s == 0 {", g.refT(in.b), g.maskSuffix(in.mask))
-			w("\treturn x, %s()", errFn)
+			w("\t%s", g.faultRet(errFn+"()"))
 			w("}")
 		case OpTable:
 			if g.tableSafe(in) {
@@ -1057,7 +1521,7 @@ func (g *progGen) emitInst(i int, w func(string, ...any), checked bool) error {
 			}
 			w("i%d := %s", i, g.refInt64(in.a))
 			w("if j%d := i%d * %d; j%d < 0 || j%d+%d > %d {", i, i, in.elem, i, i, in.elem, len(in.table))
-			w("\treturn x, errTable(i%d, %d)", i, len(in.table)/in.elem)
+			w("\t%s", g.faultRet(fmt.Sprintf("errTable(i%d, %d)", i, len(in.table)/in.elem)))
 			w("}")
 		case OpLoad:
 			if checked {
@@ -1088,13 +1552,16 @@ func (g *progGen) emitInst(i int, w func(string, ...any), checked bool) error {
 
 	switch in.op {
 	case OpLoad:
-		if checked {
+		switch {
+		case checked:
 			w("i%d := p + %s", i, g.offVars[i])
 			w("if uint(i%d) >= uint(len(pix)) {", i)
 			w("\treturn x, errLoad(xbase+x+(%d), y+(%d), %s)", in.dx, in.dy, g.chanExpr(in.dc))
 			w("}")
 			w("%s := %s(pix[i%d])", v, T, i)
-		} else {
+		case g.bceSlice != nil:
+			w("%s := %s(%s[%s])", v, T, g.bceSlice[g.offVars[i]], g.elemIdx())
+		default:
 			w("%s := %s(pix[p+%s])", v, T, g.offVars[i])
 		}
 
@@ -1103,7 +1570,8 @@ func (g *progGen) emitInst(i int, w func(string, ...any), checked bool) error {
 		if in.val != 0 {
 			terms = append(terms, g.intLit(uint64(in.val)))
 		}
-		if checked {
+		switch {
+		case checked:
 			for j, ov := range g.tapOffVars[i] {
 				w("i%d_%d := p + %s", i, j, ov)
 				w("if uint(i%d_%d) >= uint(len(pix)) {", i, j)
@@ -1111,7 +1579,11 @@ func (g *progGen) emitInst(i int, w func(string, ...any), checked bool) error {
 				w("}")
 				terms = append(terms, fmt.Sprintf("%s(pix[i%d_%d])", T, i, j))
 			}
-		} else {
+		case g.bceSlice != nil:
+			for _, ov := range g.tapOffVars[i] {
+				terms = append(terms, fmt.Sprintf("%s(%s[%s])", T, g.bceSlice[ov], g.elemIdx()))
+			}
+		default:
 			for _, ov := range g.tapOffVars[i] {
 				terms = append(terms, fmt.Sprintf("%s(pix[p+%s])", T, ov))
 			}
@@ -1172,7 +1644,7 @@ func (g *progGen) emitInst(i int, w func(string, ...any), checked bool) error {
 		}
 		w("d%d := %s%s", i, g.refT(in.b), g.maskSuffix(in.mask))
 		w("if d%d == 0 {", i)
-		w("\treturn x, %s()", errFn)
+		w("\t%s", g.faultRet(errFn+"()"))
 		w("}")
 		w("%s := (%s%s) "+op+" d%d", v, g.refT(in.a), g.maskSuffix(in.mask), i)
 
@@ -1269,20 +1741,36 @@ func (g *progGen) emitInst(i int, w func(string, ...any), checked bool) error {
 		w("}")
 
 	case OpTable:
+		if g.tableSafe(in) && in.elem == 1 {
+			// The width pass proved the index covers at most the table: no
+			// per-sample range check.  The Go compiler cannot see that
+			// proof, so the table is shaped for its prove pass instead:
+			// when the index TYPE ranges past the table, the table pads to
+			// a power of two and the index masks down — a no-op on every
+			// proven-legal index, but now len-bounded by construction.
+			idx := g.refT(in.a)
+			table := in.table
+			if g.laneMax() >= uint64(len(table)) {
+				p2 := 1
+				for p2 < len(table) {
+					p2 <<= 1
+				}
+				if p2 > len(table) {
+					table = append(append([]byte(nil), table...), make([]byte, p2-len(table))...)
+				}
+				idx = fmt.Sprintf("%s&%d", idx, p2-1)
+			}
+			w("%s := %s(%s[%s])", v, T, g.tableVar(table, in.elem), idx)
+			break
+		}
 		tab := g.tableVar(in.table, in.elem)
 		if g.tableSafe(in) {
-			// The width pass proved the index covers at most the table:
-			// no per-sample range check.
-			if in.elem == 1 {
-				w("%s := %s(%s[%s])", v, T, tab, g.refT(in.a))
-				break
-			}
 			w("j%d := int(%s) * %d", i, g.refT(in.a), in.elem)
 		} else {
 			w("i%d := %s", i, g.refInt64(in.a))
 			w("j%d := i%d * %d", i, i, in.elem)
 			w("if j%d < 0 || j%d+%d > %d {", i, i, in.elem, len(in.table))
-			w("\treturn x, errTable(i%d, %d)", i, len(in.table)/in.elem)
+			w("\t%s", g.faultRet(fmt.Sprintf("errTable(i%d, %d)", i, len(in.table)/in.elem)))
 			w("}")
 		}
 		parts := make([]string, in.elem)
@@ -1395,6 +1883,32 @@ type ScheduleSpec struct {
 	// WindowRows is the ring height under slidingWindow; 0 picks the
 	// minimal window, values clamp to [footprint, stage height].
 	WindowRows int
+	// Stages holds per-stage tile overrides; missing entries mean plain
+	// row strips.
+	Stages []StageSched
+}
+
+// StageSched is one stage's tile override within a ScheduleSpec: the
+// stage's output blocks into TileW x TileH cache tiles (0 keeps straight
+// row strips).
+type StageSched struct {
+	TileW, TileH int
+}
+
+// stageTile resolves stage i's tile override (0, 0 when unset).
+func (s ScheduleSpec) stageTile(i int) (int, int) {
+	if i < 0 || i >= len(s.Stages) {
+		return 0, 0
+	}
+	return s.Stages[i].TileW, s.Stages[i].TileH
+}
+
+// effWorkers resolves the worker count (<= 0 means GOMAXPROCS).
+func (s ScheduleSpec) effWorkers() int {
+	if s.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return s.Workers
 }
 
 // Serial is the reference schedule: one worker, materializing chaining.
@@ -1428,7 +1942,20 @@ type Kernel struct {
 	// Sched is the autotuned default schedule (zero when the kernel was
 	// generated without one); EvalTuned runs it.
 	Sched ScheduleSpec
+	// Tuned, when non-nil, is the generated schedule-baked serial driver:
+	// the autotuned tile extents are literal constants in its loop nest.
+	// EvalTuned dispatches to it when Sched resolves to one worker.
+	Tuned func(sc *Scratch, img *Image, outW, outH int) ([]byte, error)
+	// FusedStrip, when non-nil, is the generated footprint-specialized
+	// sliding-window strip driver; the fused executor dispatches to it at
+	// the minimal window instead of the generic ring interpreter.
+	FusedStrip FusedStripFunc
 }
+
+// FusedStripFunc streams one worker strip of final-stage rows [s0, s1)
+// through a fused pipeline, writing each stage's first error (nil for
+// clean stages) into errs.
+type FusedStripFunc func(sc *Scratch, img *Image, out []byte, ws, hs []int, s0, s1 int, first, drain bool, errs []*rowErr)
 
 // StageSpec is one stage of a multi-stage pipeline.  DW and DH are the
 // stage's output extents minus the final extents (the last stage's for
@@ -1455,6 +1982,102 @@ type ReductionSpec struct {
 	Bins int
 	Init []uint32
 	Row  func(bins []uint32, img *Image, y, n int) (int, error)
+}
+
+// Scratch holds the reusable buffers of EvalInto: the output, stage
+// intermediates and fused ring planes, the reduction bins, and per-worker
+// sub-scratches for the parallel fused path.  A zero Scratch is ready to
+// use; buffers grow on demand and persist, so a caller rendering frames
+// in a loop reaches a zero-allocation steady state.  Results returned
+// through a Scratch alias its buffers and are only valid until its next
+// use.
+type Scratch struct {
+	out   []byte
+	bufs  [][]byte
+	imgs  []Image
+	errs  []*rowErr
+	fs    []fusedStage
+	dims  []int
+	bins  []uint32
+	procs []*Scratch
+}
+
+// outBuf returns the reusable result buffer at length n.
+func (sc *Scratch) outBuf(n int) []byte {
+	if cap(sc.out) < n {
+		sc.out = make([]byte, n)
+	}
+	return sc.out[:n:n]
+}
+
+// buf returns the i'th reusable plane buffer at length n (stage
+// intermediates, fused ring planes).
+func (sc *Scratch) buf(i, n int) []byte {
+	for len(sc.bufs) <= i {
+		sc.bufs = append(sc.bufs, nil)
+	}
+	if cap(sc.bufs[i]) < n {
+		sc.bufs[i] = make([]byte, n)
+	}
+	return sc.bufs[i][:n:n]
+}
+
+// img returns the i'th reusable Image header; headers live inside the
+// scratch so handing out their address does not allocate per eval.
+func (sc *Scratch) img(i int) *Image {
+	for len(sc.imgs) <= i {
+		sc.imgs = append(sc.imgs, Image{})
+	}
+	return &sc.imgs[i]
+}
+
+// errSlots returns n cleared per-stage error slots.
+func (sc *Scratch) errSlots(n int) []*rowErr {
+	if cap(sc.errs) < n {
+		sc.errs = make([]*rowErr, n)
+	}
+	sc.errs = sc.errs[:n]
+	for i := range sc.errs {
+		sc.errs[i] = nil
+	}
+	return sc.errs
+}
+
+// stages returns n zeroed fusedStage slots.
+func (sc *Scratch) stages(n int) []fusedStage {
+	if cap(sc.fs) < n {
+		sc.fs = make([]fusedStage, n)
+	}
+	sc.fs = sc.fs[:n]
+	for i := range sc.fs {
+		sc.fs[i] = fusedStage{}
+	}
+	return sc.fs
+}
+
+// ints returns n reusable ints (the per-stage extent arrays).
+func (sc *Scratch) ints(n int) []int {
+	if cap(sc.dims) < n {
+		sc.dims = make([]int, n)
+	}
+	return sc.dims[:n]
+}
+
+// binsBuf returns the reusable reduction bin table at length n.
+func (sc *Scratch) binsBuf(n int) []uint32 {
+	if cap(sc.bins) < n {
+		sc.bins = make([]uint32, n)
+	}
+	return sc.bins[:n]
+}
+
+/// worker returns worker t's own scratch: the parallel fused path gives
+// every strip private ring planes that persist across evals.
+func (sc *Scratch) worker(t int) *Scratch {
+	for len(sc.procs) <= t {
+		sc.procs = append(sc.procs, &Scratch{})
+	}
+	return sc.procs[t]
 }
 
 var registry = map[string]*Kernel{}
@@ -1488,15 +2111,33 @@ func (k *Kernel) Eval(img *Image, outW, outH int) ([]byte, error) {
 	return k.EvalSched(img, outW, outH, Serial())
 }
 
-// EvalTuned is Eval under the kernel's autotuned default schedule.
+// EvalTuned is Eval under the kernel's autotuned default schedule.  When
+// the schedule resolves to one worker and the generator baked a serial
+// tuned driver, that driver runs instead of the generic dispatch.
 func (k *Kernel) EvalTuned(img *Image, outW, outH int) ([]byte, error) {
-	return k.EvalSched(img, outW, outH, k.Sched)
+	return k.EvalTunedInto(new(Scratch), img, outW, outH)
+}
+
+// EvalTunedInto is EvalTuned against caller-owned scratch.
+func (k *Kernel) EvalTunedInto(sc *Scratch, img *Image, outW, outH int) ([]byte, error) {
+	if k.Tuned != nil && k.Sched.effWorkers() == 1 {
+		return k.Tuned(sc, img, outW, outH)
+	}
+	return k.EvalInto(sc, img, outW, outH, k.Sched)
 }
 
 // EvalSched is Eval under an explicit schedule.  The output — and any
 // reported error, position and message included — is identical to Eval's
 // for every valid spec.
 func (k *Kernel) EvalSched(img *Image, outW, outH int, spec ScheduleSpec) ([]byte, error) {
+	return k.EvalInto(new(Scratch), img, outW, outH, spec)
+}
+
+// EvalInto is EvalSched against caller-owned scratch: all working memory
+// — including the returned buffer — comes from sc, so repeated calls with
+// one scratch allocate nothing in the steady state.  The result aliases
+// sc and is only valid until its next use.
+func (k *Kernel) EvalInto(sc *Scratch, img *Image, outW, outH int, spec ScheduleSpec) ([]byte, error) {
 	switch spec.Fusion {
 	case "", "materialize":
 	case "slidingWindow":
@@ -1507,20 +2148,26 @@ func (k *Kernel) EvalSched(img *Image, outW, outH int, spec ScheduleSpec) ([]byt
 		return nil, fmt.Errorf("ir: kernel %%s: unknown fusion strategy %%q", k.Name, spec.Fusion)
 	}
 	if len(k.Stages) > 0 {
-		fimg, err := k.evalStages(img, outW, outH, spec)
+		fimg, err := k.evalStages(sc, img, outW, outH, spec)
 		if err != nil {
 			return nil, err
 		}
 		if k.Red != nil {
-			return k.evalReduction(fimg, outW, outH)
+			return k.evalReduction(sc, fimg, outW, outH)
 		}
 		return fimg.Pix, nil
 	}
 	if k.Red != nil {
-		return k.evalReduction(img, outW, outH)
+		return k.evalReduction(sc, img, outW, outH)
 	}
-	out := make([]byte, outW*outH*k.Channels)
-	if e := evalStrips(out, img, k.Channels, k.OriginX, k.OriginY, outW, 0, outH, spec.Workers, k.Rows, k.RowAll); e != nil {
+	out := sc.outBuf(outW * outH * k.Channels)
+	var e *rowErr
+	if tw, th := spec.stageTile(0); tw > 0 || th > 0 {
+		e = evalTiled(out, img, k.Channels, k.OriginX, k.OriginY, outW, outH, tw, th, spec.Workers, k.Rows, k.RowAll)
+	} else {
+		e = evalStrips(out, img, k.Channels, k.OriginX, k.OriginY, outW, 0, outH, spec.Workers, k.Rows, k.RowAll)
+	}
+	if e != nil {
 		return nil, fmt.Errorf("ir: kernel %%s at (%%d,%%d,%%d): %%w", k.Name, e.x, e.y, e.c, e.err)
 	}
 	return out, nil
@@ -1596,13 +2243,103 @@ func evalStrips(out []byte, img *Image, channels, originX, originY, outW, y0, y1
 	errs := make([]*rowErr, workers)
 	var wg sync.WaitGroup
 	for t := 0; t < workers; t++ {
+		// Strip bounds are computed here and passed by value: a goroutine
+		// capturing a reassigned variable (workers is clamped above) moves
+		// it to the heap at FUNCTION entry, charging the serial path an
+		// allocation per call it never uses.
+		s0 := y0 + t*(y1-y0)/workers
+		s1 := y0 + (t+1)*(y1-y0)/workers
 		wg.Add(1)
-		go func(t int) {
+		go func(t, s0, s1 int) {
 			defer wg.Done()
-			s0 := y0 + t*(y1-y0)/workers
-			s1 := y0 + (t+1)*(y1-y0)/workers
 			errs[t] = evalRowsRange(out, img, channels, originX, originY, outW, s0, s1, rows, rowAll)
-		}(t)
+		}(t, s0, s1)
+	}
+	wg.Wait()
+	var best *rowErr
+	for _, e := range errs {
+		if e != nil && (best == nil || e.before(best)) {
+			best = e
+		}
+	}
+	return best
+}
+
+// runTile renders one output tile (tx, ty, tw, th) row by row, returning
+// the tile's scan-order-first failure with coordinates rebased to the
+// full output.
+func runTile(out []byte, img *Image, channels, originX, originY, outW, tx, ty, tw, th int, rows []RowFunc, rowAll RowAllFunc) *rowErr {
+	for y := ty; y < ty+th; y++ {
+		if e := runRow(out[(y*outW+tx)*channels:], img, channels, originX+tx, originY, y, tw, rows, rowAll); e != nil {
+			e.x += tx
+			return e
+		}
+	}
+	return nil
+}
+
+// renderTileBands renders tile bands [b0, b1) of a tileW x tileH blocking
+// and returns the scan-order-first failure.  Tiles within a band share the
+// row range, so a band's first erroring tile in tx order is NOT
+// necessarily scan-first — every tile's error is min-merged.
+func renderTileBands(out []byte, img *Image, channels, originX, originY, outW, outH, tileW, tileH, b0, b1 int, rows []RowFunc, rowAll RowAllFunc) *rowErr {
+	var best *rowErr
+	for b := b0; b < b1; b++ {
+		ty := b * tileH
+		th := outH - ty
+		if th > tileH {
+			th = tileH
+		}
+		for tx := 0; tx < outW; tx += tileW {
+			tw := outW - tx
+			if tw > tileW {
+				tw = tileW
+			}
+			if e := runTile(out, img, channels, originX, originY, outW, tx, ty, tw, th, rows, rowAll); e != nil && (best == nil || e.before(best)) {
+				best = e
+			}
+		}
+	}
+	return best
+}
+
+// evalTiled renders the output through a cache-blocked tileW x tileH loop
+// nest — the schedule's literal tile extents — splitting tile bands over
+// workers.  Values and the reported error match evalStrips exactly.
+func evalTiled(out []byte, img *Image, channels, originX, originY, outW, outH, tileW, tileH, workers int, rows []RowFunc, rowAll RowAllFunc) *rowErr {
+	if tileW <= 0 || tileW > outW {
+		tileW = outW
+	}
+	if tileH <= 0 || tileH > outH {
+		tileH = outH
+	}
+	if outW <= 0 || outH <= 0 {
+		return nil
+	}
+	bands := (outH + tileH - 1) / tileH
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > bands {
+		workers = bands
+	}
+	if workers <= 1 {
+		return renderTileBands(out, img, channels, originX, originY, outW, outH, tileW, tileH, 0, bands, rows, rowAll)
+	}
+	errs := make([]*rowErr, workers)
+	var wg sync.WaitGroup
+	for t := 0; t < workers; t++ {
+		// Band bounds and the clamped tile extents travel as arguments:
+		// capturing reassigned variables (workers, tileW, tileH above)
+		// would heap-allocate them at function entry, on the serial path
+		// too.
+		b0 := t * bands / workers
+		b1 := (t + 1) * bands / workers
+		wg.Add(1)
+		go func(t, tw, th, b0, b1 int) {
+			defer wg.Done()
+			errs[t] = renderTileBands(out, img, channels, originX, originY, outW, outH, tw, th, b0, b1, rows, rowAll)
+		}(t, tileW, tileH, b0, b1)
 	}
 	wg.Wait()
 	var best *rowErr
@@ -1618,9 +2355,10 @@ func evalStrips(out []byte, img *Image, channels, originX, originY, outW, y0, y1
 // stage's output as an image (the reduction driver's input when the
 // kernel ends in one).  Every stage renders at the requested output size
 // shifted by its recorded extent deltas.
-func (k *Kernel) evalStages(img *Image, outW, outH int, spec ScheduleSpec) (*Image, error) {
-	ws := make([]int, len(k.Stages))
-	hs := make([]int, len(k.Stages))
+func (k *Kernel) evalStages(sc *Scratch, img *Image, outW, outH int, spec ScheduleSpec) (*Image, error) {
+	n := len(k.Stages)
+	dims := sc.ints(2 * n)
+	ws, hs := dims[:n:n], dims[n:]
 	for si := range k.Stages {
 		st := &k.Stages[si]
 		ws[si], hs[si] = outW+st.DW, outH+st.DH
@@ -1629,17 +2367,25 @@ func (k *Kernel) evalStages(img *Image, outW, outH int, spec ScheduleSpec) (*Ima
 		}
 	}
 	if spec.Fusion == "slidingWindow" {
-		return k.evalStagesFused(img, ws, hs, spec)
+		return k.evalStagesFused(sc, img, ws, hs, spec)
 	}
 	cur := img
 	for si := range k.Stages {
 		st := &k.Stages[si]
 		w, h := ws[si], hs[si]
-		out := make([]byte, w*h*st.Channels)
-		if e := evalStrips(out, cur, st.Channels, st.OriginX, st.OriginY, w, 0, h, spec.Workers, st.Rows, st.RowAll); e != nil {
+		out := sc.buf(si, w*h*st.Channels)
+		var e *rowErr
+		if tw, th := spec.stageTile(si); tw > 0 || th > 0 {
+			e = evalTiled(out, cur, st.Channels, st.OriginX, st.OriginY, w, h, tw, th, spec.Workers, st.Rows, st.RowAll)
+		} else {
+			e = evalStrips(out, cur, st.Channels, st.OriginX, st.OriginY, w, 0, h, spec.Workers, st.Rows, st.RowAll)
+		}
+		if e != nil {
 			return nil, fmt.Errorf("ir: kernel %%s stage %%d at (%%d,%%d,%%d): %%w", k.Name, si, e.x, e.y, e.c, e.err)
 		}
-		cur = &Image{Pix: out, Stride: w * st.Channels, PixStep: st.Channels, ChanStep: 1}
+		ni := sc.img(si)
+		*ni = Image{Pix: out, Stride: w * st.Channels, PixStep: st.Channels, ChanStep: 1}
+		cur = ni
 	}
 	return cur, nil
 }
@@ -1655,7 +2401,7 @@ type fusedStage struct {
 	stride           int
 	ringRows, winOut int
 	yBase            int
-	ringImg          *Image // what the consumer reads; Base tracks yBase
+	ringImg          Image // what the consumer reads; Base tracks yBase
 	cursor, hi       int
 	alive            bool
 	fe               *rowErr
@@ -1667,7 +2413,7 @@ type fusedStage struct {
 // rows and recompute their halo rows independently; per-stage errors
 // merge to the scan-order first, and the earliest erroring stage wins —
 // exactly the materializing executor's reporting.
-func (k *Kernel) evalStagesFused(img *Image, ws, hs []int, spec ScheduleSpec) (*Image, error) {
+func (k *Kernel) evalStagesFused(sc *Scratch, img *Image, ws, hs []int, spec ScheduleSpec) (*Image, error) {
 	n := len(k.Stages)
 	for si := 1; si < n; si++ {
 		st := &k.Stages[si]
@@ -1684,7 +2430,7 @@ func (k *Kernel) evalStagesFused(img *Image, ws, hs []int, spec ScheduleSpec) (*
 		}
 	}
 	last := n - 1
-	out := make([]byte, ws[last]*hs[last]*k.Stages[last].Channels)
+	out := sc.outBuf(ws[last] * hs[last] * k.Stages[last].Channels)
 	workers := spec.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -1696,16 +2442,48 @@ func (k *Kernel) evalStagesFused(img *Image, ws, hs []int, spec ScheduleSpec) (*
 	if strips < 1 {
 		strips = 1
 	}
+	// The generated footprint-specialized strip driver replaces the
+	// generic ring dispatch only at the minimal window (an explicit
+	// WindowRows widens the ring, which the baked body does not model).
+	gen := k.FusedStrip != nil && spec.WindowRows == 0
+	if strips == 1 {
+		errs := sc.errSlots(n)
+		if gen {
+			k.FusedStrip(sc, img, out, ws, hs, 0, hs[last], true, true, errs)
+		} else {
+			k.fusedStrip(sc, img, out, ws, hs, spec.WindowRows, 0, hs[last], true, true, errs)
+		}
+		for si := 0; si < n; si++ {
+			if e := errs[si]; e != nil {
+				return nil, fmt.Errorf("ir: kernel %%s stage %%d at (%%d,%%d,%%d): %%w", k.Name, si, e.x, e.y, e.c, e.err)
+			}
+		}
+		ri := sc.img(n - 1)
+		*ri = Image{Pix: out, Stride: ws[last] * k.Stages[last].Channels, PixStep: k.Stages[last].Channels, ChanStep: 1}
+		return ri, nil
+	}
 	stripErrs := make([][]*rowErr, strips)
 	var wg sync.WaitGroup
 	for t := 0; t < strips; t++ {
+		wsc := sc.worker(t)
+		se := wsc.errSlots(n)
+		stripErrs[t] = se
+		// Strip bounds and the first/drain roles travel as arguments so
+		// the goroutine never captures strips (reassigned above) — a
+		// reassigned capture is heap-moved at function entry, charging the
+		// single-strip path an allocation per call.
+		s0 := t * hs[last] / strips
+		s1 := (t + 1) * hs[last] / strips
+		first, drain := t == 0, t == strips-1
 		wg.Add(1)
-		go func(t int) {
+		go func(wsc *Scratch, se []*rowErr, s0, s1 int, first, drain bool) {
 			defer wg.Done()
-			s0 := t * hs[last] / strips
-			s1 := (t + 1) * hs[last] / strips
-			stripErrs[t] = k.fusedStrip(img, out, ws, hs, spec.WindowRows, s0, s1, t == 0, t == strips-1)
-		}(t)
+			if gen {
+				k.FusedStrip(wsc, img, out, ws, hs, s0, s1, first, drain, se)
+			} else {
+				k.fusedStrip(wsc, img, out, ws, hs, spec.WindowRows, s0, s1, first, drain, se)
+			}
+		}(wsc, se, s0, s1, first, drain)
 	}
 	wg.Wait()
 	for si := 0; si < n; si++ {
@@ -1719,7 +2497,9 @@ func (k *Kernel) evalStagesFused(img *Image, ws, hs []int, spec ScheduleSpec) (*
 			return nil, fmt.Errorf("ir: kernel %%s stage %%d at (%%d,%%d,%%d): %%w", k.Name, si, best.x, best.y, best.c, best.err)
 		}
 	}
-	return &Image{Pix: out, Stride: ws[last] * k.Stages[last].Channels, PixStep: k.Stages[last].Channels, ChanStep: 1}, nil
+	ri := sc.img(n - 1)
+	*ri = Image{Pix: out, Stride: ws[last] * k.Stages[last].Channels, PixStep: k.Stages[last].Channels, ChanStep: 1}
+	return ri, nil
 }
 
 // fusedStrip streams final-stage rows [s0, s1) through the chain and
@@ -1728,28 +2508,26 @@ func (k *Kernel) evalStagesFused(img *Image, ws, hs []int, spec ScheduleSpec) (*
 // pulls — below and above the consumers' summed footprint — because the
 // materializing chain computes every producer row and an error in one of
 // them must not be lost.
-func (k *Kernel) fusedStrip(img *Image, out []byte, ws, hs []int, windowRows, s0, s1 int, first, drain bool) []*rowErr {
+func (k *Kernel) fusedStrip(sc *Scratch, img *Image, out []byte, ws, hs []int, windowRows, s0, s1 int, first, drain bool, errs []*rowErr) {
 	n := len(k.Stages)
-	fs := make([]fusedStage, n)
-	lo := make([]int, n)
-	hi := make([]int, n)
-	lo[n-1], hi[n-1] = s0, s1
+	fs := sc.stages(n)
+	fs[n-1].cursor, fs[n-1].hi = s0, s1
 	for i := n - 2; i >= 0; i-- {
 		st := &k.Stages[i+1]
-		lo[i] = lo[i+1] + st.MinDY
-		if lo[i] < 0 || first {
-			lo[i] = 0
+		lo := fs[i+1].cursor + st.MinDY
+		if lo < 0 || first {
+			lo = 0
 		}
-		hi[i] = hi[i+1] + st.MaxDY
-		if hi[i] > hs[i] || drain {
-			hi[i] = hs[i]
+		hi := fs[i+1].hi + st.MaxDY
+		if hi > hs[i] || drain {
+			hi = hs[i]
 		}
+		fs[i].cursor, fs[i].hi = lo, hi
 	}
 	for i := range fs {
 		s := &fs[i]
 		s.st = &k.Stages[i]
 		s.w, s.h = ws[i], hs[i]
-		s.cursor, s.hi = lo[i], hi[i]
 		s.alive = true
 		if i < n-1 {
 			win := k.Stages[i+1].MaxDY - k.Stages[i+1].MinDY + 1
@@ -1762,14 +2540,14 @@ func (k *Kernel) fusedStrip(img *Image, out []byte, ws, hs []int, windowRows, s0
 			}
 			s.winOut, s.ringRows = win, rows
 			s.stride = ws[i] // intermediates are planar single-channel
-			s.ring = make([]byte, rows*s.stride)
-			s.yBase = lo[i]
-			s.ringImg = &Image{Pix: s.ring, Base: -s.yBase * s.stride, Stride: s.stride, PixStep: 1}
+			s.ring = sc.buf(i, rows*s.stride)
+			s.yBase = s.cursor
+			s.ringImg = Image{Pix: s.ring, Base: -s.yBase * s.stride, Stride: s.stride, PixStep: 1}
 		}
 	}
 	fs[0].in = img
 	for i := 1; i < n; i++ {
-		fs[i].in = fs[i-1].ringImg
+		fs[i].in = &fs[i-1].ringImg
 	}
 	for fs[n-1].alive && fs[n-1].cursor < fs[n-1].hi {
 		fusedProduce(fs, out, n-1)
@@ -1779,11 +2557,9 @@ func (k *Kernel) fusedStrip(img *Image, out []byte, ws, hs []int, windowRows, s0
 			fusedProduce(fs, out, i)
 		}
 	}
-	errs := make([]*rowErr, n)
 	for i := range fs {
 		errs[i] = fs[i].fe
 	}
-	return errs
 }
 
 // fusedProduce computes the current row of stage i, pulling the producer
@@ -1832,18 +2608,25 @@ func fusedProduce(fs []fusedStage, out []byte, i int) {
 // evalReduction accumulates over the domW x domH input domain and
 // serializes the 4-byte bins little-endian.  The bin updates commute but
 // error detection is a scan, so reduction rows always run serially.
-func (k *Kernel) evalReduction(img *Image, domW, domH int) ([]byte, error) {
+func (k *Kernel) evalReduction(sc *Scratch, img *Image, domW, domH int) ([]byte, error) {
 	r := k.Red
-	bins := make([]uint32, r.Bins)
+	bins := sc.binsBuf(r.Bins)
+	clear(bins)
 	copy(bins, r.Init)
 	for y := 0; y < domH; y++ {
 		if x, err := r.Row(bins, img, y, domW); err != nil {
 			return nil, fmt.Errorf("ir: kernel %%s at (%%d,%%d): %%w", k.Name, x, y, err)
 		}
 	}
-	out := make([]byte, 0, len(bins)*4)
-	for _, v := range bins {
-		out = append(out, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	// Accumulation over img is complete before this point, so serializing
+	// into the shared output buffer is safe even when a fused pipeline made
+	// img alias it.
+	out := sc.outBuf(len(bins) * 4)
+	for i, v := range bins {
+		out[i*4] = byte(v)
+		out[i*4+1] = byte(v >> 8)
+		out[i*4+2] = byte(v >> 16)
+		out[i*4+3] = byte(v >> 24)
 	}
 	return out, nil
 }

@@ -52,7 +52,7 @@ func TestGenerateRejectsDuplicateNames(t *testing.T) {
 // main that evaluates every kernel against the embedded differential plane
 // and prints one tab-separated line per kernel: name, OK/ERR, hex output
 // or error text.
-func genHarness(t *testing.T, dir, kernelsSrc string, outW, outH int) {
+func genHarness(t *testing.T, dir, kernelsSrc string, plane *image.Plane) {
 	t.Helper()
 	write := func(rel, content string) {
 		t.Helper()
@@ -68,7 +68,6 @@ func genHarness(t *testing.T, dir, kernelsSrc string, outW, outH int) {
 	write("lk/runtime.go", GenerateRuntime("liftedkernels"))
 	write("lk/kernels.go", kernelsSrc)
 
-	plane := diffPlane()
 	pix, base, stride := plane.Flat()
 	var b strings.Builder
 	b.WriteString("package main\n\nimport (\n\t\"bytes\"\n\t\"fmt\"\n\t\"encoding/hex\"\n\n\tlk \"gentest/lk\"\n)\n\n")
@@ -93,7 +92,7 @@ func genHarness(t *testing.T, dir, kernelsSrc string, outW, outH int) {
 func main() {
 	img := &lk.Image{Pix: pix, Base: %d, Stride: %d, PixStep: 1, ChanStep: 0}
 	for _, k := range lk.Kernels() {
-		out, err := k.Eval(img, %d, %d)
+		out, err := k.Eval(img, k.DefaultWidth, k.DefaultHeight)
 		if err != nil {
 			fmt.Printf("%%s\tERR\t%%s\n", k.Name, err)
 		} else {
@@ -103,7 +102,7 @@ func main() {
 			if spec.Fusion == "slidingWindow" && len(k.Stages) < 2 {
 				continue
 			}
-			got, gerr := k.EvalSched(img, %d, %d, spec)
+			got, gerr := k.EvalSched(img, k.DefaultWidth, k.DefaultHeight, spec)
 			status, detail := "OK", ""
 			switch {
 			case err != nil && (gerr == nil || gerr.Error() != err.Error()):
@@ -117,7 +116,7 @@ func main() {
 		}
 	}
 }
-`, base, stride, outW, outH, outW, outH)
+`, base, stride)
 	write("main.go", b.String())
 }
 
@@ -282,7 +281,7 @@ func TestGeneratedCodeDifferential(t *testing.T) {
 		t.Error("chantabs' distinct per-channel tables wrongly collapsed into a shared row function")
 	}
 	dir := t.TempDir()
-	genHarness(t, dir, srcCode, outW, outH)
+	genHarness(t, dir, srcCode, plane)
 	results := runHarness(t, dir)
 	checkSchedLines(t, results)
 
@@ -402,7 +401,7 @@ func TestGeneratedStagedAndReduction(t *testing.T) {
 		t.Fatalf("GenerateUnits: %v", err)
 	}
 	dir := t.TempDir()
-	genHarness(t, dir, srcCode, outW, outH)
+	genHarness(t, dir, srcCode, plane)
 	results := runHarness(t, dir)
 	checkSchedLines(t, results)
 
@@ -439,5 +438,109 @@ func TestGeneratedStagedAndReduction(t *testing.T) {
 	}
 	if got := results["redchain"]; got[0] != "OK" || got[1] != hex.EncodeToString(ref) {
 		t.Errorf("redchain: harness %v, want OK %s", got, hex.EncodeToString(ref))
+	}
+}
+
+// TestGeneratedBatchTailWidths pins the head-cutting batch/tail split at
+// its edge widths: below one batch (1, 7), exactly one batch (8), one
+// batch plus a tail (9, 15), and two batches plus a tail (17).  Each
+// width gets a value kernel (the boxblur shape) and two table-fault
+// kernels — a dense one that faults on nearly every byte and a sparse
+// one whose first out-of-range byte lands at a width-dependent scan
+// position — and the generated code must agree with the interpreter
+// bit-exactly: values, fault positions and fault messages.  A batch/tail
+// boundary bug (a lane indexing past its block, a tail starting at the
+// wrong sample, a fault reporting the lane constant instead of the
+// running x) shows up here as a wrong value or a wrong reported
+// coordinate.
+func TestGeneratedBatchTailWidths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles generated code with the go toolchain")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+
+	widths := []int{1, 7, 8, 9, 15, 17}
+	const outH = 4
+	// A plane wide enough for the largest width plus the stencil margin;
+	// deterministic fill, margin included, like diffPlane.
+	plane := image.NewPlane(20, outH+2, 2)
+	r := testRNG(97)
+	for y := -2; y < outH+4; y++ {
+		for x := -2; x < 22; x++ {
+			plane.Set(x, y, byte(r.next()))
+		}
+	}
+	src := PlaneSource{P: plane}
+
+	zx := func(e *Expr) *Expr { return &Expr{Op: OpZExt, Width: 4, SrcWidth: 1, Args: []*Expr{e}} }
+	boxTree := func() *Expr {
+		taps := make([]*Expr, 0, 10)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				taps = append(taps, zx(Load(dx, dy, 0)))
+			}
+		}
+		taps = append(taps, Const(4))
+		return Bin(OpDiv, 4, &Expr{Op: OpAdd, Width: 4, Args: taps}, Const(9))
+	}
+	faultTree := func(tabLen int) *Expr {
+		tab := make([]byte, tabLen)
+		for i := range tab {
+			tab[i] = byte(i * 3)
+		}
+		return &Expr{Op: OpTable, Table: tab, Elem: 1, Args: []*Expr{Load(0, 0, 0)}}
+	}
+
+	var kernels []*Kernel
+	for _, w := range widths {
+		kernels = append(kernels,
+			&Kernel{Name: fmt.Sprintf("btv%d", w), OutWidth: w, OutHeight: outH,
+				Channels: 1, OriginX: 1, OriginY: 1, Trees: []*Expr{boxTree()}},
+			// Dense faults (8-entry table): the very first sample of every
+			// width is almost surely out of range, pinning the batch loop's
+			// first lane.
+			&Kernel{Name: fmt.Sprintf("btd%d", w), OutWidth: w, OutHeight: outH,
+				Channels: 1, OriginX: 1, OriginY: 1, Trees: []*Expr{faultTree(8)}},
+			// Sparse faults (200-entry table, ~22%% of bytes out of range):
+			// the first fault lands mid-row at a width-dependent position,
+			// often inside a tail or a later lane block.
+			&Kernel{Name: fmt.Sprintf("bts%d", w), OutWidth: w, OutHeight: outH,
+				Channels: 1, OriginX: 1, OriginY: 1, Trees: []*Expr{faultTree(200)}},
+		)
+	}
+
+	srcCode, err := Generate("liftedkernels", kernels)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	dir := t.TempDir()
+	genHarness(t, dir, srcCode, plane)
+	results := runHarness(t, dir)
+	checkSchedLines(t, results)
+
+	faults := 0
+	for _, k := range kernels {
+		got, ok := results[k.Name]
+		if !ok {
+			t.Fatalf("kernel %s missing from harness output", k.Name)
+		}
+		want, werr := k.Eval(src)
+		if werr != nil {
+			faults++
+			if got[0] != "ERR" || got[1] != werr.Error() {
+				t.Errorf("%s: generated %s %q, want ERR %q", k.Name, got[0], got[1], werr)
+			}
+			continue
+		}
+		if got[0] != "OK" || got[1] != hex.EncodeToString(want) {
+			t.Errorf("%s: generated %s %q, want OK %s", k.Name, got[0], got[1], hex.EncodeToString(want))
+		}
+	}
+	// The dense-fault kernels guarantee one fault per width; losing them
+	// all means the corpus stopped testing fault order at the edges.
+	if faults < len(widths) {
+		t.Fatalf("only %d faulting kernels across %d widths; the edge-width fault coverage collapsed", faults, len(widths))
 	}
 }

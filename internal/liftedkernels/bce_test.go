@@ -1,0 +1,143 @@
+package liftedkernels
+
+// The bounds-check gate: the emitter brackets every unrolled batch loop
+// and scalar tail with `// bce:begin` / `// bce:end` markers and promises
+// the compiler's prove pass discharges every access between them.  This
+// test recompiles the package with -d=ssa/check_bce and fails if any
+// IsInBounds / IsSliceInBounds diagnostic lands inside a marker range —
+// the head-cutting loop idiom regressing (say, back to a counted
+// `s[x+k]` form the prove pass cannot handle) breaks the build, not just
+// the benchmark numbers.
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// bceAllowlist holds "file.go:line" positions whose surviving bounds
+// check is understood and accepted.  It is empty on purpose: nothing
+// inside the markers is allowed to check today, and any addition needs a
+// written justification here.
+var bceAllowlist = map[string]string{}
+
+// markerRanges scans one source file for bce:begin/bce:end pairs and
+// returns the half-open line ranges between them.
+func markerRanges(t *testing.T, path string) [][2]int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	var ranges [][2]int
+	open := 0
+	for i, line := range strings.Split(string(data), "\n") {
+		switch {
+		case strings.Contains(line, "// bce:begin"):
+			if open != 0 {
+				t.Fatalf("%s:%d: nested bce:begin (previous at line %d)", path, i+1, open)
+			}
+			open = i + 1
+		case strings.Contains(line, "// bce:end"):
+			if open == 0 {
+				t.Fatalf("%s:%d: bce:end without bce:begin", path, i+1)
+			}
+			ranges = append(ranges, [2]int{open, i + 1})
+			open = 0
+		}
+	}
+	if open != 0 {
+		t.Fatalf("%s:%d: unterminated bce:begin", path, open)
+	}
+	return ranges
+}
+
+// goList runs `go list` with the given format over this package.
+func goList(t *testing.T, format string) string {
+	t.Helper()
+	cmd := exec.Command("go", "list", "-deps", "-export", "-f", format, ".")
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			t.Fatalf("go list: %v\n%s", err, ee.Stderr)
+		}
+		t.Fatalf("go list: %v", err)
+	}
+	return string(out)
+}
+
+// TestGeneratedLoopsAreBoundsCheckFree recompiles the package with the
+// check_bce debug flag and asserts zero bounds-check diagnostics inside
+// the emitter's bce:begin/bce:end markers.  Diagnostics outside the
+// markers (runtime helpers, checked edge loops) are expected and ignored
+// — only the hot unrolled loops carry the guarantee.
+func TestGeneratedLoopsAreBoundsCheckFree(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go tool unavailable: %v", err)
+	}
+
+	// The build cache suppresses compiler diagnostics on cache hits, so
+	// `go build -gcflags` is not a reliable gate.  Compile the package
+	// directly instead: an importcfg from `go list -export` supplies the
+	// dependency export data, and `go tool compile` always runs fresh.
+	importcfg := goList(t, "{{if .Export}}packagefile {{.ImportPath}}={{.Export}}{{end}}")
+	cfgPath := filepath.Join(t.TempDir(), "importcfg")
+	if err := os.WriteFile(cfgPath, []byte(importcfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command("go", "list", "-f", "{{.ImportPath}}\n{{range .GoFiles}}{{.}}\n{{end}}", ".")
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list files: %v", err)
+	}
+	lines := strings.Fields(string(out))
+	if len(lines) < 2 {
+		t.Fatalf("go list returned no source files: %q", out)
+	}
+	pkgPath, files := lines[0], lines[1:]
+
+	ranges := map[string][][2]int{}
+	for _, f := range files {
+		ranges[f] = markerRanges(t, f)
+	}
+
+	args := []string{"tool", "compile", "-p", pkgPath, "-importcfg", cfgPath,
+		"-d=ssa/check_bce", "-o", filepath.Join(t.TempDir(), "out.o")}
+	args = append(args, files...)
+	diag, err := exec.Command("go", args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("go tool compile: %v\n%s", err, diag)
+	}
+
+	diagRe := regexp.MustCompile(`(?m)^(?:.*/)?([^/:]+\.go):(\d+):\d+: Found Is(?:Slice)?InBounds$`)
+	total, inside := 0, 0
+	for _, m := range diagRe.FindAllStringSubmatch(string(diag), -1) {
+		total++
+		file := m[1]
+		line, _ := strconv.Atoi(m[2])
+		for _, r := range ranges[file] {
+			if line > r[0] && line < r[1] {
+				inside++
+				key := fmt.Sprintf("%s:%d", file, line)
+				if why, ok := bceAllowlist[key]; ok {
+					t.Logf("allowlisted bounds check at %s (%s)", key, why)
+					continue
+				}
+				t.Errorf("bounds check survives inside bce markers at %s (range %d-%d)", key, r[0], r[1])
+			}
+		}
+	}
+	if total == 0 {
+		// A gate that never sees a diagnostic is a gate that silently
+		// stopped working (flag renamed, output format changed).  The
+		// runtime helpers always carry a few legitimate checks.
+		t.Fatalf("check_bce produced zero diagnostics anywhere — the gate is not measuring")
+	}
+	t.Logf("check_bce: %d diagnostics total, %d inside markers", total, inside)
+}

@@ -167,9 +167,27 @@ type Set struct {
 	// GoMaxProcs records the core count of the tuning machine; schedules
 	// tuned on one core are honest about not having explored parallelism.
 	GoMaxProcs int `json:"gomaxprocs"`
+	// Machine is the tuning machine's class key (MachineKey of the tuning
+	// run).  Consumers on a different machine class should warn before
+	// applying the set: a tile or worker count tuned elsewhere is a
+	// hypothesis there, not a measurement.
+	Machine string `json:"machine,omitempty"`
 	// Kernels maps kernel name to its winning schedule.
 	Kernels map[string]*Schedule `json:"kernels"`
 }
+
+// MachineKey names the machine class schedules are tuned against: the
+// core count the worker sweep saw and the widest register-row lane the
+// executors batch at.  It is deliberately coarse — schedules transfer
+// across same-shape machines, and anything finer (cache sizes, exact
+// CPU model) would invalidate sets too eagerly.
+func MachineKey(cores, laneBits int) string {
+	return fmt.Sprintf("%dc/%db", cores, laneBits)
+}
+
+// HostMachineKey is MachineKey for the current process: GOMAXPROCS cores
+// and the 64-bit general registers the pure-Go row loops batch in.
+func HostMachineKey() string { return MachineKey(runtime.GOMAXPROCS(0), 64) }
 
 // For returns the schedule tuned for a kernel, or nil when the set has
 // none (callers fall back to Default).
