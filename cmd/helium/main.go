@@ -9,7 +9,7 @@
 //
 //	helium [-kernel name] [-width N] [-height N] [-seed N] [-v]
 //	       [-backend interp|compiled|generated] [-workers N]
-//	       [-schedules schedules.json]
+//	       [-schedules schedules.json] [-strict]
 //	helium -bench [-bench-out BENCH_lift.json] [-workers-sweep auto|1,2,4]
 //	       [-cpuprofile f] [-memprofile f]
 //	helium tune [-out schedules.json] [-smoke] [-width N] [-height N]
@@ -23,6 +23,15 @@
 // and -backend generated the ahead-of-time Go code in
 // internal/liftedkernels.  Either way the output is compared byte for
 // byte with what the legacy binary wrote.
+//
+// When a backend fails, run degrades gracefully down the chain
+// generated -> compiled -> interp -> vm, printing the reason for each
+// step down; the terminal vm backend re-emulates the binary directly, so
+// a correct answer always comes back even when the lift itself fails.
+// -strict disables the chain: the first failure is fatal.  A schedule
+// set tuned on a different machine class is likewise dropped for
+// execution, with the reason printed (re-run `helium tune` to
+// re-measure).
 //
 // -bench times VM emulation against all execution backends (including
 // the tuned schedule) over the corpus, sweeps the parallel backends over
@@ -60,12 +69,26 @@ import (
 	"strings"
 	"time"
 
+	"helium/internal/faultpoint"
 	"helium/internal/ir"
 	"helium/internal/legacy"
 	"helium/internal/lift"
 	"helium/internal/liftedkernels"
 	"helium/internal/schedule"
 	"helium/internal/vm"
+)
+
+// The CLI's injectable failures, exercised by the degradation tests and
+// the CI fault-injection smoke (HELIUM_FAULTPOINTS=name helium ...).
+var (
+	// fpGenVerifyFail corrupts one byte of the generated backend's output
+	// before verification, modeling a stale internal/liftedkernels.
+	fpGenVerifyFail = faultpoint.Register("gen.verify-fail",
+		"corrupt one byte of the generated backend's output before verification")
+	// fpSchedMismatch treats the loaded schedule set as tuned on a
+	// different machine class, forcing the heuristic-default fallback.
+	fpSchedMismatch = faultpoint.Register("sched.machine-mismatch",
+		"treat the loaded schedule set as tuned on a different machine class")
 )
 
 func main() {
@@ -99,6 +122,7 @@ func main() {
 		memProf    = flag.String("memprofile", "", "write a heap profile after the bench run to this file")
 		schedPath  = flag.String("schedules", "schedules.json", "tuned schedule set consumed by run/bench (missing file = heuristic defaults)")
 		sweep      = flag.String("workers-sweep", "auto", "bench worker-count sweep: comma list or \"auto\" (powers of two up to GOMAXPROCS)")
+		strict     = flag.Bool("strict", false, "disable graceful backend degradation: the first backend failure is fatal")
 	)
 	flag.Parse()
 
@@ -136,7 +160,11 @@ func main() {
 		kernels = []legacy.Kernel{k}
 	}
 
-	scheds, err := loadSchedules(*schedPath, *verbose)
+	// run executes under the loaded schedules, so a machine-class mismatch
+	// must fall back (or, with -strict, fail); bench only times them and
+	// keeps the historical warn-and-apply behavior so its artifact stays
+	// comparable across machines.
+	scheds, err := loadSchedules(*schedPath, *verbose, !*bench, *strict)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "helium: %v\n", err)
 		os.Exit(1)
@@ -152,7 +180,7 @@ func main() {
 
 	failed := false
 	for _, k := range kernels {
-		if err := run(k, cfg, *backend, *workers, *verbose, scheds.For(k.Name)); err != nil {
+		if err := run(k, cfg, *backend, *workers, *verbose, *strict, scheds.For(k.Name)); err != nil {
 			fmt.Fprintf(os.Stderr, "helium: %s: %v\n", k.Name, err)
 			failed = true
 		}
@@ -167,7 +195,14 @@ func main() {
 // exists and fails to parse or validate is an error: silently ignoring a
 // corrupt schedules.json would bench and generate against defaults while
 // claiming to use the tuned set.
-func loadSchedules(path string, verbose bool) (*schedule.Set, error) {
+//
+// A schedule is a measurement only on the machine class that timed it.
+// When the set is about to drive execution (forExec) and was tuned
+// elsewhere, it is dropped in favor of the heuristic defaults with the
+// reason printed — or, under -strict, refused outright.  Analysis
+// consumers (gen, bench) keep it with a warning: gen's artifact must not
+// depend on the build host, and bench wants cross-machine comparability.
+func loadSchedules(path string, verbose, forExec, strict bool) (*schedule.Set, error) {
 	set, err := schedule.Load(path)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
@@ -178,15 +213,22 @@ func loadSchedules(path string, verbose bool) (*schedule.Set, error) {
 		}
 		return nil, err
 	}
-	// A schedule is a measurement only on the machine class that timed it.
-	// Apply it anyway — it is still a better guess than the heuristic — but
-	// never silently: a tile or worker count tuned elsewhere is a
-	// hypothesis here.
-	if host := schedule.HostMachineKey(); set.Machine != "" && set.Machine != host {
+	host := schedule.HostMachineKey()
+	if set.MatchesMachine(host) && !faultpoint.Enabled(fpSchedMismatch) {
+		return set, nil
+	}
+	if !forExec {
 		fmt.Fprintf(os.Stderr, "helium: warning: %s was tuned on machine class %s; this host is %s (re-run `helium tune` to re-measure)\n",
 			path, set.Machine, host)
+		return set, nil
 	}
-	return set, nil
+	if strict {
+		return nil, fmt.Errorf("%s was tuned on machine class %s but this host is %s (running -strict: re-run `helium tune`)",
+			path, set.Machine, host)
+	}
+	fmt.Printf("fallback: %s was tuned on machine class %s but this host is %s; using heuristic default schedules (re-run `helium tune` to re-measure)\n",
+		path, set.Machine, host)
+	return nil, nil
 }
 
 func target(inst *legacy.Instance) lift.Target {
@@ -233,6 +275,10 @@ func evalGenerated(name string, res *lift.Result) (*liftedkernels.Kernel, []byte
 	if err != nil {
 		return nil, nil, fmt.Errorf("generated eval: %w", err)
 	}
+	if faultpoint.Enabled(fpGenVerifyFail) && len(out) > 0 {
+		out = append([]byte(nil), out...)
+		out[len(out)/2] ^= 0x40
+	}
 	want, err := res.VMOutput()
 	if err != nil {
 		return nil, nil, err
@@ -256,28 +302,74 @@ func printLifted(res *lift.Result) {
 	}
 }
 
-func run(k legacy.Kernel, cfg legacy.Config, backend string, workers int, verbose bool, tuned *schedule.Schedule) error {
+// backendChain is the graceful-degradation order: the requested backend
+// first, then progressively simpler evaluators, ending at direct VM
+// emulation — which needs nothing from the lift, so a correct answer is
+// always reachable.
+func backendChain(backend string) []string {
+	switch backend {
+	case "generated":
+		return []string{"generated", "compiled", "interp", "vm"}
+	case "compiled":
+		return []string{"compiled", "interp", "vm"}
+	default:
+		return []string{"interp", "vm"}
+	}
+}
+
+func run(k legacy.Kernel, cfg legacy.Config, backend string, workers int, verbose, strict bool, tuned *schedule.Schedule) error {
 	inst := k.Instantiate(cfg)
 
 	fmt.Printf("=== %s (%s)\n", k.Name, cfg)
+	chain := backendChain(backend)
 	res, err := lift.Lift(k.Name, target(inst))
 	if err != nil {
-		return err
+		if strict {
+			return err
+		}
+		// With no lifted result every evaluator is off the table; only the
+		// VM itself can still answer.  That loses everything the lift adds,
+		// but the legacy output is still reproduced — and the reason is on
+		// record.
+		fmt.Printf("fallback: lift failed: %v; degrading to vm\n", err)
+		chain, res = []string{"vm"}, nil
 	}
 
-	if verbose {
-		fmt.Printf("localization: filter entry %#x (candidates %#x), coverage %d on / %d off blocks, diff %d\n",
-			res.Loc.FilterEntry, res.Loc.Candidates, res.Loc.OnBlocks, res.Loc.OffBlocks, len(res.Loc.Diff))
-		fmt.Printf("buffers: input base %#x stride %d; output base %#x stride %d, %dx%d px, %d channel(s)\n",
-			res.Bufs.In.Base, res.Bufs.In.Stride,
-			res.Bufs.Out.Base, res.Bufs.Out.Stride,
-			res.Bufs.Out.Width(), res.Bufs.Out.Rows, res.Bufs.Out.Channels)
-		fmt.Printf("trace: %d dynamic instructions (of %d executed), %d KiB dumped, %d sample trees\n",
-			res.TraceInsts, res.TraceSteps, res.Dump.Size()/1024, res.Samples)
+	if res != nil {
+		if verbose {
+			fmt.Printf("localization: filter entry %#x (candidates %#x), coverage %d on / %d off blocks, diff %d\n",
+				res.Loc.FilterEntry, res.Loc.Candidates, res.Loc.OnBlocks, res.Loc.OffBlocks, len(res.Loc.Diff))
+			fmt.Printf("buffers: input base %#x stride %d; output base %#x stride %d, %dx%d px, %d channel(s)\n",
+				res.Bufs.In.Base, res.Bufs.In.Stride,
+				res.Bufs.Out.Base, res.Bufs.Out.Stride,
+				res.Bufs.Out.Width(), res.Bufs.Out.Rows, res.Bufs.Out.Channels)
+			fmt.Printf("trace: %d dynamic instructions (of %d executed), %d KiB dumped, %d sample trees\n",
+				res.TraceInsts, res.TraceSteps, res.Dump.Size()/1024, res.Samples)
+		}
+		printLifted(res)
 	}
 
-	printLifted(res)
-	switch backend {
+	for i, be := range chain {
+		err := runBackend(be, k, inst, res, workers, verbose, tuned)
+		if err == nil {
+			return nil
+		}
+		if strict {
+			return fmt.Errorf("%s backend: %w (running -strict: degradation disabled)", be, err)
+		}
+		if i+1 == len(chain) {
+			return fmt.Errorf("every backend failed; last (%s): %w", be, err)
+		}
+		fmt.Printf("fallback: %s backend failed: %v; degrading to %s\n", be, err, chain[i+1])
+	}
+	return nil
+}
+
+// runBackend verifies one backend and prints its success line.  The
+// terminal "vm" backend re-emulates the binary and checks its output
+// against the instance's pure-Go reference, needing no lifted result.
+func runBackend(be string, k legacy.Kernel, inst *legacy.Instance, res *lift.Result, workers int, verbose bool, tuned *schedule.Schedule) error {
+	switch be {
 	case "interp":
 		if err := res.Verify(); err != nil {
 			return err
@@ -330,6 +422,19 @@ func run(k legacy.Kernel, cfg legacy.Config, backend string, workers int, verbos
 			fmt.Printf("generated: package liftedkernels kernel %s, lane bits %v\n", gk.Name, lanes)
 		}
 		fmt.Printf("verified: %d samples pixel-exact (generated Go backend)\n\n", res.Samples)
+	case "vm":
+		m := vm.NewMachine(inst.Prog)
+		inst.Setup(m, true)
+		if err := m.Run(0); err != nil {
+			return err
+		}
+		got := inst.ReadOutput(m)
+		if !bytes.Equal(got, inst.Reference) {
+			return fmt.Errorf("vm output differs from the pure-Go reference (%d samples)", len(got))
+		}
+		fmt.Printf("verified: %d samples pixel-exact (vm backend, direct emulation)\n\n", len(got))
+	default:
+		return fmt.Errorf("unknown backend %q", be)
 	}
 	return nil
 }
@@ -350,7 +455,7 @@ func runGen(args []string) error {
 		return err
 	}
 
-	scheds, err := loadSchedules(*schedPath, false)
+	scheds, err := loadSchedules(*schedPath, false, false, false)
 	if err != nil {
 		return err
 	}

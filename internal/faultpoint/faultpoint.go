@@ -1,0 +1,100 @@
+// Package faultpoint is a minimal fault-injection facility: named points
+// in the pipeline consult Enabled and, when armed, fail on purpose.  The
+// degradation tests use it to prove the system's failure handling without
+// having to construct organically broken inputs for every failure class
+// (a truncated trace, a corrupted reconstructed buffer, a stale generated
+// backend, a schedule tuned for another machine).
+//
+// Points are armed programmatically (tests) or through the
+// HELIUM_FAULTPOINTS environment variable, a comma-separated list of
+// point names consumed at startup — which is how the CLI smoke tests
+// inject faults into `go run ./cmd/helium` without new flags.
+package faultpoint
+
+import (
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// EnvVar is the environment variable arming faultpoints at startup.
+const EnvVar = "HELIUM_FAULTPOINTS"
+
+var (
+	mu      sync.Mutex
+	points  = map[string]string{} // name -> doc
+	enabled = map[string]bool{}
+)
+
+func init() {
+	for _, name := range strings.Split(os.Getenv(EnvVar), ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			enabled[name] = true
+		}
+	}
+}
+
+// Register declares a faultpoint with a one-line description of the
+// failure it injects.  It returns the name so hosting packages can
+// register in a var declaration; registering the same name twice keeps
+// the first doc.
+func Register(name, doc string) string {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; !ok {
+		points[name] = doc
+	}
+	return name
+}
+
+// Enabled reports whether the named point is armed.
+func Enabled(name string) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	return enabled[name]
+}
+
+// Enable arms a point programmatically.
+func Enable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	enabled[name] = true
+}
+
+// Disable disarms a point.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(enabled, name)
+}
+
+// Reset disarms every point (the environment variable is not re-read).
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	enabled = map[string]bool{}
+}
+
+// Known returns the registered point names, sorted, with their docs.
+func Known() map[string]string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make(map[string]string, len(points))
+	for k, v := range points {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns the registered point names, sorted.
+func Names() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	names := make([]string, 0, len(points))
+	for k := range points {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,46 @@
+package faultpoint
+
+import "testing"
+
+func TestEnableDisable(t *testing.T) {
+	defer Reset()
+	name := Register("test.point", "a test point")
+	if Enabled(name) {
+		t.Fatalf("point %q armed before Enable", name)
+	}
+	Enable(name)
+	if !Enabled(name) {
+		t.Fatalf("point %q not armed after Enable", name)
+	}
+	Disable(name)
+	if Enabled(name) {
+		t.Fatalf("point %q still armed after Disable", name)
+	}
+}
+
+func TestRegisterKeepsFirstDoc(t *testing.T) {
+	Register("test.dup", "first")
+	Register("test.dup", "second")
+	if doc := Known()["test.dup"]; doc != "first" {
+		t.Fatalf("duplicate registration overwrote doc: %q", doc)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	Register("test.b", "")
+	Register("test.a", "")
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+}
+
+func TestEnableUnregisteredPoint(t *testing.T) {
+	defer Reset()
+	Enable("test.unregistered")
+	if !Enabled("test.unregistered") {
+		t.Fatal("unregistered points must still arm (env var order is arbitrary)")
+	}
+}

@@ -1,0 +1,596 @@
+package fuzzgen
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"helium/internal/asm"
+	"helium/internal/image"
+	"helium/internal/isa"
+	"helium/internal/legacy"
+	"helium/internal/vm"
+)
+
+// histBins is the reduction shape's table size (one dword bin per sample
+// value).
+const histBins = 256
+
+// emitter assembles one spec's filter code.  The label counter keeps the
+// peeled, unrolled and tiled loop copies from colliding.
+type emitter struct {
+	b    *asm.Builder
+	spec Spec
+	n    int
+}
+
+// uniq returns a fresh label.
+func (e *emitter) uniq(prefix string) string {
+	e.n++
+	return fmt.Sprintf("fz_%s%d", prefix, e.n)
+}
+
+// Register operand shorthands.
+var (
+	eaxOp = isa.RegOp(isa.EAX)
+	ebxOp = isa.RegOp(isa.EBX)
+	ecxOp = isa.RegOp(isa.ECX)
+	edxOp = isa.RegOp(isa.EDX)
+	esiOp = isa.RegOp(isa.ESI)
+	ediOp = isa.RegOp(isa.EDI)
+	espOp = isa.RegOp(isa.ESP)
+)
+
+// zero emits the chosen zero idiom for a register.
+func (e *emitter) zero(r isa.Operand) {
+	if e.spec.Obf.SelVariant {
+		e.b.Xor(r, r)
+	} else {
+		e.b.Mov(r, isa.ImmOp(0))
+	}
+}
+
+// bump emits the chosen increment idiom for a register or memory operand.
+func (e *emitter) bump(op isa.Operand) {
+	if e.spec.Obf.SelVariant {
+		e.b.Add(op, isa.ImmOp(1))
+	} else {
+		e.b.Inc(op)
+	}
+}
+
+// mulConst multiplies eax by a small constant, either with imul or — under
+// the strength-reduction obfuscation — with the shift-add sequence an
+// optimizer would pick.  edx is clobbered.
+func (e *emitter) mulConst(c int) {
+	if !e.spec.Obf.StrengthReduce {
+		e.b.Imul3(isa.EAX, eaxOp, int64(c))
+		return
+	}
+	switch c {
+	case 1:
+	case 2:
+		e.b.Add(eaxOp, eaxOp)
+	case 3:
+		e.b.Mov(edxOp, eaxOp)
+		e.b.Add(eaxOp, eaxOp)
+		e.b.Add(eaxOp, edxOp)
+	case 4:
+		e.b.Shl(eaxOp, 2)
+	case 5:
+		e.b.Mov(edxOp, eaxOp)
+		e.b.Shl(eaxOp, 2)
+		e.b.Add(eaxOp, edxOp)
+	default:
+		e.b.Imul3(isa.EAX, eaxOp, int64(c))
+	}
+}
+
+// stride is a scanline stride that is either a function argument or a
+// compile-time constant (the private scratch plane's).
+type stride struct {
+	mem   isa.Operand
+	imm   int64
+	isImm bool
+}
+
+func argStride(op isa.Operand) stride { return stride{mem: op} }
+func immStride(v int64) stride        { return stride{imm: v, isImm: true} }
+
+// mulStrideEAX multiplies eax by the stride.
+func (e *emitter) mulStrideEAX(s stride) {
+	if s.isImm {
+		e.b.Imul3(isa.EAX, eaxOp, s.imm)
+	} else {
+		e.b.Imul(eaxOp, s.mem)
+	}
+}
+
+// loopCfg describes one generated row/column loop nest.
+type loopCfg struct {
+	src, dst             isa.Operand // row-zero base operands (arg or imm)
+	srcStride, dstStride stride
+	x0, x1               isa.Operand // column bounds (arg, local or imm)
+	h                    isa.Operand // row count
+	fixedDst             bool        // dst does not advance per row (bin table)
+	unroll               int
+	peel                 bool
+}
+
+// loopNest emits the standard obfuscated nest: per row, recompute the row
+// pointers, then run the unrolled column loop with its peeled scalar
+// remainder.  lane emits one pixel at column ecx+k.  Local(1) holds y;
+// shape code may use Local(2..4); Local(5) is the dead-code store.
+func (e *emitter) loopNest(cfg loopCfg, lane func(k int32)) {
+	b := e.b
+	y := asm.Local(1)
+	b.Mov(y, isa.ImmOp(0))
+
+	if cfg.peel {
+		// Row 0 through a separate, never-unrolled loop copy.
+		e.rowBody(cfg, 1, lane)
+		e.bump(y)
+	}
+
+	row, done := e.uniq("row"), e.uniq("rowdone")
+	b.Label(row)
+	b.Mov(eaxOp, y)
+	b.Cmp(eaxOp, cfg.h)
+	b.Jcc(isa.JGE, done)
+	e.rowBody(cfg, cfg.unroll, lane)
+	e.bump(y)
+	b.Jmp(row)
+	b.Label(done)
+}
+
+// rowBody emits one copy of the row setup and column loop at the current
+// Local(1) row.
+func (e *emitter) rowBody(cfg loopCfg, unroll int, lane func(k int32)) {
+	b := e.b
+	y := asm.Local(1)
+
+	b.Mov(eaxOp, y)
+	e.mulStrideEAX(cfg.srcStride)
+	b.Mov(esiOp, cfg.src)
+	b.Add(esiOp, eaxOp)
+	if cfg.fixedDst {
+		b.Mov(ediOp, cfg.dst)
+	} else {
+		b.Mov(eaxOp, y)
+		e.mulStrideEAX(cfg.dstStride)
+		b.Mov(ediOp, cfg.dst)
+		b.Add(ediOp, eaxOp)
+	}
+	if e.spec.Obf.DeadCode {
+		// Dead stack-local store plus padding nops: the analyses must
+		// discount both (stack writes are excluded from region discovery).
+		b.Nop()
+		b.Mov(asm.Local(5), eaxOp)
+		b.Nop()
+	}
+
+	if imm, ok := immVal(cfg.x0); ok && imm == 0 {
+		e.zero(ecxOp)
+	} else {
+		b.Mov(ecxOp, cfg.x0)
+	}
+
+	rem, end := e.uniq("xrem"), e.uniq("xend")
+	if unroll > 1 {
+		head := e.uniq("xu")
+		b.Label(head)
+		b.Lea(isa.EAX, isa.Mem(isa.ECX, int32(unroll-1), 4))
+		b.Cmp(eaxOp, cfg.x1)
+		b.Jcc(isa.JGE, rem)
+		for k := 0; k < unroll; k++ {
+			lane(int32(k))
+		}
+		b.Add(ecxOp, isa.ImmOp(int64(unroll)))
+		b.Jmp(head)
+	}
+	b.Label(rem)
+	b.Cmp(ecxOp, cfg.x1)
+	b.Jcc(isa.JGE, end)
+	lane(0)
+	e.bump(ecxOp)
+	b.Jmp(rem)
+	b.Label(end)
+}
+
+// immVal extracts an immediate operand's value.
+func immVal(op isa.Operand) (int64, bool) {
+	if op.Kind == isa.KindImm {
+		return op.Imm, true
+	}
+	return 0, false
+}
+
+// srcByte loads the byte at [esi + ecx + d] zero-extended into eax.
+func (e *emitter) srcByte(d int32) {
+	e.b.Movzx(eaxOp, isa.MemOp(isa.ESI, isa.ECX, 1, d, 1))
+}
+
+// storeAL stores al at [edi + ecx + k].
+func (e *emitter) storeAL(k int32) {
+	e.b.Mov(isa.MemOp(isa.EDI, isa.ECX, 1, k, 1), isa.RegOp(isa.AL))
+}
+
+// lane returns the per-pixel body for the spec's shape.
+func (e *emitter) lane() func(k int32) {
+	b, s := e.b, e.spec
+	switch s.Shape {
+	case ShapePoint:
+		return func(k int32) {
+			e.srcByte(k)
+			e.mulConst(s.A)
+			b.Add(eaxOp, isa.ImmOp(int64(s.B)))
+			if s.Shift > 0 {
+				b.Shr(eaxOp, int64(s.Shift))
+			}
+			e.storeAL(k)
+		}
+	case ShapeStencil3:
+		weights := []int{s.W0, s.W1, s.W2}
+		return func(k int32) {
+			e.zero(ebxOp)
+			for i, d := range []int32{-1, 0, 1} {
+				e.srcByte(k + d)
+				e.mulConst(weights[i])
+				b.Add(ebxOp, eaxOp)
+			}
+			b.Add(ebxOp, isa.ImmOp(2))
+			b.Shr(ebxOp, 2)
+			b.Mov(isa.MemOp(isa.EDI, isa.ECX, 1, k, 1), isa.RegOp(isa.BL))
+		}
+	case ShapePredicated:
+		return func(k int32) {
+			e.srcByte(k)
+			skip := e.uniq("pge")
+			b.Cmp(eaxOp, isa.ImmOp(int64(s.Thresh)))
+			b.Jcc(isa.JGE, skip)
+			b.Add(eaxOp, isa.ImmOp(int64(s.B)))
+			b.Label(skip)
+			e.storeAL(k)
+		}
+	case ShapeReduction:
+		return func(k int32) {
+			e.srcByte(k)
+			slot := isa.MemOp(isa.EDI, isa.EAX, 4, 0, 4)
+			if s.Delta == 1 {
+				e.bump(slot)
+			} else {
+				b.Add(slot, isa.ImmOp(int64(s.Delta)))
+			}
+		}
+	case ShapeUnsupportedJS:
+		return func(k int32) {
+			e.srcByte(k)
+			keep := e.uniq("js")
+			b.Cmp(eaxOp, isa.ImmOp(int64(s.Thresh)))
+			b.Jcc(isa.JS, keep) // sign-flag branch after cmp: rejected by design
+			b.Mov(eaxOp, isa.ImmOp(0))
+			b.Label(keep)
+			e.storeAL(k)
+		}
+	case ShapeUnsupportedAdc:
+		return func(k int32) {
+			e.srcByte(k)
+			b.Add(eaxOp, isa.ImmOp(int64(s.B)))
+			b.Adc(eaxOp, isa.ImmOp(1)) // carry-as-data: rejected by design
+			e.storeAL(k)
+		}
+	}
+	panic("fuzzgen: lane for unhandled shape") // unreachable: Build validates the shape
+}
+
+// stage1Lane is the two-stage pipeline's first (point) stage.
+func (e *emitter) stage1Lane() func(k int32) {
+	b, s := e.b, e.spec
+	return func(k int32) {
+		e.srcByte(k)
+		e.mulConst(s.A)
+		b.Add(eaxOp, isa.ImmOp(int64(s.B)))
+		b.Shr(eaxOp, 1)
+		e.storeAL(k)
+	}
+}
+
+// stage2Lane is the two-stage pipeline's second stage: a two-tap average
+// over the scratch plane.
+func (e *emitter) stage2Lane() func(k int32) {
+	b := e.b
+	return func(k int32) {
+		e.srcByte(k)
+		b.Movzx(ebxOp, isa.MemOp(isa.ESI, isa.ECX, 1, k+1, 1))
+		b.Add(eaxOp, ebxOp)
+		e.bump(eaxOp)
+		b.Shr(eaxOp, 1)
+		e.storeAL(k)
+	}
+}
+
+// emitSingleStage emits the filter for the single-region shapes, with or
+// without the two-tile column driver.
+func (e *emitter) emitSingleStage() {
+	b, s := e.b, e.spec
+	src, dst, w, h, strideArg := asm.Arg(0), asm.Arg(1), asm.Arg(2), asm.Arg(3), asm.Arg(4)
+
+	if s.Shape == ShapeReduction {
+		b.Label("filter")
+		b.Prologue(32)
+		// Zero the bin table, then count.
+		b.Mov(ediOp, dst)
+		e.zero(ecxOp)
+		zl, zd := e.uniq("zl"), e.uniq("zd")
+		b.Label(zl)
+		b.Cmp(ecxOp, isa.ImmOp(histBins))
+		b.Jcc(isa.JGE, zd)
+		b.Mov(isa.MemOp(isa.EDI, isa.ECX, 4, 0, 4), isa.ImmOp(0))
+		e.bump(ecxOp)
+		b.Jmp(zl)
+		b.Label(zd)
+		e.loopNest(loopCfg{
+			src: src, dst: dst,
+			srcStride: argStride(strideArg), dstStride: argStride(strideArg),
+			x0: isa.ImmOp(0), x1: w, h: h,
+			fixedDst: true, unroll: s.Obf.Unroll,
+		}, e.lane())
+		b.Epilogue()
+		return
+	}
+
+	if !s.Obf.TileCols {
+		b.Label("filter")
+		b.Prologue(32)
+		e.loopNest(loopCfg{
+			src: src, dst: dst,
+			srcStride: argStride(strideArg), dstStride: argStride(strideArg),
+			x0: isa.ImmOp(0), x1: w, h: h,
+			unroll: s.Obf.Unroll, peel: s.Obf.PeelFirstRow,
+		}, e.lane())
+		b.Epilogue()
+		return
+	}
+
+	// Two-tile column driver, boxblur-style: worker(src, dst, x0, x1, h,
+	// stride) over [0, w/2) then [w/2, w).
+	xmid := asm.Local(1)
+	b.Label("filter")
+	b.Prologue(32)
+	b.Mov(eaxOp, w)
+	b.Shr(eaxOp, 1)
+	b.Mov(xmid, eaxOp)
+	for tile := 0; tile < 2; tile++ {
+		b.Push(strideArg)
+		b.Push(h)
+		if tile == 0 {
+			b.Push(xmid)
+			b.Push(isa.ImmOp(0))
+		} else {
+			b.Push(w)
+			b.Push(xmid)
+		}
+		b.Push(dst)
+		b.Push(src)
+		b.Call("fz_worker")
+		b.Add(espOp, isa.ImmOp(24))
+	}
+	b.Epilogue()
+
+	wsrc, wdst, wx0, wx1, wh, wstride := asm.Arg(0), asm.Arg(1), asm.Arg(2), asm.Arg(3), asm.Arg(4), asm.Arg(5)
+	b.Label("fz_worker")
+	b.Prologue(32)
+	e.loopNest(loopCfg{
+		src: wsrc, dst: wdst,
+		srcStride: argStride(wstride), dstStride: argStride(wstride),
+		x0: wx0, x1: wx1, h: wh,
+		unroll: s.Obf.Unroll, peel: s.Obf.PeelFirstRow,
+	}, e.lane())
+	b.Epilogue()
+}
+
+// emitTwoStage emits the scratch-plane pipeline: stage one writes the
+// private temp, stage two averages it into the destination at width W-1.
+func (e *emitter) emitTwoStage(tmpBase uint32, tmpStride int64) {
+	b, s := e.b, e.spec
+	src, dst, w, h, strideArg := asm.Arg(0), asm.Arg(1), asm.Arg(2), asm.Arg(3), asm.Arg(4)
+
+	b.Label("filter")
+	b.Prologue(0)
+	for _, call := range []struct {
+		buf isa.Operand
+		fn  string
+	}{{src, "fz_s1"}, {dst, "fz_s2"}} {
+		b.Push(strideArg)
+		b.Push(h)
+		b.Push(w)
+		b.Push(call.buf)
+		b.Call(call.fn)
+		b.Add(espOp, isa.ImmOp(16))
+	}
+	b.Epilogue()
+
+	// fz_s1(src, w, h, stride): tmp[y][x] = (A*src[y][x] + B) >> 1.
+	{
+		s1src, s1w, s1h, s1stride := asm.Arg(0), asm.Arg(1), asm.Arg(2), asm.Arg(3)
+		b.Label("fz_s1")
+		b.Prologue(32)
+		e.loopNest(loopCfg{
+			src: s1src, dst: isa.ImmOp(int64(tmpBase)),
+			srcStride: argStride(s1stride), dstStride: immStride(tmpStride),
+			x0: isa.ImmOp(0), x1: s1w, h: s1h,
+			unroll: s.Obf.Unroll, peel: s.Obf.PeelFirstRow,
+		}, e.stage1Lane())
+		b.Epilogue()
+	}
+
+	// fz_s2(dst, w, h, stride): dst[y][x] = (tmp[y][x]+tmp[y][x+1]+1)>>1
+	// for x in [0, w-1).
+	{
+		s2dst, s2w, s2h, s2stride := asm.Arg(0), asm.Arg(1), asm.Arg(2), asm.Arg(3)
+		x1 := asm.Local(2)
+		b.Label("fz_s2")
+		b.Prologue(32)
+		b.Mov(eaxOp, s2w)
+		b.Dec(eaxOp)
+		b.Mov(x1, eaxOp)
+		e.loopNest(loopCfg{
+			src: isa.ImmOp(int64(tmpBase)), dst: s2dst,
+			srcStride: immStride(tmpStride), dstStride: argStride(s2stride),
+			x0: isa.ImmOp(0), x1: x1, h: s2h,
+			unroll: 1,
+		}, e.stage2Lane())
+		b.Epilogue()
+	}
+}
+
+// reference computes the spec's expected filtered output in pure Go.  It
+// depends only on the shape parameters — obfuscations are semantics
+// preserving, which is exactly what the harness checks.
+func reference(s Spec, pl *image.Plane, srcBytes []byte) []byte {
+	w, h := s.Width, s.Height
+	switch s.Shape {
+	case ShapePoint:
+		out := make([]byte, 0, w*h)
+		for _, v := range pl.Interior() {
+			out = append(out, byte((s.A*int(v)+s.B)>>s.Shift))
+		}
+		return out
+	case ShapeStencil3:
+		out := make([]byte, 0, w*h)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				v := s.W0*int(pl.At(x-1, y)) + s.W1*int(pl.At(x, y)) + s.W2*int(pl.At(x+1, y))
+				out = append(out, byte((v+2)>>2))
+			}
+		}
+		return out
+	case ShapePredicated:
+		out := make([]byte, 0, w*h)
+		for _, v := range pl.Interior() {
+			if int(v) < s.Thresh {
+				out = append(out, byte(int(v)+s.B))
+			} else {
+				out = append(out, v)
+			}
+		}
+		return out
+	case ShapeReduction:
+		var bins [histBins]uint32
+		for _, v := range pl.Interior() {
+			bins[v] += uint32(s.Delta)
+		}
+		out := make([]byte, 0, histBins*4)
+		for _, v := range bins {
+			out = binary.LittleEndian.AppendUint32(out, v)
+		}
+		return out
+	case ShapeTwoStage:
+		tmp := make([]int, w*h)
+		for i, v := range pl.Interior() {
+			tmp[i] = int(byte((s.A*int(v) + s.B) >> 1))
+		}
+		out := make([]byte, 0, (w-1)*h)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w-1; x++ {
+				out = append(out, byte((tmp[y*w+x]+tmp[y*w+x+1]+1)>>1))
+			}
+		}
+		return out
+	case ShapeUnsupportedJS:
+		out := make([]byte, 0, w*h)
+		for _, v := range pl.Interior() {
+			if int(v) < s.Thresh {
+				out = append(out, v)
+			} else {
+				out = append(out, 0)
+			}
+		}
+		return out
+	case ShapeUnsupportedAdc:
+		out := make([]byte, 0, w*h)
+		for _, v := range pl.Interior() {
+			out = append(out, byte(int(v)+s.B+1))
+		}
+		return out
+	}
+	_ = srcBytes
+	return nil
+}
+
+// Build assembles the legacy binary a spec describes and wraps it in a
+// ready-to-run instance: deterministic input, host harness and pure-Go
+// reference output.  Builder errors come back as errors, never panics.
+func Build(s Spec) (*legacy.Instance, error) {
+	if s.Shape < 0 || s.Shape >= numShapes {
+		return nil, fmt.Errorf("fuzzgen: spec has no shape (%d)", s.Shape)
+	}
+	if s.Width < 4 || s.Height < 2 {
+		return nil, fmt.Errorf("fuzzgen: image %dx%d too small", s.Width, s.Height)
+	}
+	pad := 0
+	if s.Shape == ShapeStencil3 {
+		pad = 1
+	}
+	pl := image.NewPlane(s.Width, s.Height, pad)
+	pl.FillPattern(s.Seed)
+	srcBytes := append([]byte(nil), pl.Pix...)
+	srcAddr, dstAddr := legacy.BufAddrs(len(srcBytes))
+	origin := pl.Index(0, 0)
+
+	b := asm.New(s.Name())
+	legacy.EmitHost(b)
+	e := &emitter{b: b, spec: s}
+
+	tmpStride := int64(s.Width + 3)
+	if s.Shape == ShapeTwoStage {
+		tmpBase := dstAddr + uint32((len(srcBytes)+0xfff)&^0xfff) + 0x1000
+		e.emitTwoStage(tmpBase, tmpStride)
+	} else {
+		e.emitSingleStage()
+	}
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("fuzzgen: %s: %w", s.Name(), err)
+	}
+	entry, err := legacy.FilterEntryAddr(b, prog)
+	if err != nil {
+		return nil, err
+	}
+
+	inst := &legacy.Instance{
+		Name:          s.Name(),
+		Prog:          prog,
+		FilterEntry:   entry,
+		Width:         s.Width,
+		Height:        s.Height,
+		Channels:      1,
+		InputInterior: pl.Interior(),
+		Reference:     reference(s, pl, srcBytes),
+	}
+	stridePix := pl.Stride
+	inst.SetHarness(
+		func(m *vm.Machine, apply bool) {
+			m.Reset()
+			m.Mem.WriteBytes(srcAddr, srcBytes)
+			legacy.WriteParams(m, apply, srcAddr, dstAddr,
+				s.Width, s.Height, stridePix,
+				srcAddr+uint32(origin), dstAddr+uint32(origin), len(srcBytes))
+		},
+		func(m *vm.Machine) []byte {
+			if s.Shape == ShapeReduction {
+				return m.Mem.ReadBytes(dstAddr, histBins*4)
+			}
+			outW := s.Width
+			if s.Shape == ShapeTwoStage {
+				outW = s.Width - 1
+			}
+			out := make([]byte, 0, outW*s.Height)
+			for y := 0; y < s.Height; y++ {
+				out = append(out, m.Mem.ReadBytes(dstAddr+uint32(pl.Index(0, y)), outW)...)
+			}
+			return out
+		},
+	)
+	return inst, nil
+}

@@ -1,0 +1,227 @@
+// Package fuzzgen generates randomized "legacy binaries" — stencil,
+// point, predicated, reduction and multi-stage kernels assembled through
+// internal/asm under randomized obfuscations (unrolling, loop peeling,
+// column tiling, dead code, strength reduction, instruction-selection
+// variants) — and drives the full lifting pipeline against each one.
+// Every generated program is paired with a pure-Go reference, so the
+// harness can assert the paper's end-to-end contract on arbitrary inputs:
+// the pipeline either reproduces the binary bit-exactly on every backend
+// or returns a typed, named rejection diagnostic.  It must never panic,
+// hang, or silently produce a wrong answer.
+package fuzzgen
+
+import "fmt"
+
+// Shape is the semantic family of a generated kernel.
+type Shape int
+
+// The generated kernel families.  The two Unsupported shapes sit just
+// outside the pipeline's pattern language on purpose: they must come back
+// as rejections whose diagnostics name the offending instruction and the
+// nearest supported pattern.
+const (
+	// ShapePoint is dst[x] = ((A*src[x] + B) >> Shift) & 0xff.
+	ShapePoint Shape = iota
+	// ShapeStencil3 is a horizontal three-tap weighted stencil over a
+	// padded plane: dst[x] = ((W0*s[x-1] + W1*s[x] + W2*s[x+1] + 2) >> 2) & 0xff.
+	ShapeStencil3
+	// ShapePredicated conditionally brightens below a threshold with a
+	// real branch: dst[x] = s[x] < Thresh ? (s[x]+B) & 0xff : s[x].
+	ShapePredicated
+	// ShapeReduction accumulates a 256-bin dword histogram, Delta per
+	// sample.
+	ShapeReduction
+	// ShapeTwoStage pipelines a point stage through a private scratch
+	// plane into a horizontal average: tmp[x] = (A*s[x]+B)>>1, then
+	// dst[x] = (tmp[x] + tmp[x+1] + 1) >> 1 at width W-1.
+	ShapeTwoStage
+	// ShapeUnsupportedJS branches on the sign flag of a compare (js),
+	// which the extractor rejects by design.
+	ShapeUnsupportedJS
+	// ShapeUnsupportedAdc folds the carry flag into data with adc, which
+	// the extractor rejects by design.
+	ShapeUnsupportedAdc
+
+	numShapes
+)
+
+// String names the shape for reports and test names.
+func (s Shape) String() string {
+	switch s {
+	case ShapePoint:
+		return "point"
+	case ShapeStencil3:
+		return "stencil3"
+	case ShapePredicated:
+		return "predicated"
+	case ShapeReduction:
+		return "reduction"
+	case ShapeTwoStage:
+		return "twostage"
+	case ShapeUnsupportedJS:
+		return "unsupported-js"
+	case ShapeUnsupportedAdc:
+		return "unsupported-adc"
+	}
+	return fmt.Sprintf("shape(%d)", int(s))
+}
+
+// Supported reports whether the pipeline is expected to lift and verify
+// the shape (false: it must return a typed rejection).
+func (s Shape) Supported() bool {
+	return s != ShapeUnsupportedJS && s != ShapeUnsupportedAdc
+}
+
+// Obfuscation selects the semantics-preserving code-shape transforms the
+// emitter applies — the paper's adversaries: what optimizing compilers
+// and hand-tuners do to stencil loops.
+type Obfuscation struct {
+	// Unroll is the inner-loop unroll factor (1, 2 or 4), always with a
+	// peeled scalar remainder loop.
+	Unroll int
+	// PeelFirstRow emits row 0 through a separate non-unrolled loop copy
+	// before the main row loop.
+	PeelFirstRow bool
+	// TileCols splits the columns into two tiles driven by a separate
+	// worker function, boxblur-style.
+	TileCols bool
+	// DeadCode sprinkles nops and dead stack-local writes into the row
+	// setup (exercising the analyses' stack-write exclusion).
+	DeadCode bool
+	// StrengthReduce replaces constant multiplies with shift-add
+	// sequences where the constant allows it.
+	StrengthReduce bool
+	// SelVariant picks alternate instruction selections for the same
+	// semantics (xor vs mov 0, inc vs add 1).
+	SelVariant bool
+}
+
+// String renders the active obfuscations compactly.
+func (o Obfuscation) String() string {
+	s := fmt.Sprintf("u%d", o.Unroll)
+	if o.PeelFirstRow {
+		s += "+peel"
+	}
+	if o.TileCols {
+		s += "+tile"
+	}
+	if o.DeadCode {
+		s += "+dead"
+	}
+	if o.StrengthReduce {
+		s += "+sr"
+	}
+	if o.SelVariant {
+		s += "+sel"
+	}
+	return s
+}
+
+// Spec fully determines one generated legacy binary and its workload.
+// Everything is derived deterministically from Seed, so a failing seed is
+// a complete reproducer.
+type Spec struct {
+	Seed          uint64
+	Shape         Shape
+	Width, Height int
+	// A, B and Shift parameterize the point families.
+	A, B  int
+	Shift int
+	// W0..W2 are the stencil tap weights.
+	W0, W1, W2 int
+	// Thresh is the predicated threshold.
+	Thresh int
+	// Delta is the histogram increment (1 or 2).
+	Delta int
+	Obf   Obfuscation
+}
+
+// Name renders a stable identifier for test names and fixtures.
+func (s Spec) Name() string {
+	return fmt.Sprintf("seed%d-%s-%dx%d-%s", s.Seed, s.Shape, s.Width, s.Height, s.Obf)
+}
+
+// rng is a splitmix64 stream: tiny, seedable and good enough for shape
+// dice (crypto quality is beside the point; determinism is not).
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// coin returns true with probability 1/2.
+func (r *rng) coin() bool { return r.next()&1 == 1 }
+
+// NewSpec derives a full program spec from a seed.  Supported shapes are
+// drawn four times as often as the deliberately-unsupported ones, so a
+// smoke corpus exercises both the verify path and the rejection path.
+func NewSpec(seed uint64) Spec {
+	r := rng{state: seed}
+	// 0..9: eight supported draws, two unsupported.
+	var shape Shape
+	switch r.intn(10) {
+	case 0, 1:
+		shape = ShapePoint
+	case 2, 3:
+		shape = ShapeStencil3
+	case 4, 5:
+		shape = ShapePredicated
+	case 6:
+		shape = ShapeReduction
+	case 7:
+		shape = ShapeTwoStage
+	case 8:
+		shape = ShapeUnsupportedJS
+	default:
+		shape = ShapeUnsupportedAdc
+	}
+	return newSpecShaped(seed, shape, &r)
+}
+
+// NewSpecShaped derives a spec with the shape pinned, for targeted tests
+// (rejection diagnostics, fault injection) that need a specific family.
+func NewSpecShaped(seed uint64, shape Shape) Spec {
+	r := rng{state: seed}
+	r.next() // burn the shape draw so parameters match NewSpec's stream
+	return newSpecShaped(seed, shape, &r)
+}
+
+func newSpecShaped(seed uint64, shape Shape, r *rng) Spec {
+	s := Spec{
+		Seed:   seed,
+		Shape:  shape,
+		Width:  8 + r.intn(14), // 8..21
+		Height: 4 + r.intn(8),  // 4..11
+		A:      []int{2, 3, 4, 5}[r.intn(4)],
+		B:      1 + r.intn(96),
+		Shift:  r.intn(3),
+		W0:     1 + r.intn(4),
+		W1:     1 + r.intn(4),
+		W2:     1 + r.intn(4),
+		Thresh: 64 + r.intn(128),
+		Delta:  1 + r.intn(2),
+		Obf: Obfuscation{
+			Unroll:         []int{1, 2, 4}[r.intn(3)],
+			PeelFirstRow:   r.coin(),
+			TileCols:       r.coin(),
+			DeadCode:       r.coin(),
+			StrengthReduce: r.coin(),
+			SelVariant:     r.coin(),
+		},
+	}
+	// Tiling restructures the filter into a driver + worker pair; keep it
+	// to the single-stage stencil families where that structure is
+	// idiomatic (reductions and multi-stage filters tile their own ways).
+	if shape == ShapeReduction || shape == ShapeTwoStage {
+		s.Obf.TileCols = false
+		s.Obf.PeelFirstRow = s.Obf.PeelFirstRow && shape != ShapeReduction
+	}
+	return s
+}

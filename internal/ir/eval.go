@@ -135,8 +135,28 @@ func (ev *evaluator) eval(e *Expr, x, y, c int) (value, error) {
 	return v, err
 }
 
+// minArity returns the fewest operands op can be applied to.  The
+// evaluator checks it before indexing into the argument slice, so a
+// malformed tree (a fuzzer's, or a lifter bug's) fails with an error
+// instead of an out-of-range panic.
+func minArity(op Op) int {
+	switch op {
+	case OpNot, OpNeg, OpZExt, OpSExt, OpExtract, OpTable, OpIntToFP, OpFPToInt, OpCall:
+		return 1
+	case OpSelect:
+		return 3
+	case OpAdd, OpMul, OpAnd, OpOr, OpXor, OpMin, OpMax:
+		return 1
+	default:
+		return 2
+	}
+}
+
 // apply computes one operation over already-evaluated operand values.
 func (e *Expr) apply(args []value) (value, error) {
+	if len(args) < minArity(e.Op) {
+		return value{}, fmt.Errorf("ir: op %v applied to %d operands (needs %d)", e.Op, len(args), minArity(e.Op))
+	}
 	w := e.Width
 	switch e.Op {
 	case OpAdd:

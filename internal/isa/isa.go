@@ -239,6 +239,10 @@ const (
 	numOpcodes
 )
 
+// NumOpcodes is the number of defined opcodes; fuzzers use it to decode
+// arbitrary bytes into in-range (if not necessarily well-formed) opcodes.
+const NumOpcodes = int(numOpcodes)
+
 var opNames = [numOpcodes]string{
 	NOP: "nop", MOV: "mov", MOVZX: "movzx", MOVSX: "movsx", LEA: "lea",
 	PUSH: "push", POP: "pop", CDQ: "cdq",

@@ -1,0 +1,64 @@
+package legacy
+
+import (
+	"fmt"
+
+	"helium/internal/asm"
+	"helium/internal/isa"
+	"helium/internal/vm"
+)
+
+// This file is the exported face of the host harness, for builders of
+// legacy binaries living outside the package (the randomized fuzzer in
+// internal/fuzzgen).  The corpus kernels use the unexported forms
+// directly; the semantics are identical.
+
+// EmitHost emits the shared host scaffolding into a builder: the main
+// entry (baseline copy, then the filter call gated on the host flag) and
+// the baseline copy routine.  The caller emits a "filter" label with
+// cdecl signature filter(src, dst, width, height, stride) afterwards.
+func EmitHost(b *asm.Builder) {
+	emitMain(b)
+	emitCopy(b)
+}
+
+// BufAddrs places source and destination buffers on separate heap pages
+// (see bufAddrs).
+func BufAddrs(srcSize int) (srcAddr, dstAddr uint32) {
+	return bufAddrs(srcSize)
+}
+
+// WriteParams fills the host parameter block for a run.
+func WriteParams(m *vm.Machine, apply bool, srcBase, dstBase uint32, w, h, stride int, srcPtr, dstPtr uint32, total int) {
+	writeParams(m, apply, srcBase, dstBase, w, h, stride, srcPtr, dstPtr, total)
+}
+
+// FilterEntryAddr resolves the ground-truth "filter" label of a built
+// program, erroring (not panicking) when the label is missing.
+func FilterEntryAddr(b *asm.Builder, p *isa.Program) (uint32, error) {
+	addr, ok := asm.LabelAddr(b, p, "filter")
+	if !ok {
+		return 0, fmt.Errorf("legacy: program %s has no filter label", p.Name)
+	}
+	return addr, nil
+}
+
+// SetHarness installs the instance's host closures: setup resets the
+// machine and plays host, readOutput extracts the output interior after a
+// run.  Corpus kernels assign the unexported fields directly; external
+// builders use this.
+func (inst *Instance) SetHarness(setup func(m *vm.Machine, apply bool), readOutput func(m *vm.Machine) []byte) {
+	inst.setup = setup
+	inst.readOutput = readOutput
+}
+
+// RunVMBounded executes the instance with the filter enabled under an
+// explicit step budget and returns the output interior.
+func (inst *Instance) RunVMBounded(maxSteps uint64) ([]byte, error) {
+	m := vm.NewMachine(inst.Prog)
+	inst.Setup(m, true)
+	if err := m.Run(maxSteps); err != nil {
+		return nil, err
+	}
+	return inst.ReadOutput(m), nil
+}

@@ -1,0 +1,70 @@
+package lift
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Phase names the pipeline stage at which a target was rejected.  The set
+// is closed: fuzzing and CI count rejections per phase, so a new stage
+// gets a new constant here rather than an ad-hoc string.
+type Phase string
+
+// Pipeline phases, in execution order.
+const (
+	PhaseLocalize  Phase = "localize"
+	PhaseTrace     Phase = "trace"
+	PhaseBuffers   Phase = "buffer-reconstruction"
+	PhaseStages    Phase = "stage-discovery"
+	PhaseExtract   Phase = "extract"
+	PhaseUnify     Phase = "unify"
+	PhaseReduction Phase = "reduction"
+	PhaseCompile   Phase = "compile"
+	PhaseVerify    Phase = "verify"
+)
+
+// Rejection is the typed diagnostic the pipeline returns for a target
+// outside its pattern language.  It is the lifter's graceful-degradation
+// contract: any binary, however hostile, either lifts and verifies
+// bit-exact or comes back as a *Rejection naming the phase that gave up
+// and why — never a panic, hang or silent wrong answer.  Callers that
+// need to distinguish "this binary is not liftable" from environmental
+// failures test for it with errors.As or AsRejection.
+type Rejection struct {
+	// Phase is the pipeline stage that rejected the target.
+	Phase Phase
+	// Err is the underlying diagnostic (which names the offending
+	// instruction and the nearest supported pattern where one exists).
+	Err error
+}
+
+// Error renders the rejection with its phase.
+func (r *Rejection) Error() string {
+	return fmt.Sprintf("lift: rejected at %s: %v", r.Phase, r.Err)
+}
+
+// Unwrap exposes the underlying diagnostic to errors.Is/As.
+func (r *Rejection) Unwrap() error { return r.Err }
+
+// reject wraps err as a Rejection at the given phase.  A nil error stays
+// nil and an error that is already a Rejection keeps its original phase
+// (the innermost stage knows best why it gave up).
+func reject(phase Phase, err error) error {
+	if err == nil {
+		return nil
+	}
+	var r *Rejection
+	if errors.As(err, &r) {
+		return err
+	}
+	return &Rejection{Phase: phase, Err: err}
+}
+
+// AsRejection extracts the typed rejection inside err, if any.
+func AsRejection(err error) (*Rejection, bool) {
+	var r *Rejection
+	if errors.As(err, &r) {
+		return r, true
+	}
+	return nil, false
+}

@@ -671,7 +671,11 @@ func (ex *extractor) segmentRef(seq int, ref trace.Ref, seg *isa.Segment) (*ir.E
 
 	// Rebuild the index expression from the static operand's address
 	// registers: index = base + index*scale + (disp - segment base).
-	inst := ex.prog.At(di.Addr)
+	pc, ok := ex.prog.Lookup(di.Addr)
+	if !ok {
+		return nil, fmt.Errorf("seq %d: traced address %#x is not in the program", seq, di.Addr)
+	}
+	inst := ex.prog.Insts[pc]
 	var memOp *isa.Operand
 	for _, o := range []*isa.Operand{&inst.Dst, &inst.Src, &inst.Src2} {
 		if o.Kind == isa.KindMem {

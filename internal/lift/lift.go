@@ -6,12 +6,21 @@ import (
 	"sort"
 	"strings"
 
+	"helium/internal/faultpoint"
 	"helium/internal/image"
 	"helium/internal/ir"
 	"helium/internal/schedule"
 	"helium/internal/trace"
 	"helium/internal/vm"
 )
+
+// fpCorruptInput corrupts the reconstructed input stride, modeling a
+// buffer-reconstruction bug; downstream extraction or verification must
+// turn it into a typed rejection, never a wrong answer.  (The stride, not
+// the base: the base is only the geometry's frame of reference, and a
+// pure shift stays self-consistent end to end.)
+var fpCorruptInput = faultpoint.Register("lift.corrupt-input",
+	"corrupt the reconstructed input stride to break buffer geometry")
 
 // Result is the outcome of the full lifting pipeline.
 type Result struct {
@@ -57,24 +66,31 @@ func Lift(name string, t Target) (*Result, error) {
 
 	m := vm.NewMachine(t.Prog)
 	t.Setup(m, true)
-	tres, err := m.RunTrace(vm.TraceOptions{FilterEntry: loc.FilterEntry})
+	tres, err := m.RunTrace(vm.TraceOptions{
+		FilterEntry:   loc.FilterEntry,
+		MaxSteps:      t.MaxSteps,
+		MaxTraceInsts: t.MaxTraceInsts,
+	})
 	if err != nil {
-		return nil, fmt.Errorf("lift: trace run: %w", err)
+		return nil, reject(PhaseTrace, fmt.Errorf("lift: trace run: %w", err))
 	}
 	if tres.FilterCalls == 0 {
-		return nil, fmt.Errorf("lift: localized filter %#x was never entered during tracing", loc.FilterEntry)
+		return nil, reject(PhaseTrace, fmt.Errorf("lift: localized filter %#x was never entered during tracing", loc.FilterEntry))
 	}
 
 	in0, err := locateInput(t.Known, tres.Dump)
 	if err != nil {
-		return nil, err
+		return nil, reject(PhaseBuffers, err)
+	}
+	if faultpoint.Enabled(fpCorruptInput) {
+		in0.Stride++
 	}
 	regions, err := stageRegions(loc.MemTrace)
 	if err != nil {
-		return nil, err
+		return nil, reject(PhaseStages, err)
 	}
 	if len(regions) > 1 && t.Known.Interleaved {
-		return nil, fmt.Errorf("lift: filter writes %d regions; multi-stage lifting supports planar layouts only", len(regions))
+		return nil, reject(PhaseStages, fmt.Errorf("lift: filter writes %d regions; multi-stage lifting supports planar layouts only", len(regions)))
 	}
 
 	stages := make([]Stage, 0, len(regions))
@@ -89,11 +105,11 @@ func Lift(name string, t Target) (*Result, error) {
 			// Bytes rewritten during the filter are accumulator slots, not
 			// image samples (stencil outputs are stored exactly once).
 			if i != len(regions)-1 {
-				return nil, fmt.Errorf("lift: intermediate region at %#x is rewritten like an accumulator table; reductions are only liftable as the final stage", reg.addrs[0])
+				return nil, reject(PhaseStages, fmt.Errorf("lift: intermediate region at %#x is rewritten like an accumulator table; reductions are only liftable as the final stage", reg.addrs[0]))
 			}
 			red, out, err := recognizeReduction(stageName, tres.Trace, t.Prog, curIn, reg, t.Known)
 			if err != nil {
-				return nil, err
+				return nil, reject(PhaseReduction, err)
 			}
 			stages = append(stages, Stage{Red: red, In: curIn, Out: *out})
 			samples += red.DomW * red.DomH
@@ -102,20 +118,20 @@ func Lift(name string, t Target) (*Result, error) {
 
 		out, err := regionGeometry(reg.addrs, t.Known)
 		if err != nil {
-			return nil, err
+			return nil, reject(PhaseBuffers, err)
 		}
 		bufs := &Buffers{In: curIn, Out: *out}
 		trees, err := Extract(tres.Trace, t.Prog, bufs)
 		if err != nil {
-			return nil, err
+			return nil, reject(PhaseExtract, err)
 		}
 		kernel, err := unify(stageName, bufs, trees)
 		if err != nil {
-			return nil, err
+			return nil, reject(PhaseUnify, err)
 		}
 		if i > 0 {
 			if err := checkStageFootprint(kernel, stages[i-1].Out); err != nil {
-				return nil, err
+				return nil, reject(PhaseUnify, err)
 			}
 		}
 		stages = append(stages, Stage{Kernel: kernel, In: curIn, Out: *out})
@@ -590,7 +606,7 @@ func (r *Result) Verify() error {
 			}
 			return compareToVM(fmt.Sprintf("IR evaluation (stage %d)", i), out, want)
 		})
-	return err
+	return reject(PhaseVerify, err)
 }
 
 // CompiledResult is a lifted result with every stencil stage lowered to
@@ -611,7 +627,7 @@ func (r *Result) Compile() (*CompiledResult, error) {
 		}
 		ck, err := r.Stages[i].Kernel.Compile()
 		if err != nil {
-			return nil, err
+			return nil, reject(PhaseCompile, err)
 		}
 		c.Stages[i] = ck
 	}
@@ -744,13 +760,13 @@ func (c *CompiledResult) EvalScheduled(src ir.Source, sc *schedule.Schedule) ([]
 func (c *CompiledResult) VerifySchedule(sc *schedule.Schedule) error {
 	want, err := c.res.VMOutput()
 	if err != nil {
-		return err
+		return reject(PhaseVerify, err)
 	}
 	got, err := c.EvalScheduled(c.res.MaterializeInput(), sc)
 	if err != nil {
-		return fmt.Errorf("lift: scheduled eval (%s): %w", sc, err)
+		return reject(PhaseCompile, fmt.Errorf("lift: scheduled eval (%s): %w", sc, err))
 	}
-	return compareToVM(fmt.Sprintf("scheduled (%s) evaluation", sc), got, want)
+	return reject(PhaseVerify, compareToVM(fmt.Sprintf("scheduled (%s) evaluation", sc), got, want))
 }
 
 // VerifyCompiled lowers the lifted pipeline to register programs and
@@ -764,7 +780,7 @@ func (c *CompiledResult) VerifySchedule(sc *schedule.Schedule) error {
 func (r *Result) VerifyCompiled(workers int) (*CompiledResult, error) {
 	want, err := r.VMOutput()
 	if err != nil {
-		return nil, err
+		return nil, reject(PhaseVerify, err)
 	}
 	c, err := r.Compile()
 	if err != nil {
@@ -781,17 +797,17 @@ func (r *Result) VerifyCompiled(workers int) (*CompiledResult, error) {
 	for _, p := range paths {
 		got, err := c.Eval(p.src)
 		if err != nil {
-			return nil, fmt.Errorf("lift: compiled %s eval: %w", p.name, err)
+			return nil, reject(PhaseCompile, fmt.Errorf("lift: compiled %s eval: %w", p.name, err))
 		}
 		if err := compareToVM("compiled "+p.name+" evaluation", got, want); err != nil {
-			return nil, err
+			return nil, reject(PhaseVerify, err)
 		}
 		got, err = c.EvalParallel(p.src, workers)
 		if err != nil {
-			return nil, fmt.Errorf("lift: compiled %s parallel eval: %w", p.name, err)
+			return nil, reject(PhaseCompile, fmt.Errorf("lift: compiled %s parallel eval: %w", p.name, err))
 		}
 		if err := compareToVM("compiled "+p.name+" parallel evaluation", got, want); err != nil {
-			return nil, err
+			return nil, reject(PhaseVerify, err)
 		}
 		if !fusable {
 			continue
@@ -800,10 +816,10 @@ func (r *Result) VerifyCompiled(workers int) (*CompiledResult, error) {
 			sc := &schedule.Schedule{Fusion: schedule.SlidingWindow, Workers: max(w, 0)}
 			got, err = c.EvalScheduled(p.src, sc)
 			if err != nil {
-				return nil, fmt.Errorf("lift: compiled %s sliding-window eval (%s): %w", p.name, sc, err)
+				return nil, reject(PhaseCompile, fmt.Errorf("lift: compiled %s sliding-window eval (%s): %w", p.name, sc, err))
 			}
 			if err := compareToVM(fmt.Sprintf("compiled %s sliding-window (%s) evaluation", p.name, sc), got, want); err != nil {
-				return nil, err
+				return nil, reject(PhaseVerify, err)
 			}
 		}
 	}

@@ -23,6 +23,14 @@ type Target struct {
 	Prog  *isa.Program
 	Setup func(m *vm.Machine, apply bool)
 	Known KnownInput
+
+	// MaxSteps bounds every emulation run the pipeline performs (coverage
+	// screening, profiling, tracing); 0 means the VM default.  Fuzzing
+	// harnesses set a tight budget so a hostile binary can slow the
+	// pipeline down but never hang it.
+	MaxSteps uint64
+	// MaxTraceInsts bounds the captured instruction trace (0 = unlimited).
+	MaxTraceInsts int
 }
 
 // KnownInput describes the deterministic input injected by the harness,
@@ -82,14 +90,14 @@ func Localize(t Target) (*Localization, error) {
 	m := vm.NewMachine(t.Prog)
 
 	t.Setup(m, true)
-	on, err := m.RunCoverage(vm.CoverageOptions{})
+	on, err := m.RunCoverage(vm.CoverageOptions{MaxSteps: t.MaxSteps})
 	if err != nil {
-		return nil, fmt.Errorf("lift: on-run coverage: %w", err)
+		return nil, reject(PhaseLocalize, fmt.Errorf("lift: on-run coverage: %w", err))
 	}
 	t.Setup(m, false)
-	off, err := m.RunCoverage(vm.CoverageOptions{})
+	off, err := m.RunCoverage(vm.CoverageOptions{MaxSteps: t.MaxSteps})
 	if err != nil {
-		return nil, fmt.Errorf("lift: off-run coverage: %w", err)
+		return nil, reject(PhaseLocalize, fmt.Errorf("lift: off-run coverage: %w", err))
 	}
 
 	diff := make(map[uint32]bool)
@@ -99,21 +107,22 @@ func Localize(t Target) (*Localization, error) {
 		}
 	}
 	if len(diff) == 0 {
-		return nil, fmt.Errorf("lift: coverage diff is empty: the filter flag changed nothing")
+		return nil, reject(PhaseLocalize, fmt.Errorf("lift: coverage diff is empty: the filter flag changed nothing"))
 	}
 
 	t.Setup(m, true)
 	prof, err := m.RunCoverage(vm.CoverageOptions{
+		MaxSteps:         t.MaxSteps,
 		InstrumentBlocks: diff,
 		TraceMemory:      true,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("lift: profiling run: %w", err)
+		return nil, reject(PhaseLocalize, fmt.Errorf("lift: profiling run: %w", err))
 	}
 
 	candidates := diffCallTargets(prof.CallTargets, diff)
 	if len(candidates) == 0 {
-		return nil, fmt.Errorf("lift: no call target found inside the coverage diff")
+		return nil, reject(PhaseLocalize, fmt.Errorf("lift: no call target found inside the coverage diff"))
 	}
 	ordered := orderOutermost(candidates, prof.CallTargets)
 

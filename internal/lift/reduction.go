@@ -207,7 +207,11 @@ func (ex *extractor) sliceConst(seq int, ref trace.Ref) (int64, error) {
 // register's slice *is* the bin index (plus a constant fold of the base
 // residual), and the absolute input load inside it names the pixel.
 func (ex *extractor) indexExpr(di *trace.DynInst, slotAddr, base uint64, elem int) (idx *ir.Expr, px, py int, err error) {
-	inst := ex.prog.At(di.Addr)
+	pc, ok := ex.prog.Lookup(di.Addr)
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("update at %#x is not in the program", di.Addr)
+	}
+	inst := ex.prog.Insts[pc]
 	var memOp *isa.Operand
 	for _, o := range []*isa.Operand{&inst.Dst, &inst.Src, &inst.Src2} {
 		if o.Kind == isa.KindMem {

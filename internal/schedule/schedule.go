@@ -189,6 +189,13 @@ func MachineKey(cores, laneBits int) string {
 // and the 64-bit general registers the pure-Go row loops batch in.
 func HostMachineKey() string { return MachineKey(runtime.GOMAXPROCS(0), 64) }
 
+// MatchesMachine reports whether the set's schedules are measurements on
+// the given machine class.  A nil set or one with no machine stamp
+// matches anywhere: there is nothing to contradict.
+func (s *Set) MatchesMachine(host string) bool {
+	return s == nil || s.Machine == "" || s.Machine == host
+}
+
 // For returns the schedule tuned for a kernel, or nil when the set has
 // none (callers fall back to Default).
 func (s *Set) For(kernel string) *Schedule {

@@ -149,3 +149,21 @@ func TestGrid(t *testing.T) {
 		}
 	}
 }
+
+func TestMatchesMachine(t *testing.T) {
+	host := HostMachineKey()
+	cases := []struct {
+		set  *Set
+		want bool
+	}{
+		{nil, true},                        // no set: nothing to contradict
+		{&Set{}, true},                     // unstamped set matches anywhere
+		{&Set{Machine: host}, true},        // same class
+		{&Set{Machine: "64c/512b"}, false}, // tuned elsewhere
+	}
+	for _, tc := range cases {
+		if got := tc.set.MatchesMachine(host); got != tc.want {
+			t.Errorf("MatchesMachine(%+v, %s) = %v, want %v", tc.set, host, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzMemDump builds a dump from fuzzer-chosen pages and cross-checks the
+// three read paths against each other: Byte and Bytes must agree, Bytes
+// must fail exactly when some byte falls off the dumped pages, and every
+// address Find returns must actually match the pattern byte for byte.
+func FuzzMemDump(f *testing.F) {
+	f.Fuzz(func(t *testing.T, pages []byte, pattern []byte, probe uint64) {
+		pageSize := uint64(64)
+		d := NewMemDump(pageSize)
+		// Each 9-byte group plants one page: 8 address bytes (aligned down)
+		// and one fill byte, with a little per-byte variation so patterns
+		// can straddle page contents.
+		for i := 0; i+9 <= len(pages) && len(d.Pages) < 64; i += 9 {
+			var addr uint64
+			for j := 0; j < 8; j++ {
+				addr = addr<<8 | uint64(pages[i+j])
+			}
+			addr &^= pageSize - 1
+			content := make([]byte, pageSize)
+			for j := range content {
+				content[j] = pages[i+8] + byte(j)
+			}
+			d.Pages[addr] = content
+		}
+
+		if d.Size() != len(d.Pages)*int(pageSize) {
+			t.Fatalf("Size() = %d with %d pages of %d bytes", d.Size(), len(d.Pages), pageSize)
+		}
+
+		// Byte vs Bytes consistency around an arbitrary probe address.
+		n := int(probe%(2*pageSize)) + 1
+		if got, ok := d.Bytes(probe, n); ok {
+			for i := 0; i < n; i++ {
+				b, bok := d.Byte(probe + uint64(i))
+				if !bok || b != got[i] {
+					t.Fatalf("Bytes(%#x, %d)[%d] = %#x but Byte disagrees (ok=%v b=%#x)", probe, n, i, got[i], bok, b)
+				}
+			}
+		} else {
+			miss := false
+			for i := 0; i < n; i++ {
+				if _, bok := d.Byte(probe + uint64(i)); !bok {
+					miss = true
+					break
+				}
+			}
+			if !miss {
+				t.Fatalf("Bytes(%#x, %d) failed but every Byte succeeds", probe, n)
+			}
+		}
+
+		// Every Find hit must really match.
+		if len(pattern) > 0 && len(pattern) <= 16 {
+			for _, addr := range d.Find(pattern) {
+				got, ok := d.Bytes(addr, len(pattern))
+				if !ok || !bytes.Equal(got, pattern) {
+					t.Fatalf("Find(%x) returned %#x which reads back %x (ok=%v)", pattern, addr, got, ok)
+				}
+			}
+		}
+
+		// And a pattern read out of the dump must be found at that address.
+		if sample, ok := d.Bytes(probe, 4); ok {
+			found := false
+			for _, addr := range d.Find(sample) {
+				if addr == probe {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("Find(%x) misses %#x, where those bytes were read from", sample, probe)
+			}
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package vm
+
+import (
+	"testing"
+
+	"helium/internal/isa"
+)
+
+// fuzzEntry is where fuzzed programs are laid out; the value itself is
+// arbitrary (hostile branch targets leave it on purpose).
+const fuzzEntry uint32 = 0x00401000
+
+// fuzzOperand decodes four bytes into an operand, deliberately including
+// encodings no assembler would emit: out-of-range registers, zero and odd
+// memory widths, invalid kinds.  The machine must fault, not panic.
+func fuzzOperand(b []byte) isa.Operand {
+	switch b[0] % 5 {
+	case 0:
+		return isa.RegOp(isa.Reg(b[1]))
+	case 1:
+		return isa.ImmOp(int64(int8(b[1])) << (b[2] % 24))
+	case 2:
+		return isa.Mem(isa.Reg(b[1]), int32(int8(b[2]))*257, []int{1, 2, 4, 8}[b[3]%4])
+	case 3:
+		return isa.MemOp(isa.Reg(b[1]%32), isa.Reg(b[2]%32), int32(1<<(b[3]%4)),
+			int32(int8(b[3])), []int{1, 2, 4, 8}[b[1]%4])
+	default:
+		// Raw operand: arbitrary kind, arbitrary width (0..8).
+		return isa.Operand{Kind: isa.OperandKind(b[1] % 4), Reg: isa.Reg(b[2]),
+			Base: isa.Reg(b[3]), Width: int(b[2] % 9)}
+	}
+}
+
+// fuzzProgram decodes a byte string into a hostile program: every 10-byte
+// group is one instruction whose opcode, operands and branch target all
+// come straight from the fuzzer.  Targets mostly stay inside the program
+// so control flow actually happens; one encoding escapes it to exercise
+// the no-instruction-at-eip fault.
+func fuzzProgram(data []byte) *isa.Program {
+	const instBytes = 10
+	n := len(data) / instBytes
+	if n == 0 {
+		return nil
+	}
+	if n > 512 {
+		n = 512
+	}
+	p := &isa.Program{Name: "fuzz", Entry: fuzzEntry}
+	for i := 0; i < n; i++ {
+		b := data[i*instBytes : (i+1)*instBytes]
+		target := fuzzEntry + uint32(b[9]%byte(n))*4
+		if b[9] == 0xff {
+			target = fuzzEntry - 4 // branch out of the program
+		}
+		p.Insts = append(p.Insts, isa.Inst{
+			Addr:   fuzzEntry + uint32(i)*4,
+			Op:     isa.Opcode(int(b[0]) % isa.NumOpcodes),
+			Dst:    fuzzOperand(b[1:5]),
+			Src:    fuzzOperand(b[5:9]),
+			Src2:   isa.ImmOp(int64(b[9] % 8)),
+			Target: target,
+		})
+	}
+	p.BuildIndex()
+	return p
+}
+
+// FuzzVM feeds arbitrary instruction streams to the emulator under every
+// instrumentation mode.  The contract is narrow and absolute: bounded
+// runs return — with a structured fault or a clean halt — and never
+// panic, whatever the bytes decode to.
+func FuzzVM(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := fuzzProgram(data)
+		if p == nil {
+			return
+		}
+		const budget = 10_000
+
+		m := NewMachine(p)
+		_ = m.Run(budget)
+		if m.Steps() > budget {
+			t.Fatalf("run overshot its step budget: %d > %d", m.Steps(), budget)
+		}
+
+		m.Reset()
+		_, _ = m.RunCoverage(CoverageOptions{MaxSteps: budget})
+
+		m.Reset()
+		_, _ = m.RunTrace(TraceOptions{MaxSteps: budget, FilterEntry: p.Entry, MaxTraceInsts: budget})
+	})
+}

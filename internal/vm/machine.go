@@ -136,6 +136,12 @@ func (m *Machine) readReg(r isa.Reg) uint64 {
 	if r.IsFloat() {
 		return math.Float64bits(m.fregs[r-isa.F0])
 	}
+	if !r.IsGP() {
+		// Hostile instructions can name EFLAGS or out-of-range register
+		// encodings as data operands; they read as zero rather than
+		// indexing outside the GP file.
+		return 0
+	}
 	full := m.regs[r.Full()-isa.EAX]
 	switch r.Width() {
 	case 4:
@@ -153,6 +159,10 @@ func (m *Machine) readReg(r isa.Reg) uint64 {
 func (m *Machine) writeReg(r isa.Reg, v uint64) {
 	if r.IsFloat() {
 		m.fregs[r-isa.F0] = math.Float64frombits(v)
+		return
+	}
+	if !r.IsGP() {
+		// Writes through non-GP register views are dropped (see readReg).
 		return
 	}
 	idx := r.Full() - isa.EAX

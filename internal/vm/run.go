@@ -3,12 +3,22 @@ package vm
 import (
 	"fmt"
 
+	"helium/internal/faultpoint"
 	"helium/internal/isa"
 	"helium/internal/trace"
 )
 
 // DefaultMaxSteps bounds a run when the caller does not specify a limit.
 const DefaultMaxSteps uint64 = 500_000_000
+
+// fpTruncateTrace fails the trace run after a short prefix, modeling a
+// capture that died mid-filter (the paper's traces come from an external
+// Pin tool, which can be killed or run out of disk).
+var fpTruncateTrace = faultpoint.Register("trace.truncate",
+	"abort the instruction trace after 256 records")
+
+// fpTruncateAfter is the record count at which the armed faultpoint fires.
+const fpTruncateAfter = 256
 
 // Edge is a dynamic control-flow edge between two basic block leaders.
 type Edge struct {
@@ -223,6 +233,9 @@ func (m *Machine) RunTraceStream(opts TraceOptions, sink trace.Sink) (*StreamRes
 			res.Insts++
 			if opts.MaxTraceInsts > 0 && res.Insts > opts.MaxTraceInsts {
 				return nil, fmt.Errorf("vm: trace exceeded %d instructions", opts.MaxTraceInsts)
+			}
+			if res.Insts == fpTruncateAfter && faultpoint.Enabled(fpTruncateTrace) {
+				return nil, fmt.Errorf("vm: trace capture aborted after %d records (injected fault %s)", res.Insts, fpTruncateTrace)
 			}
 			// Memory dump: read pages are captured eagerly (before any later
 			// write can disturb them), written pages at filter exit.
