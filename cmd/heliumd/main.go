@@ -1,0 +1,230 @@
+// Command heliumd serves the lifted kernel corpus over HTTP —
+// lifting-as-a-service.  A request names a corpus kernel and a geometry;
+// the server lifts the legacy binary once (caching the outcome, good or
+// poisoned, forever), executes the tuned regenerated kernel, and answers
+// with the output bytes.  Robustness is the contract: under injected
+// faults, overload and hostile requests every response is bit-exact
+// pixels or a typed error — never a wrong answer, a hung connection, or
+// a dead process.
+//
+// Usage:
+//
+//	heliumd [-addr :8080] [-schedules schedules.json] [-workers N]
+//	        [-queue N] [-per-kernel N] [-timeout 10s] [-drain 10s]
+//	        [-warm] [-eval-workers N] [-fault-slow 25ms]
+//	heliumd -ref -kernel name [-width N] [-height N] [-seed N]
+//	heliumd -bench [-bench-out BENCH_serve.json] [-bench-kernel name]
+//	        [-bench-levels 1,4,16] [-bench-requests N]
+//
+// Endpoints:
+//
+//	POST /v1/eval?kernel=name&width=W&height=H[&seed=S]
+//	     body = raw input interior bytes; empty body or GET = the
+//	     deterministic seed pattern (helium run's workload)
+//	GET  /healthz   liveness (200 while the process serves)
+//	GET  /readyz    readiness (503 while warming or draining)
+//	GET  /v1/kernels  registry state, breaker states, per-backend counters
+//	GET  /v1/stats    global counters
+//
+// -ref prints the ground-truth response bytes for a pattern-mode request
+// computed by re-emulating the legacy binary directly — independent of
+// every lifted path — so CI can diff served bytes against the binary's
+// own output.  -bench runs the load generator against an in-process
+// server and writes BENCH_serve.json.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"helium/internal/schedule"
+	"helium/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		schedPath = flag.String("schedules", "schedules.json", "tuned schedule set (missing file = heuristic defaults)")
+		workers   = flag.Int("workers", 0, "execution pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "admission queue depth (full queue sheds with 503)")
+		perKernel = flag.Int("per-kernel", 0, "per-kernel concurrency limit (0 = pool size)")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request execution deadline")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+		warm      = flag.Bool("warm", true, "lift the whole corpus before reporting ready")
+		evalW     = flag.Int("eval-workers", 1, "intra-request parallelism (requests parallelize across the pool)")
+		slow      = flag.Duration("fault-slow", 25*time.Millisecond, "injected delay of the serve.slow-backend faultpoint")
+		maxW      = flag.Int("max-width", 2048, "largest accepted request width")
+		maxH      = flag.Int("max-height", 2048, "largest accepted request height")
+
+		ref    = flag.Bool("ref", false, "print the vm ground-truth response for one request and exit")
+		kernel = flag.String("kernel", "boxblur3", "kernel for -ref")
+		width  = flag.Int("width", 40, "request width for -ref/-bench")
+		height = flag.Int("height", 24, "request height for -ref/-bench")
+		seed   = flag.Uint64("seed", 1, "request seed for -ref/-bench")
+
+		bench     = flag.Bool("bench", false, "run the load generator against an in-process server and exit")
+		benchOut  = flag.String("bench-out", "BENCH_serve.json", "bench report path")
+		benchKern = flag.String("bench-kernel", "boxblur3", "kernel the bench requests target")
+		benchLvls = flag.String("bench-levels", "1,4,16", "comma-separated concurrent client counts")
+		benchReqs = flag.Int("bench-requests", 400, "requests per concurrency level")
+	)
+	flag.Parse()
+
+	scheds, err := loadSchedules(*schedPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "heliumd: %v\n", err)
+		os.Exit(1)
+	}
+	opts := serve.Options{
+		Schedules:        scheds,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		PerKernel:        *perKernel,
+		Timeout:          *timeout,
+		DrainTimeout:     *drain,
+		EvalWorkers:      *evalW,
+		SlowBackendDelay: *slow,
+		MaxWidth:         *maxW,
+		MaxHeight:        *maxH,
+	}
+
+	switch {
+	case *ref:
+		s := serve.New(opts)
+		out, err := s.Reference(*kernel, *width, *height, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "heliumd: ref: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(out)
+	case *bench:
+		if opts.PerKernel == 0 {
+			// Let the queue, not the per-kernel limit, govern overload at
+			// high client counts.
+			opts.PerKernel = *queue
+		}
+		levels, err := parseLevels(*benchLvls)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "heliumd: %v\n", err)
+			os.Exit(1)
+		}
+		s := serve.New(opts)
+		s.Warm()
+		rep, err := s.Bench(serve.BenchOptions{
+			Kernel: *benchKern, Width: *width, Height: *height, Seed: *seed,
+			Levels: levels, Requests: *benchReqs,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "heliumd: bench: %v\n", err)
+			os.Exit(1)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		s.Shutdown(ctx)
+		cancel()
+		data, _ := json.MarshalIndent(rep, "", "  ")
+		data = append(data, '\n')
+		if err := os.WriteFile(*benchOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "heliumd: bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d levels)\n", *benchOut, len(rep.Levels))
+	default:
+		if err := run(opts, *addr, *warm); err != nil {
+			fmt.Fprintf(os.Stderr, "heliumd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// run serves until SIGINT/SIGTERM, then drains gracefully.
+func run(opts serve.Options, addr string, warm bool) error {
+	s := serve.New(opts)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("heliumd: listening on %s\n", ln.Addr())
+
+	// Catch signals before the (multi-second) warm-up: a SIGTERM that
+	// lands mid-warm must still drain gracefully, not kill the process.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ln) }()
+	if warm {
+		// Warm in the background so signals stay responsive; /readyz
+		// turns 200 only once the whole corpus's lift outcome is cached.
+		go func() {
+			start := time.Now()
+			s.Warm()
+			fmt.Printf("heliumd: corpus warmed in %v\n", time.Since(start).Round(time.Millisecond))
+		}()
+	} else {
+		s.MarkReady()
+	}
+	select {
+	case err := <-done:
+		return err
+	case got := <-sig:
+		fmt.Printf("heliumd: %v: draining in-flight requests (budget %v)\n", got, opts.DrainTimeout)
+		if opts.DrainTimeout <= 0 {
+			opts.DrainTimeout = 10 * time.Second
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), opts.DrainTimeout)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		fmt.Println("heliumd: drained, bye")
+		return <-done
+	}
+}
+
+// loadSchedules mirrors the CLI's exec-consumer policy: a missing file
+// means heuristic defaults, a parse failure is fatal, and a set tuned on
+// another machine class is dropped with the reason printed (the server
+// executes; it must not apply stale tuning).
+func loadSchedules(path string) (*schedule.Set, error) {
+	set, err := schedule.Load(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	if host := schedule.HostMachineKey(); !set.MatchesMachine(host) {
+		fmt.Printf("heliumd: dropping %s: tuned for machine %q, this host is %q (re-run `helium tune`)\n",
+			path, set.Machine, host)
+		return nil, nil
+	}
+	return set, nil
+}
+
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad concurrency level %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no concurrency levels given")
+	}
+	return out, nil
+}

@@ -7,13 +7,27 @@
 //
 // Points are armed programmatically (tests) or through the
 // HELIUM_FAULTPOINTS environment variable, a comma-separated list of
-// point names consumed at startup — which is how the CLI smoke tests
+// point specs consumed at startup — which is how the CLI smoke tests
 // inject faults into `go run ./cmd/helium` without new flags.
+//
+// A spec is a point name with an optional activation mode:
+//
+//	name        always on (every Enabled check fires)
+//	name:0.1    probabilistic: each check fires with probability 0.1
+//	name@3      after-N-hits: dormant for the first 2 checks, fires
+//	            from the 3rd check on
+//
+// The intermittent modes exist for chaos testing: a backend that fails
+// one request in ten, or a trace that truncates only on the third run,
+// exercises retry, degradation and circuit-breaker paths an always-on
+// fault can never reach.
 package faultpoint
 
 import (
+	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -21,16 +35,37 @@ import (
 // EnvVar is the environment variable arming faultpoints at startup.
 const EnvVar = "HELIUM_FAULTPOINTS"
 
+// mode is one armed point's activation state.
+type mode struct {
+	// always fires on every check.
+	always bool
+	// prob fires each check independently with this probability (0 =
+	// mode unused).
+	prob float64
+	// after fires from the after'th check on (0 = mode unused); hits
+	// counts the checks seen so far.
+	after, hits uint64
+}
+
 var (
 	mu      sync.Mutex
 	points  = map[string]string{} // name -> doc
-	enabled = map[string]bool{}
+	enabled = map[string]*mode{}
+	// rand drives the probabilistic mode.  Deterministically seeded: two
+	// runs of one binary draw the same stream, so a flaky chaos test can
+	// be replayed.  Seed guards determinism for tests that re-seed.
+	rand = rng(1)
 )
 
 func init() {
-	for _, name := range strings.Split(os.Getenv(EnvVar), ",") {
-		if name = strings.TrimSpace(name); name != "" {
-			enabled[name] = true
+	for _, spec := range strings.Split(os.Getenv(EnvVar), ",") {
+		if spec = strings.TrimSpace(spec); spec == "" {
+			continue
+		}
+		if err := Arm(spec); err != nil {
+			// A typo'd spec must not silently disable the chaos a test
+			// thinks it is running under; be loud, then continue.
+			fmt.Fprintf(os.Stderr, "faultpoint: %s: %v\n", EnvVar, err)
 		}
 	}
 }
@@ -48,18 +83,84 @@ func Register(name, doc string) string {
 	return name
 }
 
-// Enabled reports whether the named point is armed.
+// parseSpec splits a point spec into its name and activation mode.
+func parseSpec(spec string) (name string, m mode, err error) {
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name = spec[:i]
+		p, perr := strconv.ParseFloat(spec[i+1:], 64)
+		if perr != nil || p < 0 || p > 1 {
+			return "", mode{}, fmt.Errorf("faultpoint: bad probability in %q (want name:p with p in [0,1])", spec)
+		}
+		return name, mode{prob: p}, nil
+	}
+	if i := strings.IndexByte(spec, '@'); i >= 0 {
+		name = spec[:i]
+		n, nerr := strconv.ParseUint(spec[i+1:], 10, 64)
+		if nerr != nil || n == 0 {
+			return "", mode{}, fmt.Errorf("faultpoint: bad hit count in %q (want name@n with n >= 1)", spec)
+		}
+		return name, mode{after: n}, nil
+	}
+	return spec, mode{always: true}, nil
+}
+
+// Arm parses one spec (name, name:p or name@n) and arms the point.
+func Arm(spec string) error {
+	name, m, err := parseSpec(spec)
+	if err != nil {
+		return err
+	}
+	if name == "" {
+		return fmt.Errorf("faultpoint: empty point name in %q", spec)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	enabled[name] = &m
+	return nil
+}
+
+// Enabled reports whether the named point fires on this check.  Always-on
+// points fire every time; probabilistic points draw independently per
+// check; after-N points count checks and fire from the Nth on.
 func Enabled(name string) bool {
 	mu.Lock()
 	defer mu.Unlock()
-	return enabled[name]
+	m := enabled[name]
+	switch {
+	case m == nil:
+		return false
+	case m.always:
+		return true
+	case m.after > 0:
+		m.hits++
+		return m.hits >= m.after
+	case m.prob > 0:
+		return float64(rand.next()>>11)/(1<<53) < m.prob
+	}
+	return false
 }
 
-// Enable arms a point programmatically.
+// Enable arms a point always-on programmatically.
 func Enable(name string) {
 	mu.Lock()
 	defer mu.Unlock()
-	enabled[name] = true
+	enabled[name] = &mode{always: true}
+}
+
+// EnableProb arms a point probabilistically: each Enabled check fires
+// independently with probability p.
+func EnableProb(name string, p float64) {
+	mu.Lock()
+	defer mu.Unlock()
+	enabled[name] = &mode{prob: p}
+}
+
+// EnableAfter arms a point in after-N-hits mode: the first n-1 Enabled
+// checks stay quiet, every check from the nth on fires.
+func EnableAfter(name string, n uint64) {
+	mu.Lock()
+	defer mu.Unlock()
+	enabled[name] = &mode{after: n}
 }
 
 // Disable disarms a point.
@@ -73,7 +174,15 @@ func Disable(name string) {
 func Reset() {
 	mu.Lock()
 	defer mu.Unlock()
-	enabled = map[string]bool{}
+	enabled = map[string]*mode{}
+}
+
+// Seed re-seeds the probabilistic draw stream, so tests asserting
+// statistical bounds are deterministic regardless of what ran before.
+func Seed(s uint64) {
+	mu.Lock()
+	defer mu.Unlock()
+	rand = rng(s)
 }
 
 // Known returns the registered point names, sorted, with their docs.
@@ -97,4 +206,15 @@ func Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// rng is a splitmix64 stream, deterministic and dependency-free.
+type rng uint64
+
+func (r *rng) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }

@@ -44,3 +44,96 @@ func TestEnableUnregisteredPoint(t *testing.T) {
 		t.Fatal("unregistered points must still arm (env var order is arbitrary)")
 	}
 }
+
+// TestArmSpecSyntax pins the three spec forms: bare name (always on),
+// name:p (probabilistic) and name@n (after-N-hits), plus rejection of
+// malformed specs.
+func TestArmSpecSyntax(t *testing.T) {
+	defer Reset()
+	if err := Arm("test.always"); err != nil {
+		t.Fatalf("Arm bare name: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if !Enabled("test.always") {
+			t.Fatal("bare spec is not always-on")
+		}
+	}
+	if err := Arm("test.prob:0.5"); err != nil {
+		t.Fatalf("Arm probabilistic: %v", err)
+	}
+	if err := Arm("test.after@2"); err != nil {
+		t.Fatalf("Arm after-N: %v", err)
+	}
+	for _, bad := range []string{"test.x:1.5", "test.x:-0.1", "test.x:zzz", "test.x@0", "test.x@-1", "test.x@abc", ":0.5", "@3"} {
+		if err := Arm(bad); err == nil {
+			t.Errorf("Arm(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
+// TestAfterNHits asserts name@n stays dormant for the first n-1 checks
+// and fires from the nth on, permanently.
+func TestAfterNHits(t *testing.T) {
+	defer Reset()
+	EnableAfter("test.after", 3)
+	for i := 1; i <= 2; i++ {
+		if Enabled("test.after") {
+			t.Fatalf("after-3 point fired on hit %d", i)
+		}
+	}
+	for i := 3; i <= 6; i++ {
+		if !Enabled("test.after") {
+			t.Fatalf("after-3 point quiet on hit %d", i)
+		}
+	}
+}
+
+// TestProbabilistic asserts name:p fires at roughly the requested rate —
+// deterministic under a fixed stream seed — and that the edge rates 0
+// and 1 are exact.
+func TestProbabilistic(t *testing.T) {
+	defer Reset()
+	defer Seed(1)
+	Seed(42)
+	EnableProb("test.prob", 0.3)
+	fired := 0
+	const draws = 2000
+	for i := 0; i < draws; i++ {
+		if Enabled("test.prob") {
+			fired++
+		}
+	}
+	if fired < draws*2/10 || fired > draws*4/10 {
+		t.Fatalf("p=0.3 fired %d/%d times, outside [%d,%d]", fired, draws, draws*2/10, draws*4/10)
+	}
+	EnableProb("test.never", 0)
+	EnableProb("test.surely", 1)
+	for i := 0; i < 100; i++ {
+		if Enabled("test.never") {
+			t.Fatal("p=0 fired")
+		}
+		if !Enabled("test.surely") {
+			t.Fatal("p=1 stayed quiet")
+		}
+	}
+}
+
+// TestModesReplaceAndReset asserts re-arming replaces the previous mode
+// (including its hit counter) and Reset disarms everything.
+func TestModesReplaceAndReset(t *testing.T) {
+	defer Reset()
+	EnableAfter("test.mode", 2)
+	Enabled("test.mode") // hit 1: dormant
+	Enable("test.mode")  // replace with always-on
+	if !Enabled("test.mode") {
+		t.Fatal("re-armed always-on point stayed in after-N mode")
+	}
+	EnableAfter("test.mode", 2) // counter starts over
+	if Enabled("test.mode") {
+		t.Fatal("re-arming did not reset the hit counter")
+	}
+	Reset()
+	if Enabled("test.mode") {
+		t.Fatal("Reset left a point armed")
+	}
+}

@@ -1,0 +1,140 @@
+package fuzzgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FailsContract is the nightly failure predicate: a spec fails when its
+// pipeline run lands outside the verified-or-rejected contract, or on the
+// wrong side of it for its shape (a supported shape that stops verifying
+// is a canonicalizer regression even though a rejection is "typed").
+// Minimization preserves exactly this predicate.
+func FailsContract(spec Spec) bool {
+	rep := Run(spec)
+	if !rep.Ok() {
+		return true
+	}
+	if spec.Shape.Supported() {
+		return rep.Outcome != OutcomeVerified
+	}
+	return rep.Outcome != OutcomeRejected
+}
+
+// MinimizeResult is a minimization outcome: the original failing spec,
+// the smallest spec still failing, and the predicate budget spent.
+type MinimizeResult struct {
+	Original, Minimal Spec
+	Runs              int
+}
+
+// Line renders the ready-to-commit testdata/regressions.txt line.  The
+// replay fixture format derives the whole spec from the seed, so the line
+// keeps the ORIGINAL seed (the reproducer) and carries the minimized
+// shape in the note, where a human reads it while fixing the bug.
+func (m MinimizeResult) Line() string {
+	note := fmt.Sprintf("fuzzer find, minimized at the same seed: still fails as %s", strings.TrimPrefix(m.Minimal.Name(), fmt.Sprintf("seed%d-", m.Minimal.Seed)))
+	if m.Minimal == m.Original {
+		note = fmt.Sprintf("fuzzer find: %s (irreducible)", strings.TrimPrefix(m.Original.Name(), fmt.Sprintf("seed%d-", m.Original.Seed)))
+	}
+	return fmt.Sprintf("%d %s", m.Original.Seed, note)
+}
+
+// Minimize shrinks a failing spec to a minimal reproducer at the same
+// seed: it greedily disables obfuscations one at a time, then
+// binary-searches the width and height down toward the generator's floor
+// (8x4), and repeats until a fixpoint.  Every accepted step re-runs the
+// failure predicate, so the result is verified failing regardless of
+// whether the failure is monotone in any single knob.
+func Minimize(spec Spec, fails func(Spec) bool) MinimizeResult {
+	m := MinimizeResult{Original: spec, Minimal: spec}
+	check := func(c Spec) bool {
+		m.Runs++
+		return fails(c)
+	}
+	if !check(spec) {
+		return m // not failing: nothing to preserve
+	}
+	for round := 0; round < 4; round++ {
+		before := m.Minimal
+
+		// Obfuscations, one at a time: keep any single disablement that
+		// still fails (a greedy ddmin over six independent knobs).
+		for _, mut := range []func(*Obfuscation){
+			func(o *Obfuscation) { o.Unroll = 1 },
+			func(o *Obfuscation) { o.PeelFirstRow = false },
+			func(o *Obfuscation) { o.TileCols = false },
+			func(o *Obfuscation) { o.DeadCode = false },
+			func(o *Obfuscation) { o.StrengthReduce = false },
+			func(o *Obfuscation) { o.SelVariant = false },
+		} {
+			c := m.Minimal
+			mut(&c.Obf)
+			if c != m.Minimal && check(c) {
+				m.Minimal = c
+			}
+		}
+
+		// Geometry: binary-search each extent down to the generator floor.
+		m.Minimal.Width = shrinkInt(m.Minimal.Width, 8, func(v int) bool {
+			c := m.Minimal
+			c.Width = v
+			return check(c)
+		})
+		m.Minimal.Height = shrinkInt(m.Minimal.Height, 4, func(v int) bool {
+			c := m.Minimal
+			c.Height = v
+			return check(c)
+		})
+
+		if m.Minimal == before {
+			break
+		}
+	}
+	return m
+}
+
+// shrinkInt binary-searches the smallest value in [floor, cur] where
+// failsAt holds, maintaining the invariant that the returned value was
+// actually tested failing (cur is known failing on entry).
+func shrinkInt(cur, floor int, failsAt func(int) bool) int {
+	lo, hi := floor, cur
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if failsAt(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi
+}
+
+// ParseSeedList extracts fuzz seeds from the nightly artifact format: one
+// entry per line, either a bare integer or a spec name ("seed123-...",
+// what the log scraper collects), comments and blanks ignored.
+func ParseSeedList(data string) ([]uint64, error) {
+	var seeds []uint64
+	seen := map[uint64]bool{}
+	for _, line := range strings.Split(data, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		tok := strings.Fields(line)[0]
+		tok = strings.TrimPrefix(tok, "seed")
+		if i := strings.IndexByte(tok, '-'); i >= 0 {
+			tok = tok[:i]
+		}
+		seed, err := strconv.ParseUint(tok, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fuzzgen: bad seed line %q: %w", line, err)
+		}
+		if !seen[seed] {
+			seen[seed] = true
+			seeds = append(seeds, seed)
+		}
+	}
+	return seeds, nil
+}

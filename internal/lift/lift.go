@@ -457,6 +457,26 @@ func footprint(k *ir.Kernel) (xlo, xhi, ylo, yhi, dclo, dchi int) {
 	return xlo, xhi, ylo, yhi, dclo, dchi
 }
 
+// InputFootprint returns the bounding box of first-stage input
+// coordinates a final render of (outW, outH) samples can touch: the
+// stage's stencil taps (origin applied) swept over its output grid,
+// which tracks the requested final extent by the lifted stage deltas.
+// Serving layers use it to size the clamp padding of a caller-supplied
+// input plane so every tap of every request geometry reads initialized
+// bytes.
+func (r *Result) InputFootprint(outW, outH int) (xlo, xhi, ylo, yhi int) {
+	st0 := &r.Stages[0]
+	w, h := stageDims(st0, r.finalStage(), outW, outH)
+	k := st0.Kernel
+	if st0.Red != nil {
+		k = &ir.Kernel{Channels: 1, Trees: []*ir.Expr{st0.Red.Index}}
+	}
+	kc := *k
+	kc.OutWidth, kc.OutHeight = w, h
+	xlo, xhi, ylo, yhi, _, _ = footprint(&kc)
+	return xlo, xhi, ylo, yhi
+}
+
 // MaterializeInput copies the dumped input into a concrete pixel backing
 // (a padded image.Plane for planar kernels, an image.Interleaved for
 // interleaved ones) covering the first stage's whole stencil footprint.

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// BenchOptions configures a load-generation run against an in-process
+// server.
+type BenchOptions struct {
+	// Kernel is the kernel every request targets (default boxblur3).
+	Kernel string
+	// Width, Height and Seed fix the request geometry.
+	Width, Height int
+	Seed          uint64
+	// Levels are the concurrent-client counts to sweep (default 1,4,16).
+	Levels []int
+	// Requests is the request count per level (default 400).
+	Requests int
+}
+
+// BenchLevel is one concurrency level's measurements.
+type BenchLevel struct {
+	Clients       int     `json:"clients"`
+	Requests      int     `json:"requests"`
+	DurationMS    float64 `json:"duration_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	Errors        int     `json:"errors"`
+	Shed          uint64  `json:"shed"`
+	Limited       uint64  `json:"limited"`
+	Degraded      uint64  `json:"degraded"`
+}
+
+// BenchReport is the serialized BENCH_serve.json payload.
+type BenchReport struct {
+	Kernel     string       `json:"kernel"`
+	Geometry   string       `json:"geometry"`
+	InputBytes int          `json:"input_bytes"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Workers    int          `json:"workers"`
+	QueueDepth int          `json:"queue_depth"`
+	Levels     []BenchLevel `json:"levels"`
+}
+
+// Bench spins the server up on a loopback listener, drives it with
+// concurrent HTTP clients at each level, and reports throughput, latency
+// quantiles and the overload counters.  Requests use client-supplied
+// pixels — the zero-alloc production path.
+func (s *Server) Bench(o BenchOptions) (*BenchReport, error) {
+	if o.Kernel == "" {
+		o.Kernel = "boxblur3"
+	}
+	if o.Width <= 0 {
+		o.Width = s.opts.LiftWidth
+	}
+	if o.Height <= 0 {
+		o.Height = s.opts.LiftHeight
+	}
+	if o.Seed == 0 {
+		o.Seed = s.opts.LiftSeed
+	}
+	if len(o.Levels) == 0 {
+		o.Levels = []int{1, 4, 16}
+	}
+	if o.Requests <= 0 {
+		o.Requests = 400
+	}
+
+	n, err := s.InputSpec(o.Kernel, o.Width, o.Height)
+	if err != nil {
+		return nil, fmt.Errorf("input spec for %s: %w", o.Kernel, err)
+	}
+	body := make([]byte, n)
+	rnd := uint64(0x9e3779b97f4a7c15)
+	for i := range body {
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 7
+		rnd ^= rnd << 17
+		body[i] = byte(rnd)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go s.Serve(ln)
+	defer ln.Close()
+	url := fmt.Sprintf("http://%s/v1/eval?kernel=%s&width=%d&height=%d&seed=%d",
+		ln.Addr(), o.Kernel, o.Width, o.Height, o.Seed)
+
+	rep := &BenchReport{
+		Kernel:     o.Kernel,
+		Geometry:   fmt.Sprintf("%dx%d seed %d", o.Width, o.Height, o.Seed),
+		InputBytes: n,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    s.opts.Workers,
+		QueueDepth: s.opts.QueueDepth,
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	for _, clients := range o.Levels {
+		before := s.Stats()
+		lats := make([]time.Duration, o.Requests)
+		errs := make([]int, clients)
+		var next int
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for {
+					mu.Lock()
+					i := next
+					next++
+					mu.Unlock()
+					if i >= o.Requests {
+						return
+					}
+					t0 := time.Now()
+					resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(body))
+					if err != nil {
+						errs[c]++
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					lats[i] = time.Since(t0)
+					if resp.StatusCode != http.StatusOK {
+						errs[c]++
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		after := s.Stats()
+
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		quant := func(q float64) float64 {
+			i := int(q * float64(len(lats)-1))
+			return float64(lats[i].Microseconds()) / 1000
+		}
+		nerr := 0
+		for _, e := range errs {
+			nerr += e
+		}
+		rep.Levels = append(rep.Levels, BenchLevel{
+			Clients:       clients,
+			Requests:      o.Requests,
+			DurationMS:    float64(elapsed.Microseconds()) / 1000,
+			ThroughputRPS: float64(o.Requests) / elapsed.Seconds(),
+			P50MS:         quant(0.50),
+			P99MS:         quant(0.99),
+			Errors:        nerr,
+			Shed:          after.Shed - before.Shed,
+			Limited:       after.Limited - before.Limited,
+			Degraded:      after.Degraded - before.Degraded,
+		})
+	}
+	return rep, nil
+}

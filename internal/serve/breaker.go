@@ -1,0 +1,97 @@
+package serve
+
+import "sync"
+
+// breaker is a per-backend circuit breaker.  It is deliberately
+// clock-free: state advances on request counts, not wall time, so chaos
+// tests replay deterministically and an idle server never flips state
+// behind the operator's back.
+//
+// States:
+//
+//	closed     every request may try the backend; tripAfter consecutive
+//	           failures trip the breaker open.
+//	open       the backend is skipped (its failure latency is no longer
+//	           paid per request); after probeAfter skipped requests one
+//	           half-open probe is let through.
+//	half-open  exactly one in-flight probe; success closes the breaker,
+//	           failure re-opens it for another probeAfter skips.
+type breaker struct {
+	mu         sync.Mutex
+	tripAfter  int // consecutive failures that trip the breaker
+	probeAfter int // skipped requests before a half-open probe
+
+	fails   int // consecutive failures while closed
+	open    bool
+	skips   int // requests skipped since opening (or since last probe)
+	probing bool
+	trips   uint64
+}
+
+// allow reports whether the caller may attempt the backend on this
+// request.  A true return must be matched by exactly one report call.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if b.probing {
+		return false
+	}
+	b.skips++
+	if b.skips >= b.probeAfter {
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// report records the outcome of an attempt admitted by allow.
+func (b *breaker) report(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.probing {
+		b.probing = false
+		b.skips = 0
+		if ok {
+			b.open = false
+			b.fails = 0
+		}
+		return
+	}
+	if b.open {
+		// A pre-trip attempt finishing late; the breaker already decided.
+		return
+	}
+	if ok {
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.fails >= b.tripAfter {
+		b.open = true
+		b.skips = 0
+		b.trips++
+	}
+}
+
+// state names the current breaker state for observability endpoints.
+func (b *breaker) state() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.probing:
+		return "half-open"
+	case b.open:
+		return "open"
+	}
+	return "closed"
+}
+
+// tripped returns the total number of trips so far.
+func (b *breaker) tripped() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

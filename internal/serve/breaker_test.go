@@ -1,0 +1,99 @@
+package serve
+
+import "testing"
+
+// TestBreakerTripProbeRecover pins the deterministic state machine: three
+// consecutive failures trip it, probeAfter skipped requests buy one
+// half-open probe, a failed probe re-opens, a good probe closes.
+func TestBreakerTripProbeRecover(t *testing.T) {
+	b := breaker{tripAfter: 3, probeAfter: 4}
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.report(false)
+	}
+	if b.state() != "closed" {
+		t.Fatalf("tripped after 2 failures, want 3 (state %s)", b.state())
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker refused the tripping attempt")
+	}
+	b.report(false)
+	if b.state() != "open" || b.tripped() != 1 {
+		t.Fatalf("state %s trips %d after 3 consecutive failures, want open/1", b.state(), b.tripped())
+	}
+
+	// Open: the next probeAfter-1 requests are skipped, then one probe.
+	for i := 0; i < 3; i++ {
+		if b.allow() {
+			t.Fatalf("open breaker admitted skipped request %d", i)
+		}
+	}
+	if !b.allow() {
+		t.Fatal("no half-open probe after probeAfter skips")
+	}
+	if b.state() != "half-open" {
+		t.Fatalf("state %s during probe, want half-open", b.state())
+	}
+	// While probing, everyone else is still skipped.
+	if b.allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+	b.report(false) // failed probe re-opens
+	if b.state() != "open" {
+		t.Fatalf("state %s after failed probe, want open", b.state())
+	}
+
+	for i := 0; i < 3; i++ {
+		if b.allow() {
+			t.Fatalf("re-opened breaker admitted skipped request %d", i)
+		}
+	}
+	if !b.allow() {
+		t.Fatal("no second probe after another probeAfter skips")
+	}
+	b.report(true) // good probe closes
+	if b.state() != "closed" {
+		t.Fatalf("state %s after good probe, want closed", b.state())
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker refused after recovery")
+	}
+	b.report(true)
+}
+
+// TestBreakerSuccessResetsFailureRun asserts non-consecutive failures
+// never trip.
+func TestBreakerSuccessResetsFailureRun(t *testing.T) {
+	b := breaker{tripAfter: 3, probeAfter: 4}
+	for i := 0; i < 10; i++ {
+		if !b.allow() {
+			t.Fatalf("breaker tripped on alternating outcomes at %d", i)
+		}
+		b.report(i%2 == 0)
+	}
+	if b.state() != "closed" {
+		t.Fatalf("state %s after alternating outcomes, want closed", b.state())
+	}
+}
+
+// TestBreakerLateReportIgnored asserts an attempt admitted before the
+// trip cannot flip an open breaker when it finally reports.
+func TestBreakerLateReportIgnored(t *testing.T) {
+	b := breaker{tripAfter: 1, probeAfter: 4}
+	if !b.allow() {
+		t.Fatal("closed breaker refused")
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker refused the in-flight second attempt")
+	}
+	b.report(false) // trips
+	if b.state() != "open" {
+		t.Fatalf("state %s, want open", b.state())
+	}
+	b.report(true) // the straggler from before the trip
+	if b.state() != "open" {
+		t.Fatalf("late success closed an open breaker (state %s)", b.state())
+	}
+}

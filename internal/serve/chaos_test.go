@@ -1,0 +1,324 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"helium/internal/faultpoint"
+	"helium/internal/legacy"
+)
+
+// typedStatuses is the complete set of statuses the robustness contract
+// permits under chaos: bit-exact 200s or typed 4xx/5xx — never a wrong
+// answer, never a hang, never a dead process.
+var typedStatuses = map[int]bool{
+	200: true, 400: true, 404: true, 413: true, 422: true,
+	429: true, 500: true, 503: true, 504: true,
+}
+
+// chaosTarget is one (kernel, geometry) the chaos run cycles through,
+// with its precomputed ground truth.
+type chaosTarget struct {
+	kernel string
+	w, h   int
+	seed   uint64
+	want   []byte // vm reference output
+	pixels []byte // the pattern's input interior, for pixels-mode requests
+}
+
+// newChaosServer builds a warmed two-kernel server with fast injected
+// delays, plus the ground-truth table every 200 is checked against.
+func newChaosServer(t *testing.T) (*Server, *httptest.Server, []chaosTarget) {
+	t.Helper()
+	faultpoint.Reset()
+	s := New(Options{SlowBackendDelay: 2 * time.Millisecond, TripAfter: 3, ProbeAfter: 8})
+	s.Start()
+	t.Cleanup(func() {
+		faultpoint.Reset()
+		faultpoint.Seed(1)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	var targets []chaosTarget
+	for _, kernel := range []string{"brighten", "boxblur3"} {
+		for _, g := range []struct {
+			w, h int
+			seed uint64
+		}{{40, 24, 1}, {52, 30, 7}} {
+			want, err := s.Reference(kernel, g.w, g.h, g.seed)
+			if err != nil {
+				t.Fatalf("%s %dx%d reference: %v", kernel, g.w, g.h, err)
+			}
+			k, _ := legacy.Lookup(kernel)
+			inst := k.Instantiate(legacy.Config{Width: g.w, Height: g.h, Seed: g.seed})
+			targets = append(targets, chaosTarget{kernel, g.w, g.h, g.seed, want, inst.InputInterior})
+		}
+	}
+	return s, ts, targets
+}
+
+// TestChaosContract is the acceptance gate: with every serve.* faultpoint
+// and the backend faultpoints armed — always-on and probabilistic — a
+// 200-request run yields only bit-exact 200s and typed 4xx/5xx, the
+// process survives, and after the faults clear the chain head recovers
+// (observable in X-Helium-Backend).
+func TestChaosContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos contract is not a -short test")
+	}
+	_, ts, targets := newChaosServer(t)
+
+	scenarios := []struct {
+		name  string
+		specs []string
+		// allowed tightens the typed set where the outcome is known.
+		allowed map[int]bool
+	}{
+		{"exec-panic always", []string{"serve.exec-panic"}, map[int]bool{500: true}},
+		{"exec-panic probabilistic", []string{"serve.exec-panic:0.3"}, map[int]bool{200: true, 500: true}},
+		{"slow-backend always", []string{"serve.slow-backend"}, map[int]bool{200: true}},
+		{"slow-backend probabilistic", []string{"serve.slow-backend:0.25"}, map[int]bool{200: true}},
+		{"slow-backend after-N", []string{"serve.slow-backend@20"}, map[int]bool{200: true}},
+		{"shed probabilistic", []string{"serve.shed:0.2"}, map[int]bool{200: true, 503: true}},
+		{"combined storm", []string{"serve.exec-panic:0.1", "serve.slow-backend:0.2", "serve.shed:0.1"}, nil},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			faultpoint.Seed(42)
+			for _, spec := range sc.specs {
+				if err := faultpoint.Arm(spec); err != nil {
+					t.Fatalf("arming %q: %v", spec, err)
+				}
+			}
+			counts := map[int]int{}
+			for i := 0; i < 200; i++ {
+				tgt := targets[i%len(targets)]
+				var pixels []byte
+				if i%3 == 0 {
+					pixels = tgt.pixels
+				}
+				r := eval(t, ts, tgt.kernel, tgt.w, tgt.h, tgt.seed, pixels)
+				counts[r.status]++
+				if !typedStatuses[r.status] {
+					t.Fatalf("request %d: untyped status %d", i, r.status)
+				}
+				if sc.allowed != nil && !sc.allowed[r.status] {
+					t.Fatalf("request %d: status %d outside the scenario's expected set %v", i, r.status, sc.allowed)
+				}
+				if r.status == 200 && !bytes.Equal(r.body, tgt.want) {
+					t.Fatalf("request %d (%s %dx%d): a 200 response carries wrong pixels", i, tgt.kernel, tgt.w, tgt.h)
+				}
+				if r.status == 503 && r.retryAfter == "" {
+					t.Fatalf("request %d: shed 503 without Retry-After", i)
+				}
+			}
+			faultpoint.Reset()
+
+			// The process must still be healthy, and — whatever breakers the
+			// storm tripped — the generated chain head must recover within a
+			// bounded number of requests once the faults clear.
+			if resp, err := http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != 200 {
+				t.Fatalf("server unhealthy after chaos: %v", err)
+			} else {
+				resp.Body.Close()
+			}
+			recovered := false
+			for i := 0; i < 50 && !recovered; i++ {
+				r := eval(t, ts, "brighten", 40, 24, 1, nil)
+				recovered = r.status == 200 && r.backend == "generated"
+			}
+			if !recovered {
+				t.Fatalf("generated backend did not recover within 50 requests after %s", sc.name)
+			}
+			t.Logf("%s: statuses %v", sc.name, counts)
+		})
+	}
+}
+
+// TestChaosLiftFaults covers the backend faultpoints that strike at lift
+// time: a fresh registry under an armed lift fault must answer every
+// request with the same cached typed rejection, and under a probabilistic
+// fault the singleflight lift yields one coherent outcome — all poisoned
+// or all bit-exact.
+func TestChaosLiftFaults(t *testing.T) {
+	scenarios := []struct {
+		name, spec string
+	}{
+		{"corrupt-input always", "lift.corrupt-input"},
+		{"corrupt-input probabilistic", "lift.corrupt-input:0.6"},
+		{"truncated trace always", "trace.truncate"},
+		{"truncated trace probabilistic", "trace.truncate:0.6"},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			faultpoint.Reset()
+			faultpoint.Seed(7)
+			t.Cleanup(func() { faultpoint.Reset(); faultpoint.Seed(1) })
+			s := New(Options{})
+			s.Start()
+			t.Cleanup(func() { s.Shutdown(context.Background()) })
+			ts := httptest.NewServer(s.Handler())
+			t.Cleanup(ts.Close)
+
+			// Ground truth from a clean server, before any fault is armed.
+			want, err := New(Options{}).Reference("boxblur3", 40, 24, 1)
+			if err != nil {
+				t.Fatalf("clean reference: %v", err)
+			}
+			if err := faultpoint.Arm(sc.spec); err != nil {
+				t.Fatal(err)
+			}
+			first := eval(t, ts, "boxblur3", 40, 24, 1, nil)
+			if !typedStatuses[first.status] {
+				t.Fatalf("untyped status %d under %s", first.status, sc.spec)
+			}
+			for i := 0; i < 50; i++ {
+				r := eval(t, ts, "boxblur3", 40, 24, 1, nil)
+				if r.status != first.status {
+					t.Fatalf("request %d: status %d, but the cached lift outcome answered %d first", i, r.status, first.status)
+				}
+				switch r.status {
+				case 200:
+					if !bytes.Equal(r.body, want) {
+						t.Fatalf("request %d: 200 with wrong pixels under %s", i, sc.spec)
+					}
+				case 422:
+					if r.errJSON["phase"] == "" {
+						t.Fatalf("request %d: 422 without a rejection phase", i)
+					}
+				case 500:
+					// A lift failure that is not a typed Rejection caches as
+					// a 500; still typed, still consistent.
+				default:
+					t.Fatalf("request %d: lift fault produced status %d, want 200, 422 or 500", i, r.status)
+				}
+			}
+		})
+	}
+}
+
+// TestBreakerObservableInResponses walks one trip/recover cycle and pins
+// every observable: the degradation note, the X-Helium-Backend switch,
+// the open breaker in /v1/kernels, and the recovery probe.
+func TestBreakerObservableInResponses(t *testing.T) {
+	s, ts, _ := newChaosServer(t)
+
+	breakerState := func(kernel, backend string) string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/kernels")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var infos []kernelInfo
+		if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+			t.Fatal(err)
+		}
+		for _, info := range infos {
+			if info.Name == kernel {
+				return info.Breakers[backend]
+			}
+		}
+		t.Fatalf("kernel %q not in /v1/kernels", kernel)
+		return ""
+	}
+
+	if st := breakerState("brighten", "generated"); st != "closed" {
+		t.Fatalf("generated breaker starts %q, want closed", st)
+	}
+	faultpoint.Enable(fpSlowBackend)
+
+	// The first TripAfter requests degrade per-request: generated fails,
+	// compiled answers, and the response says so.
+	for i := 0; i < s.opts.TripAfter; i++ {
+		r := eval(t, ts, "brighten", 40, 24, 1, nil)
+		if r.status != 200 || r.backend != "compiled" {
+			t.Fatalf("degraded request %d: status %d via %q, want 200 via compiled", i, r.status, r.backend)
+		}
+		if !strings.Contains(r.degraded, "generated:") {
+			t.Fatalf("degraded request %d: trail %q does not name the failed generated backend", i, r.degraded)
+		}
+	}
+	if st := breakerState("brighten", "generated"); st != "open" {
+		t.Fatalf("generated breaker is %q after %d consecutive failures, want open", st, s.opts.TripAfter)
+	}
+
+	// While open, requests skip the generated attempt entirely.
+	r := eval(t, ts, "brighten", 40, 24, 1, nil)
+	if r.backend != "compiled" || !strings.Contains(r.degraded, "generated:breaker-open") {
+		t.Fatalf("open-breaker request: backend %q trail %q, want compiled via breaker-open", r.backend, r.degraded)
+	}
+
+	// Clear the fault: after ProbeAfter skips a half-open probe succeeds
+	// and the chain head serves again — observable purely from the
+	// X-Helium-Backend header.
+	faultpoint.Reset()
+	recoveredAt := -1
+	for i := 0; i < s.opts.ProbeAfter+3; i++ {
+		r := eval(t, ts, "brighten", 40, 24, 1, nil)
+		if r.status != 200 {
+			t.Fatalf("recovery request %d: status %d", i, r.status)
+		}
+		if r.backend == "generated" {
+			recoveredAt = i
+			break
+		}
+	}
+	if recoveredAt < 0 {
+		t.Fatalf("generated backend did not recover within %d requests", s.opts.ProbeAfter+3)
+	}
+	if st := breakerState("brighten", "generated"); st != "closed" {
+		t.Fatalf("generated breaker is %q after recovery, want closed", st)
+	}
+	if r := eval(t, ts, "brighten", 40, 24, 1, nil); r.backend != "generated" || r.degraded != "" {
+		t.Fatalf("post-recovery request: backend %q trail %q, want clean generated", r.backend, r.degraded)
+	}
+}
+
+// TestChaosShedFaultpoint pins the serve.shed faultpoint in always-on and
+// after-N modes through the HTTP surface.
+func TestChaosShedFaultpoint(t *testing.T) {
+	_, ts, targets := newChaosServer(t)
+	tgt := targets[0]
+	url := fmt.Sprintf("%s/v1/eval?kernel=%s&width=%d&height=%d&seed=%d", ts.URL, tgt.kernel, tgt.w, tgt.h, tgt.seed)
+
+	faultpoint.Enable(fpShed)
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("forced shed: status %d Retry-After %q, want 503 with Retry-After",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	// After-N mode: the first two requests sail through, the third sheds.
+	faultpoint.EnableAfter(fpShed, 3)
+	statuses := make([]int, 4)
+	for i := range statuses {
+		r := eval(t, ts, tgt.kernel, tgt.w, tgt.h, tgt.seed, nil)
+		statuses[i] = r.status
+		if r.status == 200 && !bytes.Equal(r.body, tgt.want) {
+			t.Fatalf("after-N shed: request %d returned wrong pixels", i)
+		}
+	}
+	faultpoint.Reset()
+	want := []int{200, 200, 503, 503}
+	for i := range want {
+		if statuses[i] != want[i] {
+			t.Fatalf("after-N shed: statuses %v, want %v", statuses, want)
+		}
+	}
+}

@@ -1,0 +1,592 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"helium/internal/faultpoint"
+	"helium/internal/legacy"
+	"helium/internal/schedule"
+)
+
+// Options configures a Server.  The zero value is usable: every field
+// falls back to the documented default.
+type Options struct {
+	// LiftWidth, LiftHeight and LiftSeed fix the geometry kernels are
+	// lifted and verified at (requests may use any geometry within the
+	// limits below).  Defaults 40x24 seed 1, matching `helium run`.
+	LiftWidth, LiftHeight int
+	LiftSeed              uint64
+
+	// Schedules is the tuned schedule set applied to the compiled
+	// fallback backend; nil means heuristic defaults.
+	Schedules *schedule.Set
+
+	// Workers is the shared execution pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue; a full queue sheds with 503
+	// (default 64).
+	QueueDepth int
+	// PerKernel caps in-flight requests per kernel; beyond it requests
+	// are refused with 429 (default Workers).
+	PerKernel int
+
+	// Timeout is the per-request execution deadline (default 10s).
+	Timeout time.Duration
+	// DrainTimeout bounds graceful shutdown (default 10s).
+	DrainTimeout time.Duration
+
+	// Request geometry limits (defaults 12x6 .. 2048x2048).
+	MinWidth, MinHeight int
+	MaxWidth, MaxHeight int
+
+	// MaxVMSteps and MaxTraceInsts bound every emulation the server runs
+	// (lift-time tracing and the vm terminal backend), so a hostile
+	// binary can slow a request down but never hang it.
+	MaxVMSteps    uint64
+	MaxTraceInsts int
+
+	// TripAfter consecutive failures open a backend's circuit breaker;
+	// after ProbeAfter skipped requests a half-open probe may close it
+	// (defaults 3 and 8).
+	TripAfter, ProbeAfter int
+
+	// EvalWorkers is the intra-request parallelism (default 1: requests
+	// parallelize across the pool, not inside one request).
+	EvalWorkers int
+
+	// SlowBackendDelay is the injected latency of the serve.slow-backend
+	// faultpoint (default 25ms).
+	SlowBackendDelay time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	def := func(v *int, d int) {
+		if *v <= 0 {
+			*v = d
+		}
+	}
+	def(&o.LiftWidth, 40)
+	def(&o.LiftHeight, 24)
+	if o.LiftSeed == 0 {
+		o.LiftSeed = 1
+	}
+	def(&o.Workers, runtime.GOMAXPROCS(0))
+	def(&o.QueueDepth, 64)
+	def(&o.PerKernel, o.Workers)
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 10 * time.Second
+	}
+	def(&o.MinWidth, 12)
+	def(&o.MinHeight, 6)
+	def(&o.MaxWidth, 2048)
+	def(&o.MaxHeight, 2048)
+	if o.MaxVMSteps == 0 {
+		o.MaxVMSteps = 200_000_000
+	}
+	def(&o.TripAfter, 3)
+	def(&o.ProbeAfter, 8)
+	def(&o.EvalWorkers, 1)
+	if o.SlowBackendDelay <= 0 {
+		o.SlowBackendDelay = 25 * time.Millisecond
+	}
+	return o
+}
+
+// Stats is a snapshot of the server's counters.
+type Stats struct {
+	Requests uint64 `json:"requests"`
+	OK       uint64 `json:"ok"`
+	Errors   uint64 `json:"errors"`
+	Degraded uint64 `json:"degraded"`
+	Panics   uint64 `json:"panics"`
+	Shed     uint64 `json:"shed"`
+	Limited  uint64 `json:"limited"`
+	Timeouts uint64 `json:"timeouts"`
+}
+
+// Server is the lifting-as-a-service HTTP server: a kernel registry, a
+// bounded admission queue over a shared worker pool, and the per-request
+// degradation machinery.
+type Server struct {
+	opts Options
+	reg  *Registry
+
+	jobs    chan *job
+	jobPool sync.Pool
+	wg      sync.WaitGroup
+
+	started  atomic.Bool
+	draining atomic.Bool
+	warmed   atomic.Bool
+
+	requests, ok, errs   atomic.Uint64
+	degraded, panics     atomic.Uint64
+	shed, limited, tmout atomic.Uint64
+
+	mux  *http.ServeMux
+	http *http.Server
+}
+
+// New builds a Server.  Call Start (or Serve) before submitting requests.
+func New(opts Options) *Server {
+	o := opts.withDefaults()
+	s := &Server{
+		opts: o,
+		reg:  newRegistry(o),
+		jobs: make(chan *job, o.QueueDepth),
+	}
+	s.jobPool.New = func() any { return &job{done: make(chan struct{}, 1)} }
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/v1/eval", s.handleEval)
+	s.mux.HandleFunc("/v1/kernels", s.handleKernels)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s
+}
+
+// Start spawns the worker pool (idempotent).
+func (s *Server) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	for i := 0; i < s.opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Warm lifts the whole corpus up front so /readyz means "every kernel's
+// lift outcome is cached".
+func (s *Server) Warm() {
+	s.reg.warm()
+	s.warmed.Store(true)
+}
+
+// MarkReady reports readiness without pre-lifting (lazy warming): each
+// kernel lifts on its first request instead.  Callers skipping Warm
+// must call this or /readyz stays 503.
+func (s *Server) MarkReady() { s.warmed.Store(true) }
+
+// Handler returns the HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve starts the workers and serves HTTP on the listener until
+// Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.Start()
+	s.http = &http.Server{Handler: s.mux}
+	err := s.http.Serve(ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains gracefully: new requests are refused with 503, HTTP
+// ingress stops, in-flight requests run to completion (bounded by ctx),
+// then the worker pool exits.  Callers not using Serve must guarantee no
+// Do calls are in flight or started after.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	var err error
+	if s.http != nil {
+		// Shutdown returns once every active handler — every possible
+		// queue producer — has finished, making the close below safe.
+		err = s.http.Shutdown(ctx)
+	}
+	if s.started.Load() {
+		close(s.jobs)
+		s.wg.Wait()
+		s.started.Store(false)
+	}
+	return err
+}
+
+// Stats snapshots the global counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests: s.requests.Load(),
+		OK:       s.ok.Load(),
+		Errors:   s.errs.Load(),
+		Degraded: s.degraded.Load(),
+		Panics:   s.panics.Load(),
+		Shed:     s.shed.Load(),
+		Limited:  s.limited.Load(),
+		Timeouts: s.tmout.Load(),
+	}
+}
+
+// Registry exposes the kernel registry (for warmers and the -ref mode).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// InputSpec returns the input interior byte count a request geometry
+// needs for a kernel, lifting it first if necessary.  Load generators use
+// it to build request bodies.
+func (s *Server) InputSpec(kernel string, w, h int) (int, error) {
+	e, err := s.reg.resolve(kernel)
+	if err != nil {
+		return 0, err
+	}
+	e.ensure()
+	if e.rej != nil {
+		return 0, e.rej
+	}
+	if e.err != nil {
+		return 0, e.err
+	}
+	return e.inputBytes(w, h), nil
+}
+
+// Reference computes the ground-truth response for a pattern-mode request
+// through the vm terminal backend alone — a fresh re-emulation of the
+// legacy binary, independent of every lifted execution path.  CI uses it
+// to check served bytes against the binary's own output.
+func (s *Server) Reference(kernel string, w, h int, seed uint64) ([]byte, error) {
+	e, err := s.reg.resolve(kernel)
+	if err != nil {
+		return nil, err
+	}
+	e.ensure()
+	if e.rej != nil {
+		return nil, e.rej
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	if !e.vmOK {
+		return nil, fmt.Errorf("kernel %q has no vm reference window", kernel)
+	}
+	req := &request{w: w, h: h, seed: seed}
+	req.inst = e.kern.Instantiate(legacy.Config{Width: w, Height: h, Seed: seed})
+	outW, outH := e.outDims(w, h)
+	full, err := req.inst.RunVMBounded(s.opts.MaxVMSteps)
+	if err != nil {
+		return nil, err
+	}
+	return e.vmWindow(full, req, outW, outH)
+}
+
+// job is one queued request.  Ownership is a three-state handshake:
+// whichever side loses the pending->done / pending->abandoned race cleans
+// up, so a deadline-expired handler can return immediately while the
+// worker still owns the scratch.
+type job struct {
+	state atomic.Int32 // statePending -> stateDone | stateAbandoned
+	ctx   context.Context
+	e     *entry
+	req   request
+	rs    *reqScratch
+	res   result
+	done  chan struct{}
+}
+
+const (
+	statePending int32 = iota
+	stateDone
+	stateAbandoned
+)
+
+// worker is one pool goroutine: it claims scratch, executes, and hands
+// the job back — or cleans it up when the requester already left.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		if j.state.Load() == stateAbandoned {
+			s.release(j)
+			continue
+		}
+		j.rs = j.e.scratch.Get().(*reqScratch)
+		j.res = j.e.execute(j.ctx, j.rs, &j.req)
+		if j.state.CompareAndSwap(statePending, stateDone) {
+			j.done <- struct{}{}
+		} else {
+			s.release(j)
+		}
+	}
+}
+
+// release returns a job's resources: scratch to the entry pool, the
+// per-kernel slot, and the job itself.  Called exactly once per admitted
+// job, by whichever side owns it last.
+func (s *Server) release(j *job) {
+	if j.rs != nil {
+		j.e.scratch.Put(j.rs)
+		j.rs = nil
+	}
+	<-j.e.sem
+	j.ctx, j.e, j.req, j.res = nil, nil, request{}, result{}
+	s.jobPool.Put(j)
+}
+
+// do submits one request through admission, the bounded queue and the
+// worker pool, then calls emit with the outcome.  emit runs exactly once;
+// a 200's body aliases pooled scratch and is only valid inside emit.
+func (s *Server) do(ctx context.Context, kernel string, req *request, emit func(*result)) {
+	s.requests.Add(1)
+	if s.draining.Load() {
+		s.shed.Add(1)
+		r := result{status: 503, errMsg: "server is draining", retryAfter: 1}
+		s.finish(emit, &r)
+		return
+	}
+	e, err := s.reg.resolve(kernel)
+	if err != nil {
+		r := result{status: 404, errMsg: err.Error()}
+		s.finish(emit, &r)
+		return
+	}
+	// Per-kernel concurrency limit.
+	select {
+	case e.sem <- struct{}{}:
+	default:
+		s.limited.Add(1)
+		r := result{status: 429, errMsg: "kernel concurrency limit reached", retryAfter: 1}
+		s.finish(emit, &r)
+		return
+	}
+	j := s.jobPool.Get().(*job)
+	j.state.Store(statePending)
+	j.ctx, j.e, j.req = ctx, e, *req
+	// Bounded admission: a full queue (or the injected overload) sheds
+	// rather than queueing unbounded latency.
+	shed := faultpoint.Enabled(fpShed)
+	if !shed {
+		select {
+		case s.jobs <- j:
+		default:
+			shed = true
+		}
+	}
+	if shed {
+		j.rs = nil
+		s.release(j)
+		s.shed.Add(1)
+		r := result{status: 503, errMsg: "admission queue is full", retryAfter: 1}
+		s.finish(emit, &r)
+		return
+	}
+	select {
+	case <-j.done:
+		s.finish(emit, &j.res)
+		s.release(j)
+	case <-ctx.Done():
+		if j.state.CompareAndSwap(statePending, stateAbandoned) {
+			s.tmout.Add(1)
+			r := result{status: 504, errMsg: "request deadline expired before execution finished"}
+			s.finish(emit, &r)
+			// The worker (or queue drain) releases the job.
+			return
+		}
+		// The worker finished first; take the handoff normally.
+		<-j.done
+		s.finish(emit, &j.res)
+		s.release(j)
+	}
+}
+
+// finish updates outcome counters and invokes emit.
+func (s *Server) finish(emit func(*result), r *result) {
+	if r.status == 200 {
+		s.ok.Add(1)
+	} else {
+		s.errs.Add(1)
+	}
+	if r.degraded != "" {
+		s.degraded.Add(1)
+	}
+	emit(r)
+}
+
+// --- HTTP layer ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Liveness: the process serves, even while draining.
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() || !s.started.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	if !s.warmed.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "warming\n")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ready\n")
+}
+
+// handleEval is the serving endpoint:
+//
+//	POST /v1/eval?kernel=name&width=W&height=H[&seed=S]
+//
+// With a request body, the body is the raw input interior (the bytes the
+// legacy filter would read) and the response is the kernel's output
+// window.  Without a body (or with GET) the server generates the
+// deterministic seed pattern — exactly `helium run`'s workload.
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost && r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET or POST", "")
+		return
+	}
+	q := r.URL.Query()
+	kernel := q.Get("kernel")
+	if kernel == "" {
+		httpError(w, http.StatusBadRequest, "missing kernel parameter", "")
+		return
+	}
+	width, err1 := intParam(q.Get("width"), s.opts.LiftWidth)
+	height, err2 := intParam(q.Get("height"), s.opts.LiftHeight)
+	seed, err3 := uintParam(q.Get("seed"), s.opts.LiftSeed)
+	if err1 != nil || err2 != nil || err3 != nil {
+		httpError(w, http.StatusBadRequest, "width, height and seed must be integers", "")
+		return
+	}
+	if width < s.opts.MinWidth || height < s.opts.MinHeight {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("dimensions %dx%d below the %dx%d minimum", width, height, s.opts.MinWidth, s.opts.MinHeight), "")
+		return
+	}
+	if width > s.opts.MaxWidth || height > s.opts.MaxHeight {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("dimensions %dx%d exceed the %dx%d limit", width, height, s.opts.MaxWidth, s.opts.MaxHeight), "")
+		return
+	}
+
+	var pixels []byte
+	if r.Method == http.MethodPost && r.ContentLength != 0 {
+		// Generous fixed bound: dimensions are already capped, and the
+		// exact per-kernel length is enforced after the entry is lifted.
+		maxBody := int64(s.opts.MaxWidth+16)*int64(s.opts.MaxHeight+16)*4 + 1
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+		if err != nil {
+			httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds the input size limit", "")
+			return
+		}
+		pixels = body
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancel()
+	req := request{w: width, h: height, seed: seed, pixels: pixels}
+	s.do(ctx, kernel, &req, func(res *result) {
+		h := w.Header()
+		if res.backend != "" {
+			h.Set("X-Helium-Backend", res.backend)
+		}
+		if res.degraded != "" {
+			h.Set("X-Helium-Degraded", res.degraded)
+		}
+		if res.retryAfter > 0 {
+			h.Set("Retry-After", strconv.Itoa(res.retryAfter))
+		}
+		if res.status != http.StatusOK {
+			httpError(w, res.status, res.errMsg, res.phase)
+			return
+		}
+		if res.bins > 0 {
+			h.Set("X-Helium-Output", fmt.Sprintf("bins:%d", res.bins))
+		} else {
+			h.Set("X-Helium-Output", fmt.Sprintf("%dx%d", res.outW, res.outH))
+		}
+		h.Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		w.Write(res.body)
+	})
+}
+
+// kernelInfo is one registry entry's observable state.
+type kernelInfo struct {
+	Name     string            `json:"name"`
+	Hash     string            `json:"hash"`
+	State    string            `json:"state"` // cold | ready | poisoned | failed
+	Phase    string            `json:"phase,omitempty"`
+	Backends map[string]any    `json:"backends,omitempty"`
+	Breakers map[string]string `json:"breakers,omitempty"`
+	Degraded uint64            `json:"degraded"`
+	Panics   uint64            `json:"panics"`
+}
+
+func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
+	var infos []kernelInfo
+	for _, e := range s.reg.entries() {
+		info := kernelInfo{
+			Name:     e.name,
+			Hash:     e.hash[:12],
+			Degraded: e.degraded.Load(),
+			Panics:   e.panics.Load(),
+		}
+		switch {
+		case e.inst0 != nil:
+			info.State = "cold"
+		case e.rej != nil:
+			info.State = "poisoned"
+			info.Phase = string(e.rej.Phase)
+		case e.err != nil:
+			info.State = "failed"
+		default:
+			info.State = "ready"
+			info.Backends = map[string]any{}
+			info.Breakers = map[string]string{}
+			for _, be := range e.chain {
+				info.Backends[backendNames[be]] = e.served[be].Load()
+				info.Breakers[backendNames[be]] = e.breakers[be].state()
+			}
+			if e.vmOK {
+				info.Backends["vm"] = e.served[beVM].Load()
+				info.Breakers["vm"] = e.breakers[beVM].state()
+			}
+		}
+		infos = append(infos, info)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(infos)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Stats())
+}
+
+// httpError writes the typed JSON error body.
+func httpError(w http.ResponseWriter, status int, msg, phase string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body := map[string]string{"error": msg}
+	if phase != "" {
+		body["phase"] = phase
+	}
+	json.NewEncoder(w).Encode(body)
+}
+
+func intParam(v string, def int) (int, error) {
+	if v == "" {
+		return def, nil
+	}
+	return strconv.Atoi(v)
+}
+
+func uintParam(v string, def uint64) (uint64, error) {
+	if v == "" {
+		return def, nil
+	}
+	return strconv.ParseUint(v, 10, 64)
+}
