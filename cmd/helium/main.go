@@ -509,6 +509,9 @@ func GenerateCorpusPackage(cfg legacy.Config, scheds *schedule.Set) (map[string]
 			st := &res.Stages[i]
 			if st.Red != nil {
 				u.Red = st.Red
+				// A reduction anywhere but last feeds later stages its
+				// serialized table instead of ending the pipeline.
+				u.RedFirst = i < len(res.Stages)-1
 			} else {
 				u.Stages = append(u.Stages, st.Kernel)
 			}

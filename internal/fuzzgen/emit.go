@@ -15,6 +15,22 @@ import (
 // value).
 const histBins = 256
 
+// redConsumeImgOff is the offset of the remapped image inside the
+// reduction-consuming shape's destination buffer; the gap past the bin
+// table keeps the two written regions at least regionGap apart,
+// histeq-style.
+const redConsumeImgOff = 8192
+
+// affineOutW is the strided shape's output width: the widest x for which
+// both taps Stride*x+SOff and Stride*x+SOff+1 stay inside the interior.
+func affineOutW(s Spec) int {
+	return (s.Width-2-s.SOff)/s.Stride + 1
+}
+
+// quadOutW is the non-affine shape's output width: three columns reading
+// source offsets 0, 1 and 4 — the minimum that no affine map a*x+b fits.
+const quadOutW = 3
+
 // emitter assembles one spec's filter code.  The label counter keeps the
 // peeled, unrolled and tiled loop copies from colliding.
 type emitter struct {
@@ -261,6 +277,23 @@ func (e *emitter) lane() func(k int32) {
 				b.Add(slot, isa.ImmOp(int64(s.Delta)))
 			}
 		}
+	case ShapeAffine:
+		return func(k int32) {
+			// edx = Stride*x; the taps sit at Stride*(x+k)+SOff and one
+			// past it, so the scaled index defeats translation unification.
+			b.Mov(edxOp, ecxOp)
+			b.Add(edxOp, edxOp)
+			if s.Stride == 3 {
+				b.Add(edxOp, ecxOp)
+			}
+			d := int32(s.Stride)*k + int32(s.SOff)
+			b.Movzx(eaxOp, isa.MemOp(isa.ESI, isa.EDX, 1, d, 1))
+			b.Movzx(ebxOp, isa.MemOp(isa.ESI, isa.EDX, 1, d+1, 1))
+			b.Add(eaxOp, ebxOp)
+			e.bump(eaxOp)
+			b.Shr(eaxOp, 1)
+			e.storeAL(k)
+		}
 	case ShapeUnsupportedJS:
 		return func(k int32) {
 			e.srcByte(k)
@@ -276,6 +309,16 @@ func (e *emitter) lane() func(k int32) {
 			e.srcByte(k)
 			b.Add(eaxOp, isa.ImmOp(int64(s.B)))
 			b.Adc(eaxOp, isa.ImmOp(1)) // carry-as-data: rejected by design
+			e.storeAL(k)
+		}
+	case ShapeUnsupportedQuad:
+		return func(k int32) {
+			// eax = (x+k)^2: a source index quadratic in the column, which
+			// no affine map fits — the refit must reject it.
+			b.Lea(isa.EAX, isa.Mem(isa.ECX, k, 4))
+			b.Imul(eaxOp, eaxOp)
+			b.Movzx(eaxOp, isa.MemOp(isa.ESI, isa.EAX, 1, 0, 1))
+			b.Add(eaxOp, isa.ImmOp(int64(s.B)))
 			e.storeAL(k)
 		}
 	}
@@ -339,12 +382,22 @@ func (e *emitter) emitSingleStage() {
 	}
 
 	if !s.Obf.TileCols {
+		// The strided and quadratic shapes' column bounds are their output
+		// widths, baked as immediates (the instance geometry is fixed at
+		// build time).
+		x1 := w
+		switch s.Shape {
+		case ShapeAffine:
+			x1 = isa.ImmOp(int64(affineOutW(s)))
+		case ShapeUnsupportedQuad:
+			x1 = isa.ImmOp(quadOutW)
+		}
 		b.Label("filter")
 		b.Prologue(32)
 		e.loopNest(loopCfg{
 			src: src, dst: dst,
 			srcStride: argStride(strideArg), dstStride: argStride(strideArg),
-			x0: isa.ImmOp(0), x1: w, h: h,
+			x0: isa.ImmOp(0), x1: x1, h: h,
 			unroll: s.Obf.Unroll, peel: s.Obf.PeelFirstRow,
 		}, e.lane())
 		b.Epilogue()
@@ -443,6 +496,220 @@ func (e *emitter) emitTwoStage(tmpBase uint32, tmpStride int64) {
 	}
 }
 
+// emitRedConsume emits the reduction-consuming pipeline, histeq-style:
+// zero a Bins-entry dword table at the start of the destination buffer,
+// accumulate the incremental cumulative histogram (every pixel bumps its
+// bucket and all buckets above it), then remap every pixel through the
+// finished table — out = tbl[s>>TblShift] * ScaleM / tbl[Bins-1] — at
+// redConsumeImgOff.  Only the remap loop honors the unroll obfuscation,
+// matching the legacy binary it models.
+func (e *emitter) emitRedConsume() {
+	b, s := e.b, e.spec
+	bins := int64(s.Bins)
+	src, dst, w, h, strideArg := asm.Arg(0), asm.Arg(1), asm.Arg(2), asm.Arg(3), asm.Arg(4)
+	y, drow := asm.Local(1), asm.Local(2)
+
+	// lane remaps one pixel at x = ecx+k.  div leaves the remainder in
+	// edx, so the output row pointer reloads from its local slot after it.
+	lane := func(k int32) {
+		b.Movzx(eaxOp, isa.MemOp(isa.ESI, isa.ECX, 1, k, 1))
+		b.Shr(eaxOp, int64(s.TblShift))
+		b.Mov(eaxOp, isa.MemOp(isa.EDI, isa.EAX, 4, 0, 4))
+		b.Imul3(isa.EAX, eaxOp, int64(s.ScaleM))
+		b.Mov(ebxOp, isa.Mem(isa.EDI, int32(bins-1)*4, 4))
+		b.Div(ebxOp)
+		b.Mov(edxOp, drow)
+		b.Mov(isa.MemOp(isa.EDX, isa.ECX, 1, k, 1), isa.RegOp(isa.AL))
+	}
+
+	// deadRowSetup is the optional dead store + nop padding obfuscation.
+	deadRowSetup := func() {
+		if s.Obf.DeadCode {
+			b.Nop()
+			b.Mov(asm.Local(5), eaxOp)
+			b.Nop()
+		}
+	}
+
+	b.Label("filter")
+	b.Prologue(32)
+	b.Mov(ediOp, dst)
+
+	// Zero the bin table.
+	zl, acc := e.uniq("rcz"), e.uniq("rcacc")
+	e.zero(ecxOp)
+	b.Label(zl)
+	b.Cmp(ecxOp, isa.ImmOp(bins))
+	b.Jcc(isa.JGE, acc)
+	b.Mov(isa.MemOp(isa.EDI, isa.ECX, 4, 0, 4), isa.ImmOp(0))
+	e.bump(ecxOp)
+	b.Jmp(zl)
+
+	// Accumulate the incremental cumulative histogram.
+	b.Label(acc)
+	b.Mov(y, isa.ImmOp(0))
+	arow, apix, asuf, arownext, lut := e.uniq("rcar"), e.uniq("rcap"),
+		e.uniq("rcas"), e.uniq("rcan"), e.uniq("rclut")
+	b.Label(arow)
+	b.Mov(eaxOp, y)
+	b.Cmp(eaxOp, h)
+	b.Jcc(isa.JGE, lut)
+	b.Mov(eaxOp, y)
+	b.Imul(eaxOp, strideArg)
+	b.Mov(esiOp, src)
+	b.Add(esiOp, eaxOp)
+	deadRowSetup()
+	e.zero(ecxOp)
+	b.Label(apix)
+	b.Cmp(ecxOp, w)
+	b.Jcc(isa.JGE, arownext)
+	b.Movzx(eaxOp, isa.MemOp(isa.ESI, isa.ECX, 1, 0, 1))
+	b.Shr(eaxOp, int64(s.TblShift))
+	b.Label(asuf)
+	e.bump(isa.MemOp(isa.EDI, isa.EAX, 4, 0, 4))
+	e.bump(eaxOp)
+	b.Cmp(eaxOp, isa.ImmOp(bins))
+	b.Jcc(isa.JL, asuf)
+	e.bump(ecxOp)
+	b.Jmp(apix)
+	b.Label(arownext)
+	e.bump(y)
+	b.Jmp(arow)
+
+	// Remap every pixel through the finished table.
+	b.Label(lut)
+	b.Mov(y, isa.ImmOp(0))
+	lrow, ldone := e.uniq("rclr"), e.uniq("rcld")
+	b.Label(lrow)
+	b.Mov(eaxOp, y)
+	b.Cmp(eaxOp, h)
+	b.Jcc(isa.JGE, ldone)
+	b.Mov(eaxOp, y)
+	b.Imul(eaxOp, strideArg)
+	b.Mov(esiOp, src)
+	b.Add(esiOp, eaxOp)
+	b.Mov(eaxOp, y)
+	b.Imul(eaxOp, strideArg)
+	b.Add(eaxOp, dst)
+	b.Add(eaxOp, isa.ImmOp(redConsumeImgOff))
+	b.Mov(drow, eaxOp)
+	deadRowSetup()
+	e.zero(ecxOp)
+
+	rem, end := e.uniq("rclxr"), e.uniq("rclxe")
+	if s.Obf.Unroll > 1 {
+		head := e.uniq("rclxu")
+		b.Label(head)
+		b.Lea(isa.EAX, isa.Mem(isa.ECX, int32(s.Obf.Unroll-1), 4))
+		b.Cmp(eaxOp, w)
+		b.Jcc(isa.JGE, rem)
+		for k := 0; k < s.Obf.Unroll; k++ {
+			lane(int32(k))
+		}
+		b.Add(ecxOp, isa.ImmOp(int64(s.Obf.Unroll)))
+		b.Jmp(head)
+	}
+	b.Label(rem)
+	b.Cmp(ecxOp, w)
+	b.Jcc(isa.JGE, end)
+	lane(0)
+	e.bump(ecxOp)
+	b.Jmp(rem)
+	b.Label(end)
+	e.bump(y)
+	b.Jmp(lrow)
+	b.Label(ldone)
+	b.Epilogue()
+}
+
+// emitPartialTable emits the deliberately-broken cousin of emitRedConsume:
+// one row loop that accumulates the row into the cumulative table and then
+// immediately remaps that row through it, so every row but the last is
+// remapped through a partially written reduction table.  The extractor
+// must reject the table read, never lift it.
+func (e *emitter) emitPartialTable() {
+	b, s := e.b, e.spec
+	bins := int64(s.Bins)
+	src, dst, w, h, strideArg := asm.Arg(0), asm.Arg(1), asm.Arg(2), asm.Arg(3), asm.Arg(4)
+	y, drow := asm.Local(1), asm.Local(2)
+
+	b.Label("filter")
+	b.Prologue(32)
+	b.Mov(ediOp, dst)
+
+	// Zero the bin table.
+	zl, rl := e.uniq("ptz"), e.uniq("ptr")
+	e.zero(ecxOp)
+	b.Label(zl)
+	b.Cmp(ecxOp, isa.ImmOp(bins))
+	b.Jcc(isa.JGE, rl)
+	b.Mov(isa.MemOp(isa.EDI, isa.ECX, 4, 0, 4), isa.ImmOp(0))
+	e.bump(ecxOp)
+	b.Jmp(zl)
+
+	b.Label(rl)
+	b.Mov(y, isa.ImmOp(0))
+	row, apix, asuf, lx, rownext, done := e.uniq("ptrow"), e.uniq("ptap"),
+		e.uniq("ptas"), e.uniq("ptlx"), e.uniq("ptrn"), e.uniq("ptd")
+	b.Label(row)
+	b.Mov(eaxOp, y)
+	b.Cmp(eaxOp, h)
+	b.Jcc(isa.JGE, done)
+	b.Mov(eaxOp, y)
+	b.Imul(eaxOp, strideArg)
+	b.Mov(esiOp, src)
+	b.Add(esiOp, eaxOp)
+	b.Mov(eaxOp, y)
+	b.Imul(eaxOp, strideArg)
+	b.Add(eaxOp, dst)
+	b.Add(eaxOp, isa.ImmOp(redConsumeImgOff))
+	b.Mov(drow, eaxOp)
+	if s.Obf.DeadCode {
+		b.Nop()
+		b.Mov(asm.Local(5), eaxOp)
+		b.Nop()
+	}
+
+	// Accumulate this row into the table.
+	e.zero(ecxOp)
+	b.Label(apix)
+	b.Cmp(ecxOp, w)
+	b.Jcc(isa.JGE, lx)
+	b.Movzx(eaxOp, isa.MemOp(isa.ESI, isa.ECX, 1, 0, 1))
+	b.Shr(eaxOp, int64(s.TblShift))
+	b.Label(asuf)
+	e.bump(isa.MemOp(isa.EDI, isa.EAX, 4, 0, 4))
+	e.bump(eaxOp)
+	b.Cmp(eaxOp, isa.ImmOp(bins))
+	b.Jcc(isa.JL, asuf)
+	e.bump(ecxOp)
+	b.Jmp(apix)
+
+	// Remap this row through the table as it stands so far.
+	b.Label(lx)
+	e.zero(ecxOp)
+	lbody := e.uniq("ptlb")
+	b.Label(lbody)
+	b.Cmp(ecxOp, w)
+	b.Jcc(isa.JGE, rownext)
+	b.Movzx(eaxOp, isa.MemOp(isa.ESI, isa.ECX, 1, 0, 1))
+	b.Shr(eaxOp, int64(s.TblShift))
+	b.Mov(eaxOp, isa.MemOp(isa.EDI, isa.EAX, 4, 0, 4))
+	b.Imul3(isa.EAX, eaxOp, int64(s.ScaleM))
+	b.Mov(ebxOp, isa.Mem(isa.EDI, int32(bins-1)*4, 4))
+	b.Div(ebxOp)
+	b.Mov(edxOp, drow)
+	b.Mov(isa.MemOp(isa.EDX, isa.ECX, 1, 0, 1), isa.RegOp(isa.AL))
+	e.bump(ecxOp)
+	b.Jmp(lbody)
+
+	b.Label(rownext)
+	e.bump(y)
+	b.Jmp(row)
+	b.Label(done)
+	b.Epilogue()
+}
+
 // reference computes the spec's expected filtered output in pure Go.  It
 // depends only on the shape parameters — obfuscations are semantics
 // preserving, which is exactly what the harness checks.
@@ -496,6 +763,31 @@ func reference(s Spec, pl *image.Plane, srcBytes []byte) []byte {
 			}
 		}
 		return out
+	case ShapeAffine:
+		outW := affineOutW(s)
+		out := make([]byte, 0, outW*h)
+		for y := 0; y < h; y++ {
+			for x := 0; x < outW; x++ {
+				a := int(pl.At(s.Stride*x+s.SOff, y))
+				c := int(pl.At(s.Stride*x+s.SOff+1, y))
+				out = append(out, byte((a+c+1)>>1))
+			}
+		}
+		return out
+	case ShapeRedConsume:
+		cdf := make([]uint32, s.Bins)
+		for _, v := range pl.Interior() {
+			cdf[int(v)>>s.TblShift]++
+		}
+		for i := 1; i < s.Bins; i++ {
+			cdf[i] += cdf[i-1]
+		}
+		total := cdf[s.Bins-1] // the pixel count: never zero
+		out := make([]byte, 0, w*h)
+		for _, v := range pl.Interior() {
+			out = append(out, byte(cdf[int(v)>>s.TblShift]*uint32(s.ScaleM)/total))
+		}
+		return out
 	case ShapeUnsupportedJS:
 		out := make([]byte, 0, w*h)
 		for _, v := range pl.Interior() {
@@ -510,6 +802,38 @@ func reference(s Spec, pl *image.Plane, srcBytes []byte) []byte {
 		out := make([]byte, 0, w*h)
 		for _, v := range pl.Interior() {
 			out = append(out, byte(int(v)+s.B+1))
+		}
+		return out
+	case ShapeUnsupportedQuad:
+		// The quadratic index walks the flat interior (rows are contiguous,
+		// pad is zero), clamped to zero past the buffer like the VM's
+		// untouched memory.
+		flat := pl.Interior()
+		out := make([]byte, 0, quadOutW*h)
+		for y := 0; y < h; y++ {
+			for x := 0; x < quadOutW; x++ {
+				v := byte(0)
+				if idx := y*w + x*x; idx < len(flat) {
+					v = flat[idx]
+				}
+				out = append(out, byte(int(v)+s.B))
+			}
+		}
+		return out
+	case ShapeUnsupportedPartialTable:
+		flat := pl.Interior()
+		cdf := make([]uint32, s.Bins)
+		out := make([]byte, 0, w*h)
+		for y := 0; y < h; y++ {
+			row := flat[y*w : (y+1)*w]
+			for _, v := range row {
+				for j := int(v) >> s.TblShift; j < s.Bins; j++ {
+					cdf[j]++
+				}
+			}
+			for _, v := range row {
+				out = append(out, byte(cdf[int(v)>>s.TblShift]*uint32(s.ScaleM)/cdf[s.Bins-1]))
+			}
 		}
 		return out
 	}
@@ -542,10 +866,15 @@ func Build(s Spec) (*legacy.Instance, error) {
 	e := &emitter{b: b, spec: s}
 
 	tmpStride := int64(s.Width + 3)
-	if s.Shape == ShapeTwoStage {
+	switch {
+	case s.Shape == ShapeTwoStage:
 		tmpBase := dstAddr + uint32((len(srcBytes)+0xfff)&^0xfff) + 0x1000
 		e.emitTwoStage(tmpBase, tmpStride)
-	} else {
+	case s.Shape == ShapeRedConsume:
+		e.emitRedConsume()
+	case s.Shape == ShapeUnsupportedPartialTable:
+		e.emitPartialTable()
+	default:
 		e.emitSingleStage()
 	}
 
@@ -581,13 +910,20 @@ func Build(s Spec) (*legacy.Instance, error) {
 			if s.Shape == ShapeReduction {
 				return m.Mem.ReadBytes(dstAddr, histBins*4)
 			}
-			outW := s.Width
-			if s.Shape == ShapeTwoStage {
+			outW, off := s.Width, uint32(0)
+			switch s.Shape {
+			case ShapeTwoStage:
 				outW = s.Width - 1
+			case ShapeAffine:
+				outW = affineOutW(s)
+			case ShapeUnsupportedQuad:
+				outW = quadOutW
+			case ShapeRedConsume, ShapeUnsupportedPartialTable:
+				off = redConsumeImgOff
 			}
 			out := make([]byte, 0, outW*s.Height)
 			for y := 0; y < s.Height; y++ {
-				out = append(out, m.Mem.ReadBytes(dstAddr+uint32(pl.Index(0, y)), outW)...)
+				out = append(out, m.Mem.ReadBytes(dstAddr+off+uint32(pl.Index(0, y)), outW)...)
 			}
 			return out
 		},

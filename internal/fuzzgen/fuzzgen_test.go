@@ -105,16 +105,30 @@ func TestEveryShapeEveryObfuscation(t *testing.T) {
 }
 
 // TestRejectionDiagnosticsSurvive asserts the PR-4 diagnostic contract on
-// fuzz-generated unsupported shapes: the rejection must name the
-// offending instruction and suggest the nearest supported pattern, not
-// just fail.
+// fuzz-generated unsupported shapes: the rejection must come from the
+// right phase, name the offending instruction or arithmetic, and suggest
+// the nearest supported pattern — not just fail, and never panic.  The
+// quad and partial-table rows sit just outside the affine index-map and
+// reduction-consuming patterns respectively.
 func TestRejectionDiagnosticsSurvive(t *testing.T) {
 	cases := []struct {
 		shape Shape
+		phase lift.Phase
 		wants []string
 	}{
-		{ShapeUnsupportedJS, []string{"js", "nearest supported pattern"}},
-		{ShapeUnsupportedAdc, []string{"adc", "nearest supported pattern", "carry"}},
+		{ShapeUnsupportedJS, lift.PhaseExtract,
+			[]string{"js", "nearest supported pattern"}},
+		{ShapeUnsupportedAdc, lift.PhaseExtract,
+			[]string{"adc", "nearest supported pattern", "carry"}},
+		// Non-affine index arithmetic (src[x*x]): the translation unifier
+		// fails, the affine refit names the tap bases that fit no a*x+b.
+		{ShapeUnsupportedQuad, lift.PhaseUnify,
+			[]string{"do not fit an affine map", "not affine in the output coordinate"}},
+		// A stage consuming a partially written reduction table: the
+		// extractor names the premature read and the ordering rule.
+		{ShapeUnsupportedPartialTable, lift.PhaseExtract,
+			[]string{"reads the reduction table", "before the table is fully written",
+				"a consuming stage must run after the whole reduction"}},
 	}
 	for _, tc := range cases {
 		for seed := uint64(1); seed <= 4; seed++ {
@@ -123,6 +137,9 @@ func TestRejectionDiagnosticsSurvive(t *testing.T) {
 				rep := Run(spec)
 				if rep.Outcome != OutcomeRejected {
 					t.Fatalf("want rejection, got %s", rep)
+				}
+				if rep.Phase != tc.phase {
+					t.Errorf("rejected at phase %s, want %s", rep.Phase, tc.phase)
 				}
 				msg := rep.Err.Error()
 				for _, want := range tc.wants {

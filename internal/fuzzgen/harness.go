@@ -195,6 +195,7 @@ func runPipeline(spec Spec, inst *legacy.Instance, rep *Report) (err error) {
 		st := &res.Stages[i]
 		if st.Red != nil {
 			unit.Red = st.Red
+			unit.RedFirst = i < len(res.Stages)-1
 		} else {
 			unit.Stages = append(unit.Stages, st.Kernel)
 		}

@@ -35,12 +35,32 @@ const (
 	// plane into a horizontal average: tmp[x] = (A*s[x]+B)>>1, then
 	// dst[x] = (tmp[x] + tmp[x+1] + 1) >> 1 at width W-1.
 	ShapeTwoStage
+	// ShapeAffine is a strided two-tap average — dst[x] = (s[S*x+F] +
+	// s[S*x+F+1] + 1) >> 1 with randomized stride S and offset F — whose
+	// scaled source index defeats translation-based unification and must
+	// come back through the affine index-map refit.
+	ShapeAffine
+	// ShapeRedConsume runs a cumulative histogram reduction with a
+	// randomized table width into a per-pixel LUT remap that consumes the
+	// table: dst[x] = tbl[s[x]>>shift] * M / tbl[Bins-1].  The reduction
+	// is ordered before the stencil, histeq-style.
+	ShapeRedConsume
 	// ShapeUnsupportedJS branches on the sign flag of a compare (js),
 	// which the extractor rejects by design.
 	ShapeUnsupportedJS
 	// ShapeUnsupportedAdc folds the carry flag into data with adc, which
 	// the extractor rejects by design.
 	ShapeUnsupportedAdc
+	// ShapeUnsupportedQuad indexes the source at x*x — non-affine index
+	// arithmetic that sits just outside the affine index-map refit, which
+	// must reject it by design.
+	ShapeUnsupportedQuad
+	// ShapeUnsupportedPartialTable interleaves a cumulative histogram's
+	// accumulation with the pass that consumes its table, row by row, so
+	// the consuming stage reads a partially written reduction table —
+	// rejected by design (a consuming stage must follow the whole
+	// reduction).
+	ShapeUnsupportedPartialTable
 
 	numShapes
 )
@@ -58,10 +78,18 @@ func (s Shape) String() string {
 		return "reduction"
 	case ShapeTwoStage:
 		return "twostage"
+	case ShapeAffine:
+		return "affine"
+	case ShapeRedConsume:
+		return "redconsume"
 	case ShapeUnsupportedJS:
 		return "unsupported-js"
 	case ShapeUnsupportedAdc:
 		return "unsupported-adc"
+	case ShapeUnsupportedQuad:
+		return "unsupported-quad"
+	case ShapeUnsupportedPartialTable:
+		return "unsupported-partialtable"
 	}
 	return fmt.Sprintf("shape(%d)", int(s))
 }
@@ -69,7 +97,11 @@ func (s Shape) String() string {
 // Supported reports whether the pipeline is expected to lift and verify
 // the shape (false: it must return a typed rejection).
 func (s Shape) Supported() bool {
-	return s != ShapeUnsupportedJS && s != ShapeUnsupportedAdc
+	switch s {
+	case ShapeUnsupportedJS, ShapeUnsupportedAdc, ShapeUnsupportedQuad, ShapeUnsupportedPartialTable:
+		return false
+	}
+	return true
 }
 
 // Obfuscation selects the semantics-preserving code-shape transforms the
@@ -133,7 +165,15 @@ type Spec struct {
 	Thresh int
 	// Delta is the histogram increment (1 or 2).
 	Delta int
-	Obf   Obfuscation
+	// Stride and SOff parameterize the affine shape's index map
+	// in = Stride*x + SOff.
+	Stride, SOff int
+	// Bins is the reduction-consuming shape's table width; TblShift
+	// buckets a sample into it (Bins<<TblShift == 256).
+	Bins, TblShift int
+	// ScaleM is the reduction-consuming remap's numerator constant.
+	ScaleM int
+	Obf    Obfuscation
 }
 
 // Name renders a stable identifier for test names and fixtures.
@@ -164,9 +204,9 @@ func (r *rng) coin() bool { return r.next()&1 == 1 }
 // smoke corpus exercises both the verify path and the rejection path.
 func NewSpec(seed uint64) Spec {
 	r := rng{state: seed}
-	// 0..9: eight supported draws, two unsupported.
+	// 0..13: twelve supported draws, two unsupported.
 	var shape Shape
-	switch r.intn(10) {
+	switch r.intn(14) {
 	case 0, 1:
 		shape = ShapePoint
 	case 2, 3:
@@ -177,7 +217,11 @@ func NewSpec(seed uint64) Spec {
 		shape = ShapeReduction
 	case 7:
 		shape = ShapeTwoStage
-	case 8:
+	case 8, 9:
+		shape = ShapeAffine
+	case 10, 11:
+		shape = ShapeRedConsume
+	case 12:
 		shape = ShapeUnsupportedJS
 	default:
 		shape = ShapeUnsupportedAdc
@@ -215,13 +259,28 @@ func newSpecShaped(seed uint64, shape Shape, r *rng) Spec {
 			StrengthReduce: r.coin(),
 			SelVariant:     r.coin(),
 		},
+		Stride: 2 + r.intn(2),
+		SOff:   r.intn(2),
+		Bins:   []int{16, 32, 64}[r.intn(3)],
+		ScaleM: []int{100, 200, 255}[r.intn(3)],
 	}
+	s.TblShift = map[int]int{16: 4, 32: 3, 64: 2}[s.Bins]
 	// Tiling restructures the filter into a driver + worker pair; keep it
 	// to the single-stage stencil families where that structure is
 	// idiomatic (reductions and multi-stage filters tile their own ways).
 	if shape == ShapeReduction || shape == ShapeTwoStage {
 		s.Obf.TileCols = false
 		s.Obf.PeelFirstRow = s.Obf.PeelFirstRow && shape != ShapeReduction
+	}
+	// The affine refit re-extracts single-region traces; the two-tile
+	// driver is out of its scope.  The reduction-consuming pipeline lays
+	// out its own three passes, histeq-style.
+	if shape == ShapeAffine || shape == ShapeUnsupportedQuad {
+		s.Obf.TileCols = false
+	}
+	if shape == ShapeRedConsume || shape == ShapeUnsupportedPartialTable {
+		s.Obf.TileCols = false
+		s.Obf.PeelFirstRow = false
 	}
 	return s
 }

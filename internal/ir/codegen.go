@@ -150,6 +150,12 @@ type progGen struct {
 	// lockstep are the one chunked idiom the prove pass discharges fully;
 	// counted `s[x+k]` forms all keep at least the +k lanes checked.
 	bceIdx string
+	// bceTapIdx spells the ELEMENT index of the advancing TAP slices when
+	// it differs from bceIdx — the strided batch loop of an index-mapped
+	// kernel cuts tap slices by lanes*stride but the output by lanes, so
+	// lane k reads s[k*stride] while writing d[k].  Empty when taps and
+	// output advance in lockstep.
+	bceTapIdx string
 	// flatCh > 0 marks the flat-interleaved variant: the loop scans
 	// n*flatCh contiguous samples and a fault splits the flat index back
 	// into (x, c) through the variant's ok-return shape.
@@ -157,6 +163,118 @@ type progGen struct {
 	// noBCE suppresses the bounds-check-free fast path (reductions whose
 	// bin store the compiler could not prove in-bounds).
 	noBCE bool
+	// mapped marks an affine index-mapped kernel (a resize): mx and my
+	// are the normalized per-axis maps and orgX/orgY the kernel origins,
+	// all baked into the emitted row bodies — the registration's origins
+	// are zeroed so the drivers pass raw output coordinates through.
+	mapped     bool
+	mx, my     AxisMap
+	orgX, orgY int
+}
+
+// setMap copies a compiled kernel's affine index-map state into the
+// generator; identity maps leave the emitter in the classic
+// translation-only mode, whose output is byte-identical to before maps
+// existed.
+func (g *progGen) setMap(ck *CompiledKernel) {
+	if !ck.Mapped() {
+		return
+	}
+	g.mapped = true
+	nx, dx, ox := ck.MapX.Norm()
+	ny, dy, oy := ck.MapY.Norm()
+	g.mx = AxisMap{Num: nx, Den: dx, Off: ox}
+	g.my = AxisMap{Num: ny, Den: dy, Off: oy}
+	g.orgX, g.orgY = ck.OriginX, ck.OriginY
+}
+
+// xStep is the per-sample input column advance: the x map's numerator
+// for a den-1 mapped kernel, 1 for classic stencils.
+func (g *progGen) xStep() int {
+	if g.mapped && g.mx.Den == 1 {
+		return g.mx.Num
+	}
+	return 1
+}
+
+// fracX reports a fractional x map — the per-sample input column is a
+// floor division of the output coordinate (an upsample), so rows walk
+// sample by sample instead of by a constant stride.
+func (g *progGen) fracX() bool { return g.mapped && g.mx.Den != 1 }
+
+// hasTableIn reports whether the program performs stage-input table
+// lookups, which need the `tbl := img.Tbl` hoist in the preamble.
+func (g *progGen) hasTableIn() bool {
+	for i := range g.p.insts {
+		if g.p.insts[i].op == OpTableIn {
+			return true
+		}
+	}
+	return false
+}
+
+// mapExpr spells m.Apply(v)+org as Go source: num*v+off for den 1,
+// floorDiv(num*v+off, den)+org otherwise.
+func mapExpr(m AxisMap, v string, org int) string {
+	var s string
+	if m.Den == 1 {
+		switch {
+		case m.Num == 0:
+			s = "0"
+		case m.Num == 1:
+			s = v
+		default:
+			s = fmt.Sprintf("%d*%s", m.Num, v)
+		}
+		return addConst(s, m.Off+org)
+	}
+	in := v
+	switch {
+	case m.Num == 0:
+		in = "0"
+	case m.Num != 1:
+		in = fmt.Sprintf("%d*%s", m.Num, v)
+	}
+	if m.Off != 0 {
+		in = fmt.Sprintf("%s%+d", in, m.Off)
+	}
+	s = fmt.Sprintf("floorDiv(%s, %d)", in, m.Den)
+	return addConst(s, org)
+}
+
+// addConst appends a signed constant term to an expression.
+func addConst(s string, d int) string {
+	switch {
+	case d > 0:
+		return fmt.Sprintf("%s + %d", s, d)
+	case d < 0:
+		return fmt.Sprintf("%s - %d", s, -d)
+	}
+	return s
+}
+
+// errX spells the input x coordinate of a checked-load fault for the tap
+// delta dx, matching the register executors' mapped-coordinate reports.
+func (g *progGen) errX(dx int32) string {
+	switch {
+	case g.fracX():
+		return fmt.Sprintf("xi+(%d)", dx)
+	case g.xStep() != 1:
+		return fmt.Sprintf("xbase+x*%d+(%d)", g.xStep(), dx)
+	}
+	return fmt.Sprintf("xbase+x+(%d)", dx)
+}
+
+// errXBase spells the input x coordinate of a checked opSumTaps fault
+// (the executors report the sample's base coordinate, not the tap's).
+func (g *progGen) errXBase() string {
+	switch {
+	case g.fracX():
+		return "xi"
+	case g.xStep() != 1:
+		return fmt.Sprintf("xbase+x*%d", g.xStep())
+	}
+	return "xbase+x"
 }
 
 // bceLanes is the unroll factor of the bounds-check-free batch loop: 8
@@ -187,6 +305,12 @@ type GenKernel struct {
 	Stages []*Kernel
 	// Red is the reduction (for example a histogram).
 	Red *Reduction
+	// RedFirst, with both Red and Stages set, reverses the chaining: the
+	// reduction runs FIRST, over the input image, and its serialized
+	// table binds as the stages' table input (the stage-input lookups a
+	// histogram-equalization LUT performs); the last stage's output is
+	// the kernel result.
+	RedFirst bool
 	// Sched, when non-nil, is the tuned default schedule embedded in the
 	// registration (EvalTuned runs it; Eval stays the serial reference).
 	Sched *schedule.Schedule
@@ -318,6 +442,7 @@ func channelBodies(ck *CompiledKernel) ([]string, error) {
 		}
 		g.T = laneTypeName(g.bits)
 		g.S = signedTypeName(g.bits)
+		g.setMap(ck)
 		if err := g.emitRowFunc("shared"); err != nil {
 			return nil, err
 		}
@@ -356,6 +481,7 @@ func emitRowSet(b *strings.Builder, fg *fileGen, what string, ck *CompiledKernel
 			}
 			g.T = laneTypeName(g.bits)
 			g.S = signedTypeName(g.bits)
+			g.setMap(ck)
 			if err := g.emitRowFunc(shared); err != nil {
 				return rs, fmt.Errorf("%s: %w", what, err)
 			}
@@ -373,7 +499,11 @@ func emitRowSet(b *strings.Builder, fg *fileGen, what string, ck *CompiledKernel
 			}
 			gf.T = laneTypeName(gf.bits)
 			gf.S = signedTypeName(gf.bits)
-			if gf.hasLoads() {
+			gf.setMap(ck)
+			// The flat scan folds x and c into one index, which an index
+			// map would have to divide back apart — mapped kernels keep
+			// the per-channel path.
+			if gf.hasLoads() && !ck.Mapped() {
 				flat = prefix + "Flat"
 				if err := gf.emitFlatRowFunc(flat); err != nil {
 					return rs, fmt.Errorf("%s: %w", what, err)
@@ -409,6 +539,7 @@ func emitRowSet(b *strings.Builder, fg *fileGen, what string, ck *CompiledKernel
 		}
 		g.T = laneTypeName(g.bits)
 		g.S = signedTypeName(g.bits)
+		g.setMap(ck)
 		if err := g.emitRowFunc(rs.rows[c]); err != nil {
 			return rs, fmt.Errorf("%s channel %d: %w", what, c, err)
 		}
@@ -512,19 +643,28 @@ func genKernel(b *strings.Builder, fg *fileGen, k *Kernel, ck *CompiledKernel, s
 	if err != nil {
 		return err
 	}
+	kreg := k
+	if ck.Mapped() {
+		// The affine index maps and the origins are baked into the row
+		// bodies, so the registration's origins stay zero and the
+		// drivers pass raw output coordinates through.
+		kc := *k
+		kc.OriginX, kc.OriginY = 0, 0
+		kreg = &kc
+	}
 	tuned := ""
 	if sc != nil {
 		if st := sc.StageAt(0); st.TileW > 0 && st.TileH > 0 {
 			tuned = "tuned" + ident
-			emitTunedDriver(&fns, fg, k, &rs, tuned, st.TileW, st.TileH)
+			emitTunedDriver(&fns, fg, kreg, &rs, tuned, st.TileW, st.TileH)
 		}
 	}
 	fmt.Fprintf(b, "func init() {\n")
 	fmt.Fprintf(b, "\tregister(&Kernel{\n")
 	fmt.Fprintf(b, "\t\tName:          %q,\n", k.Name)
 	fmt.Fprintf(b, "\t\tChannels:      %d,\n", k.Channels)
-	fmt.Fprintf(b, "\t\tOriginX:       %d,\n", k.OriginX)
-	fmt.Fprintf(b, "\t\tOriginY:       %d,\n", k.OriginY)
+	fmt.Fprintf(b, "\t\tOriginX:       %d,\n", kreg.OriginX)
+	fmt.Fprintf(b, "\t\tOriginY:       %d,\n", kreg.OriginY)
 	fmt.Fprintf(b, "\t\tDefaultWidth:  %d,\n", k.OutWidth)
 	fmt.Fprintf(b, "\t\tDefaultHeight: %d,\n", k.OutHeight)
 	rs.regLines(b, "\t\t")
@@ -572,7 +712,7 @@ func emitFusedDriver(b *strings.Builder, u GenKernel, cks []*CompiledKernel, set
 	fmt.Fprintf(b, "\tif hi0 > hs[0] || drain {\n\t\thi0 = hs[0]\n\t}\n")
 	fmt.Fprintf(b, "\tring := sc.buf(0, ringRows*w0)\n")
 	fmt.Fprintf(b, "\trim := sc.img(0)\n")
-	fmt.Fprintf(b, "\t*rim = Image{Pix: ring, Base: -lo0 * w0, Stride: w0, PixStep: 1}\n")
+	fmt.Fprintf(b, "\t*rim = Image{Pix: ring, Base: -lo0 * w0, Stride: w0, PixStep: 1, Tbl: img.Tbl}\n")
 	fmt.Fprintf(b, "\tyBase, cur := lo0, lo0\n")
 	fmt.Fprintf(b, "\tproduce := func(y int) bool {\n")
 	fmt.Fprintf(b, "\t\tph := y - yBase\n")
@@ -612,28 +752,44 @@ func genStaged(b *strings.Builder, fg *fileGen, u GenKernel) error {
 	finalW := u.Stages[len(u.Stages)-1].OutWidth
 	finalH := u.Stages[len(u.Stages)-1].OutHeight
 	channels := u.Stages[len(u.Stages)-1].Channels
-	if u.Red != nil {
+	switch {
+	case u.Red != nil && u.RedFirst:
+		fmt.Fprintf(b, "// %s is the lifted reduction-fed pipeline: the table computes over\n// the input, then %d stencil stage(s) consume it\n", u.Name, len(u.Stages))
+	case u.Red != nil:
 		finalW, finalH = u.Red.DomW, u.Red.DomH
 		channels = 1
 		fmt.Fprintf(b, "// %s is the lifted %d-stage pipeline ending in a reduction\n", u.Name, len(u.Stages))
-	} else {
+	default:
 		fmt.Fprintf(b, "// %s is the lifted %d-stage stencil pipeline\n", u.Name, len(u.Stages))
+	}
+	redComment := func() {
+		for _, line := range strings.Split(strings.TrimRight(u.Red.String(), "\n"), "\n") {
+			fmt.Fprintf(b, "//\n//\t%s\n", line)
+		}
+	}
+	if u.Red != nil && u.RedFirst {
+		redComment()
 	}
 	for _, k := range u.Stages {
 		for _, line := range strings.Split(strings.TrimRight(k.String(), "\n"), "\n") {
 			fmt.Fprintf(b, "//\n//\t%s\n", line)
 		}
 	}
-	if u.Red != nil {
-		for _, line := range strings.Split(strings.TrimRight(u.Red.String(), "\n"), "\n") {
-			fmt.Fprintf(b, "//\n//\t%s\n", line)
-		}
+	if u.Red != nil && !u.RedFirst {
+		redComment()
 	}
 	cks := make([]*CompiledKernel, len(u.Stages))
 	for si, k := range u.Stages {
 		ck, err := k.Compile()
 		if err != nil {
 			return fmt.Errorf("ir: generate %s stage %d: %w", u.Name, si, err)
+		}
+		if ck.Mapped() {
+			// The staged drivers share extents and footprints across
+			// stages in output coordinates; an index-mapped stage breaks
+			// that accounting, so maps only generate as single-stage
+			// kernels (the corpus shape).
+			return fmt.Errorf("ir: generate %s stage %d: affine index-mapped stages only generate single-stage", u.Name, si)
 		}
 		cks[si] = ck
 	}
@@ -675,6 +831,15 @@ func genStaged(b *strings.Builder, fg *fileGen, u GenKernel) error {
 		if err := emitReductionSpec(b, &fns, fg, u.Name, ident, u.Red, rp); err != nil {
 			return err
 		}
+		if u.RedFirst {
+			fmt.Fprintf(b, "\t\tRedFirst: true,\n")
+			if dw := u.Red.DomW - finalW; dw != 0 {
+				fmt.Fprintf(b, "\t\tRedDW: %d,\n", dw)
+			}
+			if dh := u.Red.DomH - finalH; dh != 0 {
+				fmt.Fprintf(b, "\t\tRedDH: %d,\n", dh)
+			}
+		}
 	}
 	emitSched(b, u.Sched)
 	fmt.Fprintf(b, "\t})\n}\n\n")
@@ -694,6 +859,11 @@ func compileReduction(name string, r *Reduction) (*Program, error) {
 	}
 	if p.rootFloat {
 		return nil, fmt.Errorf("ir: generate %s: float-valued reduction index is not generatable", name)
+	}
+	for i := range p.insts {
+		if p.insts[i].op == OpTableIn {
+			return nil, fmt.Errorf("ir: generate %s: reduction index with stage-input lookups is not generatable", name)
+		}
 	}
 	return p, nil
 }
@@ -715,6 +885,9 @@ func emitReductionSpec(b, fns *strings.Builder, fg *fileGen, name, ident string,
 			inits[i] = fmt.Sprint(uint32(v))
 		}
 		fmt.Fprintf(b, "\t\t\tInit: []uint32{%s},\n", strings.Join(inits, ", "))
+	}
+	if r.Suffix {
+		fmt.Fprintf(b, "\t\t\tSuffix: true,\n")
 	}
 	fmt.Fprintf(b, "\t\t\tRow:  red%s,\n", ident)
 	fmt.Fprintf(b, "\t\t},\n")
@@ -821,6 +994,10 @@ func (g *progGen) liveness() {
 			if !g.tableSafe(in) {
 				mark(in.a)
 			}
+		case OpTableIn:
+			// The table is bound at run time, so the range check can
+			// never be discharged at generation time.
+			mark(in.a)
 		}
 	}
 }
@@ -1113,10 +1290,26 @@ func (g *progGen) emitBody(offDefs []string) error {
 			fmt.Fprintf(b, "\t%s\n", d)
 		}
 		// Hoisted bounds check: when every tap's whole x-span lies inside
-		// the backing, the row loop runs with unchecked loads.
+		// the backing, the row loop runs with unchecked loads.  Index
+		// maps widen the span by their stride; fractional maps hoist the
+		// first and last mapped columns (the maps are nondecreasing, so
+		// those bound every sample).
 		var conds []string
-		for i := range offDefs {
-			conds = append(conds, fmt.Sprintf("spanIn(pos0+o%d, pos0+o%d+(n-1)*ps, len(pix))", i, i))
+		switch {
+		case g.fracX():
+			fmt.Fprintf(b, "\txlo := %s\n", mapExpr(g.mx, "xbase", g.orgX))
+			fmt.Fprintf(b, "\txhi := %s\n", mapExpr(g.mx, "(xbase+n-1)", g.orgX))
+			for i := range offDefs {
+				conds = append(conds, fmt.Sprintf("spanIn(pos0+xlo*ps+o%d, pos0+xhi*ps+o%d, len(pix))", i, i))
+			}
+		case g.xStep() != 1:
+			for i := range offDefs {
+				conds = append(conds, fmt.Sprintf("spanIn(pos0+o%d, pos0+o%d+(n-1)*%d*ps, len(pix))", i, i, g.xStep()))
+			}
+		default:
+			for i := range offDefs {
+				conds = append(conds, fmt.Sprintf("spanIn(pos0+o%d, pos0+o%d+(n-1)*ps, len(pix))", i, i))
+			}
 		}
 		fmt.Fprintf(b, "\tif n > 0 && %s {\n", strings.Join(conds, " &&\n\t\t"))
 		if err := g.emitFastPath(len(offDefs)); err != nil {
@@ -1148,7 +1341,10 @@ func (g *progGen) emitBody(offDefs []string) error {
 // and tail loops.  It runs inside the whole-span guard and returns on
 // completion; non-contiguous geometry falls through to the strided loop.
 func (g *progGen) emitFastPath(nOffs int) error {
-	if g.noBCE {
+	if g.noBCE || g.fracX() || g.xStep() < 1 {
+		// Fractional index maps re-divide per sample and constant-column
+		// maps never advance — neither shape head-cuts, so both keep the
+		// strided rolled loop (still unchecked under the span guard).
 		return nil
 	}
 	b := g.b
@@ -1196,8 +1392,18 @@ func (g *progGen) emitBCELoops(nOffs int, lenVar string, d int) error {
 			}
 		}
 	}
+	xs := g.xStep()
 	g.bceSlice = map[string]string{}
-	var adv []string // slices advanced in lockstep, in emission order
+	var adv []string  // slices advanced in lockstep, in emission order
+	var advStep []int // per-slice head-cut per sample (stride for taps)
+	span := lenVar
+	if xs != 1 {
+		// A strided index map reads (n-1)*stride+1 input columns per
+		// tap; the tap re-slices below span exactly that, so the length
+		// conjunctions stay exact.
+		span = "sp"
+		fmt.Fprintf(b, "%ssp := (%s-1)*%d + 1\n", t, lenVar, xs)
+	}
 	for i := 0; i < nOffs; i++ {
 		ov := fmt.Sprintf("o%d", i)
 		if !live[ov] {
@@ -1206,20 +1412,24 @@ func (g *progGen) emitBCELoops(nOffs int, lenVar string, d int) error {
 		sv := fmt.Sprintf("s%d", i)
 		g.bceSlice[ov] = sv
 		adv = append(adv, sv)
+		advStep = append(advStep, xs)
 		// Full-slice re-slice: every advancing slice starts at exactly
-		// lenVar elements, so the lockstep head-cuts keep their lengths
-		// equal and the len() conjunctions below cover every access.
-		fmt.Fprintf(b, "%s%s := pix[pos0+%s : pos0+%s+%s : pos0+%s+%s]\n", t, sv, ov, ov, lenVar, ov, lenVar)
+		// the span it indexes, so the lockstep head-cuts keep their
+		// lengths in step and the len() conjunctions below cover every
+		// access.
+		fmt.Fprintf(b, "%s%s := pix[pos0+%s : pos0+%s+%s : pos0+%s+%s]\n", t, sv, ov, ov, span, ov, span)
 	}
 	if g.storeFn == nil {
 		g.bceDst = "d"
 		adv = append(adv, "d")
+		advStep = append(advStep, 1)
 		fmt.Fprintf(b, "%sd := dst[:%s:%s]\n", t, lenVar, lenVar)
 	}
 	defer func() {
 		g.bceSlice = nil
 		g.bceDst = ""
 		g.bceIdx = ""
+		g.bceTapIdx = ""
 		g.xTerm = ""
 	}()
 	if len(adv) == 0 {
@@ -1237,29 +1447,36 @@ func (g *progGen) emitBCELoops(nOffs int, lenVar string, d int) error {
 		return nil
 	}
 	lhs := strings.Join(adv, ", ")
-	cut := func(step int) string {
+	cut := func(k int) string {
 		parts := make([]string, len(adv))
 		for i, sv := range adv {
-			parts[i] = fmt.Sprintf("%s[%d:]", sv, step)
+			parts[i] = fmt.Sprintf("%s[%d:]", sv, k*advStep[i])
 		}
 		return strings.Join(parts, ", ")
 	}
-	conds := func(cmp string) string {
+	conds := func(lanes int, cmp string) string {
 		parts := make([]string, len(adv))
 		for i, sv := range adv {
-			parts[i] = fmt.Sprintf("len(%s) %s", sv, cmp)
+			if lanes > 0 {
+				parts[i] = fmt.Sprintf("len(%s) >= %d", sv, lanes*advStep[i])
+			} else {
+				parts[i] = fmt.Sprintf("len(%s) %s", sv, cmp)
+			}
 		}
 		return strings.Join(parts, " && ")
 	}
 	fmt.Fprintf(b, "%sx := 0\n", t)
 	fmt.Fprintf(b, "%s// bce:begin\n", t)
-	fmt.Fprintf(b, "%sfor %s {\n", t, conds(fmt.Sprintf(">= %d", bceLanes)))
+	fmt.Fprintf(b, "%sfor %s {\n", t, conds(bceLanes, ""))
 	for k := 0; k < bceLanes; k++ {
 		g.xTerm = "x"
 		if k > 0 {
 			g.xTerm = fmt.Sprintf("x+%d", k)
 		}
 		g.bceIdx = fmt.Sprintf("%d", k)
+		if xs != 1 {
+			g.bceTapIdx = fmt.Sprintf("%d", k*xs)
+		}
 		fmt.Fprintf(b, "%s\t{\n", t)
 		if err := g.emitSampleBody(g.writerAt(d+2), false); err != nil {
 			return err
@@ -1269,8 +1486,22 @@ func (g *progGen) emitBCELoops(nOffs int, lenVar string, d int) error {
 	fmt.Fprintf(b, "%s\t%s = %s\n", t, lhs, cut(bceLanes))
 	fmt.Fprintf(b, "%s\tx += %d\n", t, bceLanes)
 	fmt.Fprintf(b, "%s}\n", t)
+	if xs != 1 {
+		fmt.Fprintf(b, "%s// bce:end\n", t)
+		// Strided tail: the last tap slice ends mid-stride, so head-
+		// cutting it by the stride would overrun — the final < bceLanes
+		// samples run the plain strided body instead, outside the
+		// markers, where its residual checks are off the hot path.
+		g.bceSlice, g.bceDst, g.bceIdx, g.bceTapIdx, g.xTerm = nil, "", "", "", "x"
+		fmt.Fprintf(b, "%sfor ; x < %s; x++ {\n", t, lenVar)
+		if err := g.emitSampleBody(g.writerAt(d+1), false); err != nil {
+			return err
+		}
+		fmt.Fprintf(b, "%s}\n", t)
+		return nil
+	}
 	g.xTerm, g.bceIdx = "x", "0"
-	fmt.Fprintf(b, "%sfor %s {\n", t, conds("> 0"))
+	fmt.Fprintf(b, "%sfor %s {\n", t, conds(0, "> 0"))
 	if err := g.emitSampleBody(g.writerAt(d+1), false); err != nil {
 		return err
 	}
@@ -1289,6 +1520,16 @@ func (g *progGen) elemIdx() string {
 		return g.bceIdx
 	}
 	return g.xTerm
+}
+
+// tapIdx spells the element index for TAP slice accesses, which differs
+// from elemIdx inside a strided batch block: lane k reads s[k*stride]
+// while writing d[k].
+func (g *progGen) tapIdx() string {
+	if g.bceTapIdx != "" {
+		return g.bceTapIdx
+	}
+	return g.elemIdx()
 }
 
 // emitRowFunc writes the complete row function for one channel program.
@@ -1312,11 +1553,29 @@ func (g *progGen) emitRowFunc(name string) error {
 		fmt.Fprintf(b, "func %s(dst []byte, step int, img *Image, y, xbase, n int) (int, error) {\n", name)
 	}
 	if len(offDefs) > 0 {
+		if g.mapped {
+			// Bake the affine index maps: y (and, for whole-stride maps,
+			// xbase) remap to INPUT coordinates on entry; fractional x
+			// maps keep xbase raw and floor-divide per sample.
+			if !g.my.Identity() || g.orgY != 0 {
+				fmt.Fprintf(b, "\ty = %s\n", mapExpr(g.my, "y", g.orgY))
+			}
+			if g.mx.Den == 1 && (!g.mx.Identity() || g.orgX != 0) {
+				fmt.Fprintf(b, "\txbase = %s\n", mapExpr(g.mx, "xbase", g.orgX))
+			}
+		}
 		fmt.Fprintf(b, "\tpix := img.Pix\n")
 		fmt.Fprintf(b, "\tps := img.PixStep\n")
-		fmt.Fprintf(b, "\tpos0 := img.Base + y*img.Stride + xbase*ps + %s*img.ChanStep\n", g.chanTerm())
+		if g.fracX() {
+			fmt.Fprintf(b, "\tpos0 := img.Base + y*img.Stride + %s*img.ChanStep\n", g.chanTerm())
+		} else {
+			fmt.Fprintf(b, "\tpos0 := img.Base + y*img.Stride + xbase*ps + %s*img.ChanStep\n", g.chanTerm())
+		}
 	} else if g.cvar {
 		fmt.Fprintf(b, "\t_ = c\n")
+	}
+	if g.hasTableIn() {
+		fmt.Fprintf(b, "\ttbl := img.Tbl\n")
 	}
 	return g.emitBody(offDefs)
 }
@@ -1460,7 +1719,15 @@ func (g *progGen) emitSampleBody(w func(string, ...any), checked bool) error {
 			}
 		}
 		if pixUsed {
-			w("p := pos0 + x*ps")
+			switch {
+			case g.fracX():
+				w("xi := %s", mapExpr(g.mx, "(xbase+x)", g.orgX))
+				w("p := pos0 + xi*ps")
+			case g.xStep() != 1:
+				w("p := pos0 + x*%d*ps", g.xStep())
+			default:
+				w("p := pos0 + x*ps")
+			}
 		}
 	}
 	for i := range p.insts {
@@ -1526,17 +1793,24 @@ func (g *progGen) emitInst(i int, w func(string, ...any), checked bool) error {
 		case OpLoad:
 			if checked {
 				w("if uint(p+%s) >= uint(len(pix)) {", g.offVars[i])
-				w("\treturn x, errLoad(xbase+x+(%d), y+(%d), %s)", in.dx, in.dy, g.chanExpr(in.dc))
+				w("\treturn x, errLoad(%s, y+(%d), %s)", g.errX(in.dx), in.dy, g.chanExpr(in.dc))
 				w("}")
 			}
 		case opSumTaps:
 			if checked {
 				for _, ov := range g.tapOffVars[i] {
 					w("if uint(p+%s) >= uint(len(pix)) {", ov)
-					w("\treturn x, errLoad(xbase+x, y, %s)", g.chanExpr(0))
+					w("\treturn x, errLoad(%s, y, %s)", g.errXBase(), g.chanExpr(0))
 					w("}")
 				}
 			}
+		case OpTableIn:
+			// Dead stage-input lookup: the range check against the bound
+			// table still runs at this program position.
+			w("i%d := %s", i, g.refInt64(in.a))
+			w("if j%d := i%d * %d; j%d < 0 || j%d+%d > int64(len(tbl)) {", i, i, in.elem, i, i, in.elem)
+			w("\t%s", g.faultRet(fmt.Sprintf("errTable(i%d, len(tbl)/%d)", i, in.elem)))
+			w("}")
 		}
 		return nil
 	}
@@ -1556,11 +1830,11 @@ func (g *progGen) emitInst(i int, w func(string, ...any), checked bool) error {
 		case checked:
 			w("i%d := p + %s", i, g.offVars[i])
 			w("if uint(i%d) >= uint(len(pix)) {", i)
-			w("\treturn x, errLoad(xbase+x+(%d), y+(%d), %s)", in.dx, in.dy, g.chanExpr(in.dc))
+			w("\treturn x, errLoad(%s, y+(%d), %s)", g.errX(in.dx), in.dy, g.chanExpr(in.dc))
 			w("}")
 			w("%s := %s(pix[i%d])", v, T, i)
 		case g.bceSlice != nil:
-			w("%s := %s(%s[%s])", v, T, g.bceSlice[g.offVars[i]], g.elemIdx())
+			w("%s := %s(%s[%s])", v, T, g.bceSlice[g.offVars[i]], g.tapIdx())
 		default:
 			w("%s := %s(pix[p+%s])", v, T, g.offVars[i])
 		}
@@ -1575,13 +1849,13 @@ func (g *progGen) emitInst(i int, w func(string, ...any), checked bool) error {
 			for j, ov := range g.tapOffVars[i] {
 				w("i%d_%d := p + %s", i, j, ov)
 				w("if uint(i%d_%d) >= uint(len(pix)) {", i, j)
-				w("\treturn x, errLoad(xbase+x, y, %s)", g.chanExpr(0))
+				w("\treturn x, errLoad(%s, y, %s)", g.errXBase(), g.chanExpr(0))
 				w("}")
 				terms = append(terms, fmt.Sprintf("%s(pix[i%d_%d])", T, i, j))
 			}
 		case g.bceSlice != nil:
 			for _, ov := range g.tapOffVars[i] {
-				terms = append(terms, fmt.Sprintf("%s(%s[%s])", T, g.bceSlice[ov], g.elemIdx()))
+				terms = append(terms, fmt.Sprintf("%s(%s[%s])", T, g.bceSlice[ov], g.tapIdx()))
 			}
 		default:
 			for _, ov := range g.tapOffVars[i] {
@@ -1783,6 +2057,34 @@ func (g *progGen) emitInst(i int, w func(string, ...any), checked bool) error {
 		}
 		w("%s := %s", v, strings.Join(parts, " | "))
 
+	case OpTableIn:
+		// Stage-input lookup: the table binds at run time (Image.Tbl — a
+		// reduction-first pipeline's serialized bins), so the fault guard
+		// can never be discharged at generation time.  Splitting the
+		// reference tableAt condition (j<0 || j+elem>len) into a reslice
+		// at j plus a length branch keeps the semantics — same fault on
+		// the same indices, message included — while leaving facts the
+		// prove pass actually uses: every t[e] access below is
+		// bounds-check free.
+		w("i%d := %s", i, g.refInt64(in.a))
+		w("j%d := i%d * %d", i, i, in.elem)
+		w("if j%d < 0 || j%d > int64(len(tbl)) {", i, i)
+		w("\t%s", g.faultRet(fmt.Sprintf("errTable(i%d, len(tbl)/%d)", i, in.elem)))
+		w("}")
+		w("t%d := tbl[j%d:]", i, i)
+		w("if len(t%d) < %d {", i, in.elem)
+		w("\t%s", g.faultRet(fmt.Sprintf("errTable(i%d, len(tbl)/%d)", i, in.elem)))
+		w("}")
+		parts := make([]string, in.elem)
+		for e := 0; e < in.elem; e++ {
+			term := fmt.Sprintf("%s(t%d[%d])", T, i, e)
+			if e > 0 {
+				term += fmt.Sprintf("<<%d", 8*e)
+			}
+			parts[e] = term
+		}
+		w("%s := %s", v, strings.Join(parts, " | "))
+
 	case OpIntToFP:
 		sx, _ := g.sxExpr(in.a, in.sh)
 		w("%s := float64(%s)", f, sx)
@@ -1855,6 +2157,10 @@ import (
 type Image struct {
 	Pix                             []byte
 	Base, Stride, PixStep, ChanStep int
+	// Tbl is the bound stage-input table: the serialized bin table of a
+	// reduction-first pipeline, which the consuming stages' lookup
+	// instructions index at run time.  Nil for every other kernel shape.
+	Tbl []byte
 }
 
 // RowFunc renders output samples x in [0, n) of one input row y into
@@ -1939,6 +2245,13 @@ type Kernel struct {
 	// is non-empty, the input image otherwise) and returns the
 	// serialized little-endian bin table.
 	Red *ReductionSpec
+	// RedFirst reorders a Red+Stages pipeline: the reduction runs FIRST
+	// over the input image, its serialized table binds as the stages'
+	// table input, and the last stage's pixels are the result.  RedDW and
+	// RedDH are the reduction domain extents minus the final output
+	// extents.
+	RedFirst     bool
+	RedDW, RedDH int
 	// Sched is the autotuned default schedule (zero when the kernel was
 	// generated without one); EvalTuned runs it.
 	Sched ScheduleSpec
@@ -1978,10 +2291,13 @@ type StageSpec struct {
 
 // ReductionSpec is the accumulate-into-table form: Row accumulates one
 // input row into the 4-byte bins, which start from Init (nil = all zero).
+// Suffix runs a wraparound prefix sum over the bins after accumulation
+// (a cumulative histogram) before serialization.
 type ReductionSpec struct {
-	Bins int
-	Init []uint32
-	Row  func(bins []uint32, img *Image, y, n int) (int, error)
+	Bins   int
+	Init   []uint32
+	Suffix bool
+	Row    func(bins []uint32, img *Image, y, n int) (int, error)
 }
 
 // Scratch holds the reusable buffers of EvalInto: the output, stage
@@ -2148,11 +2464,22 @@ func (k *Kernel) EvalInto(sc *Scratch, img *Image, outW, outH int, spec Schedule
 		return nil, fmt.Errorf("ir: kernel %%s: unknown fusion strategy %%q", k.Name, spec.Fusion)
 	}
 	if len(k.Stages) > 0 {
-		fimg, err := k.evalStages(sc, img, outW, outH, spec)
+		src := img
+		if k.Red != nil && k.RedFirst {
+			tbl, err := k.evalReductionInto(sc.buf(len(k.Stages), k.Red.Bins*4), sc, img, outW+k.RedDW, outH+k.RedDH)
+			if err != nil {
+				return nil, err
+			}
+			ti := sc.img(len(k.Stages))
+			*ti = *img
+			ti.Tbl = tbl
+			src = ti
+		}
+		fimg, err := k.evalStages(sc, src, outW, outH, spec)
 		if err != nil {
 			return nil, err
 		}
-		if k.Red != nil {
+		if k.Red != nil && !k.RedFirst {
 			return k.evalReduction(sc, fimg, outW, outH)
 		}
 		return fimg.Pix, nil
@@ -2384,7 +2711,7 @@ func (k *Kernel) evalStages(sc *Scratch, img *Image, outW, outH int, spec Schedu
 			return nil, fmt.Errorf("ir: kernel %%s stage %%d at (%%d,%%d,%%d): %%w", k.Name, si, e.x, e.y, e.c, e.err)
 		}
 		ni := sc.img(si)
-		*ni = Image{Pix: out, Stride: w * st.Channels, PixStep: st.Channels, ChanStep: 1}
+		*ni = Image{Pix: out, Stride: w * st.Channels, PixStep: st.Channels, ChanStep: 1, Tbl: cur.Tbl}
 		cur = ni
 	}
 	return cur, nil
@@ -2542,7 +2869,7 @@ func (k *Kernel) fusedStrip(sc *Scratch, img *Image, out []byte, ws, hs []int, w
 			s.stride = ws[i] // intermediates are planar single-channel
 			s.ring = sc.buf(i, rows*s.stride)
 			s.yBase = s.cursor
-			s.ringImg = Image{Pix: s.ring, Base: -s.yBase * s.stride, Stride: s.stride, PixStep: 1}
+			s.ringImg = Image{Pix: s.ring, Base: -s.yBase * s.stride, Stride: s.stride, PixStep: 1, Tbl: img.Tbl}
 		}
 	}
 	fs[0].in = img
@@ -2609,6 +2936,16 @@ func fusedProduce(fs []fusedStage, out []byte, i int) {
 // serializes the 4-byte bins little-endian.  The bin updates commute but
 // error detection is a scan, so reduction rows always run serially.
 func (k *Kernel) evalReduction(sc *Scratch, img *Image, domW, domH int) ([]byte, error) {
+	// Accumulation over img completes inside evalReductionInto before the
+	// serialization writes, so the shared output buffer is a safe target
+	// even when a fused pipeline made img alias it.
+	return k.evalReductionInto(sc.outBuf(k.Red.Bins*4), sc, img, domW, domH)
+}
+
+// evalReductionInto is evalReduction serializing into a caller-chosen
+// buffer — the reduction-first path banks the table in a stage slot so
+// the output buffer stays free for the consuming stages' pixels.
+func (k *Kernel) evalReductionInto(out []byte, sc *Scratch, img *Image, domW, domH int) ([]byte, error) {
 	r := k.Red
 	bins := sc.binsBuf(r.Bins)
 	clear(bins)
@@ -2618,10 +2955,13 @@ func (k *Kernel) evalReduction(sc *Scratch, img *Image, domW, domH int) ([]byte,
 			return nil, fmt.Errorf("ir: kernel %%s at (%%d,%%d): %%w", k.Name, x, y, err)
 		}
 	}
-	// Accumulation over img is complete before this point, so serializing
-	// into the shared output buffer is safe even when a fused pipeline made
-	// img alias it.
-	out := sc.outBuf(len(bins) * 4)
+	if r.Suffix {
+		var run uint32
+		for i := range bins {
+			run += bins[i]
+			bins[i] = run
+		}
+	}
 	for i, v := range bins {
 		out[i*4] = byte(v)
 		out[i*4+1] = byte(v >> 8)
@@ -2635,6 +2975,16 @@ func (k *Kernel) evalReduction(sc *Scratch, img *Image, domW, domH int) ([]byte,
 // backing of the given length — the hoisted bounds check of the row loops.
 func spanIn(lo, hi, length int) bool {
 	return lo >= 0 && hi < length
+}
+
+// floorDiv divides rounding toward negative infinity — the division the
+// fractional affine index maps are defined with.
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
 }
 
 func errDivZero() error { return fmt.Errorf("ir: division by zero") }

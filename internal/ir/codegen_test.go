@@ -544,3 +544,107 @@ func TestGeneratedBatchTailWidths(t *testing.T) {
 		t.Fatalf("only %d faulting kernels across %d widths; the edge-width fault coverage collapsed", faults, len(widths))
 	}
 }
+
+// TestGeneratedStridedEdgeWidths is the affine-map differential at the
+// batch/tail edge geometries: resize-style kernels with strided index
+// maps in(s*x+1, y) for s ∈ {2, 3} — plus upsample-style floor-divided
+// maps in(x/2, y) — at outW ∈ {1, 7, 8, 9, 15, 17}, compiled with the
+// real toolchain and held bit-exact against the interpreter: values,
+// fault positions and fault messages.  A strided batch loop that steps
+// its source pointer wrong, maps a tail sample through the lane constant,
+// or reports a fault at the mapped input coordinate instead of the output
+// x shows up here directly.
+func TestGeneratedStridedEdgeWidths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles generated code with the go toolchain")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+
+	widths := []int{1, 7, 8, 9, 15, 17}
+	strides := []int{2, 3}
+	const outH = 4
+	// Wide enough for the farthest mapped tap: 3*16+1 plus the +1 tap.
+	plane := image.NewPlane(52, outH+2, 2)
+	r := testRNG(211)
+	for y := -2; y < outH+4; y++ {
+		for x := -2; x < 54; x++ {
+			plane.Set(x, y, byte(r.next()))
+		}
+	}
+	src := PlaneSource{P: plane}
+
+	zx := func(e *Expr) *Expr { return &Expr{Op: OpZExt, Width: 4, SrcWidth: 1, Args: []*Expr{e}} }
+	// The resize shape: a two-tap average at the mapped center.
+	avgTree := func() *Expr {
+		return Bin(OpDiv, 4, &Expr{Op: OpAdd, Width: 4,
+			Args: []*Expr{zx(Load(0, 0, 0)), zx(Load(1, 0, 0)), Const(1)}}, Const(2))
+	}
+	faultTree := func(tabLen int) *Expr {
+		tab := make([]byte, tabLen)
+		for i := range tab {
+			tab[i] = byte(i * 3)
+		}
+		return &Expr{Op: OpTable, Table: tab, Elem: 1, Args: []*Expr{Load(0, 0, 0)}}
+	}
+
+	var kernels []*Kernel
+	for _, s := range strides {
+		for _, w := range widths {
+			mk := func(name string, tree *Expr) {
+				kernels = append(kernels, &Kernel{Name: name, OutWidth: w, OutHeight: outH,
+					Channels: 1, MapX: AxisMap{Num: s, Den: 1, Off: 1}, Trees: []*Expr{tree}})
+			}
+			mk(fmt.Sprintf("sv%dw%d", s, w), avgTree())
+			// Dense faults (8-entry table): the first sample faults, pinning
+			// the strided batch loop's first lane.
+			mk(fmt.Sprintf("sd%dw%d", s, w), faultTree(8))
+			// Sparse faults (200-entry table): the first out-of-range byte
+			// lands at a width- and stride-dependent scan position, often
+			// inside a tail or a later lane block.
+			mk(fmt.Sprintf("ss%dw%d", s, w), faultTree(200))
+		}
+	}
+	// Upsample-style floor division: every width again under in(x/2, y).
+	for _, w := range widths {
+		kernels = append(kernels,
+			&Kernel{Name: fmt.Sprintf("uv%d", w), OutWidth: w, OutHeight: outH,
+				Channels: 1, MapX: AxisMap{Num: 1, Den: 2}, Trees: []*Expr{avgTree()}},
+			&Kernel{Name: fmt.Sprintf("ud%d", w), OutWidth: w, OutHeight: outH,
+				Channels: 1, MapX: AxisMap{Num: 1, Den: 2}, Trees: []*Expr{faultTree(8)}})
+	}
+
+	srcCode, err := Generate("liftedkernels", kernels)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	dir := t.TempDir()
+	genHarness(t, dir, srcCode, plane)
+	results := runHarness(t, dir)
+	checkSchedLines(t, results)
+
+	faults := 0
+	for _, k := range kernels {
+		got, ok := results[k.Name]
+		if !ok {
+			t.Fatalf("kernel %s missing from harness output", k.Name)
+		}
+		want, werr := k.Eval(src)
+		if werr != nil {
+			faults++
+			if got[0] != "ERR" || got[1] != werr.Error() {
+				t.Errorf("%s: generated %s %q, want ERR %q", k.Name, got[0], got[1], werr)
+			}
+			continue
+		}
+		if got[0] != "OK" || got[1] != hex.EncodeToString(want) {
+			t.Errorf("%s: generated %s %q, want OK %s", k.Name, got[0], got[1], hex.EncodeToString(want))
+		}
+	}
+	// Every (stride, width) pair contributes a dense-fault kernel, and so
+	// does every floor-divided width.
+	if faults < len(strides)*len(widths)+len(widths) {
+		t.Fatalf("only %d faulting kernels; the strided edge-width fault coverage collapsed", faults)
+	}
+}

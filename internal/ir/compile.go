@@ -111,7 +111,7 @@ func markLiveness(p *Program) {
 		switch in.op {
 		case OpDiv, OpMod:
 			mark(in.b) // the zero check reads the divisor
-		case OpTable:
+		case OpTable, OpTableIn:
 			mark(in.a) // the range check reads the index
 		}
 	}
@@ -120,7 +120,7 @@ func markLiveness(p *Program) {
 			continue
 		}
 		switch in := &p.insts[i]; in.op {
-		case OpDiv, OpMod, OpTable, OpLoad:
+		case OpDiv, OpMod, OpTable, OpTableIn, OpLoad:
 			// Fault-capable: keeps executing for its checks.
 		case opSumTaps:
 			if len(in.taps) == 0 {
@@ -148,7 +148,7 @@ func finalize(in *pinst) {
 	case OpSar, opMinN, opMaxN, OpCmpLtS, OpCmpLeS:
 		in.mask = maskFor(int(in.width))
 		in.sh = shFor(int(in.width))
-	case OpLoad, OpSelect, OpTable, OpFAdd, OpFSub, OpFMul, OpFDiv, OpCall:
+	case OpLoad, OpSelect, OpTable, OpTableIn, OpFAdd, OpFSub, OpFMul, OpFDiv, OpCall:
 		// No masking: loads produce bytes, select copies a value, tables
 		// produce at most elem bytes, float results stay full bit patterns.
 	default:
@@ -504,6 +504,15 @@ func (c *compiler) lowerOp(e *Expr) (cref, error) {
 		}
 		return c.emit(pinst{op: OpTable, table: e.Table, elem: e.Elem, a: c.asInt(args[0]).id}), nil
 
+	case OpTableIn:
+		if len(args) != 1 {
+			return cref{}, fmt.Errorf("ir: compile: tablein with %d operands", len(args))
+		}
+		if e.Elem <= 0 {
+			return cref{}, fmt.Errorf("ir: compile: tablein with element width %d", e.Elem)
+		}
+		return c.emit(pinst{op: OpTableIn, elem: e.Elem, a: c.asInt(args[0]).id}), nil
+
 	case OpIntToFP:
 		if len(args) != 1 {
 			return cref{}, fmt.Errorf("ir: compile: i2f with %d operands", len(args))
@@ -574,7 +583,7 @@ func (p *Program) Disasm() string {
 			} else {
 				fmt.Fprintf(&b, ", d=%d", in.dcon)
 			}
-		case OpNot, OpNeg, OpZExt, OpSExt, OpIntToFP, OpFPToInt, OpCall, OpTable, OpExtract:
+		case OpNot, OpNeg, OpZExt, OpSExt, OpIntToFP, OpFPToInt, OpCall, OpTable, OpTableIn, OpExtract:
 			fmt.Fprintf(&b, " r%d", in.a)
 		case OpSelect:
 			fmt.Fprintf(&b, " r%d, r%d, r%d", in.a, in.b, in.c)

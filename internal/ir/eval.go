@@ -87,7 +87,11 @@ func signExt(v uint64, width int) int64 {
 // allocation-free in the steady state; the previous implementation
 // allocated a []value per expression node per sample.
 type evaluator struct {
-	src   Source
+	src Source
+	// tbl is the bound stage-input table OpTableIn reads: the serialized
+	// output of an earlier reduction stage.  Nil when the kernel has no
+	// table-input nodes.
+	tbl   []byte
 	stack []value
 }
 
@@ -119,6 +123,29 @@ func (ev *evaluator) eval(e *Expr, x, y, c int) (value, error) {
 		return value{i: uint64(e.Val)}, nil
 	case OpConstF:
 		return value{f: e.F, fl: true}, nil
+	case OpTableIn:
+		// The stage-input table lives on the evaluator, not the tree, so the
+		// lookup happens here rather than in apply.
+		if len(e.Args) < 1 {
+			return value{}, fmt.Errorf("ir: op %v applied to 0 operands (needs 1)", e.Op)
+		}
+		if e.Elem <= 0 {
+			return value{}, fmt.Errorf("ir: table-input node has element width %d", e.Elem)
+		}
+		v, err := ev.eval(e.Args[0], x, y, c)
+		if err != nil {
+			return value{}, err
+		}
+		idx := int64(v.i)
+		off := idx * int64(e.Elem)
+		if off < 0 || off+int64(e.Elem) > int64(len(ev.tbl)) {
+			return value{}, fmt.Errorf("ir: table index %d out of range (%d elements)", idx, len(ev.tbl)/e.Elem)
+		}
+		var r uint64
+		for i := 0; i < e.Elem; i++ {
+			r |= uint64(ev.tbl[off+int64(i)]) << (8 * i)
+		}
+		return value{i: r}, nil
 	}
 
 	base := len(ev.stack)
@@ -290,8 +317,17 @@ func (e *Expr) apply(args []value) (value, error) {
 // EvalAt evaluates channel c of output pixel (x, y) and narrows the result
 // to one sample byte, exactly as the legacy kernel's final store does.
 func (k *Kernel) EvalAt(src Source, x, y, c int) (uint8, error) {
-	ev := evaluator{src: src}
-	v, err := ev.evalBits(k.Trees[c], x+k.OriginX, y+k.OriginY, c)
+	return k.EvalAtTbl(src, nil, x, y, c)
+}
+
+// EvalAtTbl is EvalAt with a bound stage-input table for kernels whose
+// trees contain table-input (OpTableIn) nodes.
+func (k *Kernel) EvalAtTbl(src Source, tbl []byte, x, y, c int) (uint8, error) {
+	if ts, ok := src.(TableSource); ok && tbl == nil {
+		src, tbl = ts.Src, ts.Tbl
+	}
+	ev := evaluator{src: src, tbl: tbl}
+	v, err := ev.evalBits(k.Trees[c], k.MapX.Apply(x)+k.OriginX, k.MapY.Apply(y)+k.OriginY, c)
 	if err != nil {
 		return 0, err
 	}
@@ -302,15 +338,25 @@ func (k *Kernel) EvalAt(src Source, x, y, c int) (uint8, error) {
 // (OutWidth*Channels samples per row, OutHeight rows).  One evaluator is
 // reused across all samples, so the walk allocates nothing per sample.
 func (k *Kernel) Eval(src Source) ([]byte, error) {
+	return k.EvalTbl(src, nil)
+}
+
+// EvalTbl is Eval with a bound stage-input table.
+func (k *Kernel) EvalTbl(src Source, tbl []byte) ([]byte, error) {
 	if len(k.Trees) != k.Channels {
 		return nil, fmt.Errorf("ir: kernel %s has %d trees for %d channels", k.Name, len(k.Trees), k.Channels)
 	}
-	ev := evaluator{src: src}
+	if ts, ok := src.(TableSource); ok && tbl == nil {
+		src, tbl = ts.Src, ts.Tbl
+	}
+	ev := evaluator{src: src, tbl: tbl}
 	out := make([]byte, 0, k.OutWidth*k.OutHeight*k.Channels)
 	for y := 0; y < k.OutHeight; y++ {
+		yIn := k.MapY.Apply(y) + k.OriginY
 		for x := 0; x < k.OutWidth; x++ {
+			xIn := k.MapX.Apply(x) + k.OriginX
 			for c := 0; c < k.Channels; c++ {
-				v, err := ev.evalBits(k.Trees[c], x+k.OriginX, y+k.OriginY, c)
+				v, err := ev.evalBits(k.Trees[c], xIn, yIn, c)
 				if err != nil {
 					return nil, fmt.Errorf("ir: kernel %s at (%d,%d,%d): %w", k.Name, x, y, c, err)
 				}

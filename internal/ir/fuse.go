@@ -99,6 +99,14 @@ func planFusion(stages []*CompiledKernel, windowRows int) (*fusePlan, error) {
 		if ck == nil {
 			return nil, fmt.Errorf("ir: fusion stage %d is not a stencil", i)
 		}
+		if ck.Mapped() {
+			// A non-identity index map reads producer rows out of step with
+			// the rows it emits, which the sliding window cannot schedule.
+			return nil, fmt.Errorf("ir: fusion stage %d has a non-identity index map; mapped stages do not stream", i)
+		}
+		if ck.usesTableIn() {
+			return nil, fmt.Errorf("ir: fusion stage %d reads a stage-input table; reduction consumers do not stream", i)
+		}
 		pl.geoms[i] = ck.readFootprint()
 	}
 	for i := 1; i < len(stages); i++ {

@@ -53,7 +53,7 @@ func Bounds(e *Expr) Interval {
 		return Interval{Lo: 0, Hi: 255, LoOK: true, HiOK: true}
 	case OpConst:
 		return full(e.Val, e.Val)
-	case OpTable:
+	case OpTable, OpTableIn:
 		if e.Elem >= 1 && e.Elem <= 4 {
 			return Interval{Lo: 0, Hi: int64(widthMask(e.Elem)), LoOK: true, HiOK: true}
 		}

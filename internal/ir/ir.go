@@ -69,6 +69,11 @@ const (
 
 	// Table lookup: Table[index * Elem .. ), Args[0] is the index.
 	OpTable
+	// Stage-input table lookup: like OpTable, but the table bytes are not
+	// baked into the tree — they are the serialized output of an earlier
+	// reduction stage, bound at evaluation time.  Args[0] is the index,
+	// Elem the element width in bytes.
+	OpTableIn
 
 	// Floating point.
 	OpIntToFP // signed SrcWidth-byte integer to float64
@@ -87,7 +92,8 @@ var opNames = map[Op]string{
 	OpShl: "<<", OpShr: ">>", OpSar: ">>a",
 	OpZExt: "zext", OpSExt: "sext", OpExtract: "extract",
 	OpMin: "min", OpMax: "max", OpSelect: "select", OpTable: "table",
-	OpCmpEq: "==", OpCmpNe: "!=", OpCmpLtS: "<", OpCmpLeS: "<=",
+	OpTableIn: "tablein",
+	OpCmpEq:   "==", OpCmpNe: "!=", OpCmpLtS: "<", OpCmpLeS: "<=",
 	OpCmpLtU: "<u", OpCmpLeU: "<=u",
 	OpIntToFP: "i2f", OpFPToInt: "f2i",
 	OpFAdd: "+.", OpFSub: "-.", OpFMul: "*.", OpFDiv: "/.",
@@ -259,6 +265,8 @@ func (e *Expr) keyHeader(b *strings.Builder, exactFloats bool) bool {
 		fmt.Fprintf(b, "@%d w%d", e.Val, e.Width)
 	case OpTable:
 		fmt.Fprintf(b, "#%x/%d", tableFingerprint(e.Table), e.Elem)
+	case OpTableIn:
+		fmt.Fprintf(b, "/%d", e.Elem)
 	case OpCall:
 		fmt.Fprintf(b, ":%s", e.Sym)
 	default:
@@ -361,6 +369,10 @@ func (e *Expr) print(b *strings.Builder) {
 		b.WriteString("lut[")
 		e.Args[0].print(b)
 		b.WriteString("]")
+	case OpTableIn:
+		b.WriteString("tbl[")
+		e.Args[0].print(b)
+		b.WriteString("]")
 	case OpIntToFP:
 		b.WriteString("float(")
 		e.Args[0].print(b)
@@ -390,6 +402,68 @@ func (e *Expr) print(b *strings.Builder) {
 	}
 }
 
+// AxisMap is an affine (rational) index map along one output axis: output
+// coordinate x reads input coordinate floor((Num*x + Off) / Den).  The
+// zero value is the identity map (Num=1, Den=1, Off=0), so kernels lifted
+// before index maps existed need no migration.  Lifted maps are
+// normalized: Num >= 1, Den >= 1, Off >= 0, and gcd reduction is the
+// lifter's job (a {2,2,0} map is spelled {1,1,0}).
+type AxisMap struct {
+	Num, Den, Off int
+}
+
+// Identity reports whether the map is the identity (including the zero
+// value).
+func (m AxisMap) Identity() bool {
+	return m == AxisMap{} || (m.Num == 1 && m.Den == 1 && m.Off == 0)
+}
+
+// Norm returns the effective (num, den, off) triple, resolving the zero
+// value to the identity.
+func (m AxisMap) Norm() (num, den, off int) {
+	if (m == AxisMap{}) {
+		return 1, 1, 0
+	}
+	return m.Num, m.Den, m.Off
+}
+
+// Apply maps one output coordinate to its input coordinate.
+func (m AxisMap) Apply(x int) int {
+	num, den, off := m.Norm()
+	if den == 1 {
+		return num*x + off
+	}
+	return floorDiv(num*x+off, den)
+}
+
+// String renders the map as the input-coordinate formula for an axis.
+func (m AxisMap) String() string { return m.axisString("x") }
+
+func (m AxisMap) axisString(axis string) string {
+	num, den, off := m.Norm()
+	s := axis
+	if num != 1 {
+		s = fmt.Sprintf("%d*%s", num, axis)
+	}
+	if off != 0 {
+		s = fmt.Sprintf("%s+%d", s, off)
+	}
+	if den != 1 {
+		s = fmt.Sprintf("(%s)/%d", s, den)
+	}
+	return s
+}
+
+// floorDiv is division rounding toward negative infinity (what the x86
+// sar-based strength reductions and C's >> compute for the lifted code).
+func floorDiv(a, b int) int {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
 // Kernel is a lifted stencil kernel: one expression tree per output channel
 // over an output grid.  The output coordinate frame is the written region
 // discovered by buffer reconstruction; load offsets are relative to it.
@@ -403,14 +477,27 @@ type Kernel struct {
 	// filter that only writes an interior window (like the sharpen kernel)
 	// has a nonzero origin; full-frame filters have origin (0, 0).
 	OriginX, OriginY int
+	// MapX and MapY are the affine index maps of a resize-style kernel:
+	// output (x, y) is centered on input (MapX(x)+OriginX, MapY(y)+OriginY),
+	// and load offsets are relative to that mapped center.  Zero values are
+	// the identity, recovering the classic stencil frame.  Affine kernels
+	// are normalized by the lifter to Origin (0, 0) with any centering
+	// folded into the maps' offsets.
+	MapX, MapY AxisMap
 	// Trees holds the per-channel expression trees (len == Channels).
 	Trees []*Expr
 }
+
+// Mapped reports whether the kernel uses a non-identity index map.
+func (k *Kernel) Mapped() bool { return !k.MapX.Identity() || !k.MapY.Identity() }
 
 // String renders the kernel as Halide-like update definitions.
 func (k *Kernel) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "// %s: %dx%dx%d\n", k.Name, k.OutWidth, k.OutHeight, k.Channels)
+	if k.Mapped() {
+		fmt.Fprintf(&b, "// index map: x' = %s, y' = %s\n", k.MapX.axisString("x"), k.MapY.axisString("y"))
+	}
 	uniform := true
 	for _, t := range k.Trees[1:] {
 		if t.Key() != k.Trees[0].Key() {

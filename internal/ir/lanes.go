@@ -145,7 +145,11 @@ func (st *laneState[T]) runRow(xbase, y, c, width int) (int, error) {
 	if bd.pix != nil {
 		pos0 = bd.base + y*bd.stride + xbase*bd.pixStep + c*bd.chanStep
 	}
-	ps := bd.pixStep
+	xs := bd.xstep
+	if xs == 0 {
+		xs = 1
+	}
+	ps := bd.pixStep * xs
 	rows := st.rows
 	for i := range p.insts {
 		if n == 0 {
@@ -170,7 +174,7 @@ func (st *laneState[T]) runRow(xbase, y, c, width int) (int, error) {
 					for x := range d {
 						idx := off + x*ps
 						if uint(idx) >= uint(len(bd.pix)) {
-							fail(x, errLoad(xbase+x+int(in.dx), y+int(in.dy), c+int(in.dc)))
+							fail(x, errLoad(xbase+x*xs+int(in.dx), y+int(in.dy), c+int(in.dc)))
 							break
 						}
 						d[x] = T(bd.pix[idx])
@@ -179,7 +183,7 @@ func (st *laneState[T]) runRow(xbase, y, c, width int) (int, error) {
 			} else {
 				src := bd.src
 				for x := range d {
-					d[x] = T(src.Sample(xbase+x+int(in.dx), y+int(in.dy), c+int(in.dc)))
+					d[x] = T(src.Sample(xbase+x*xs+int(in.dx), y+int(in.dy), c+int(in.dc)))
 				}
 			}
 		case opSumTaps:
@@ -212,7 +216,7 @@ func (st *laneState[T]) runRow(xbase, y, c, width int) (int, error) {
 						for _, off := range st.tapOffs[i] {
 							idx := base + off
 							if uint(idx) >= uint(len(pix)) {
-								fail(x, errLoad(xbase+x, y, c))
+								fail(x, errLoad(xbase+x*xs, y, c))
 								bad = true
 								break
 							}
@@ -229,7 +233,7 @@ func (st *laneState[T]) runRow(xbase, y, c, width int) (int, error) {
 				for x := range d {
 					s := bias
 					for _, t := range in.taps {
-						s += T(src.Sample(xbase+x+int(t.dx), y+int(t.dy), c+int(t.dc)))
+						s += T(src.Sample(xbase+x*xs+int(t.dx), y+int(t.dy), c+int(t.dc)))
 					}
 					d[x] = s
 				}
@@ -492,6 +496,16 @@ func (st *laneState[T]) runRow(xbase, y, c, width int) (int, error) {
 			a := rows[in.a][:n]
 			for x := range d {
 				v, err := tableAt(in.table, in.elem, int64(a[x]))
+				if err != nil {
+					fail(x, err)
+					break
+				}
+				d[x] = T(v)
+			}
+		case OpTableIn:
+			a := rows[in.a][:n]
+			for x := range d {
+				v, err := tableAt(bd.tbl, in.elem, int64(a[x]))
 				if err != nil {
 					fail(x, err)
 					break

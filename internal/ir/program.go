@@ -181,6 +181,12 @@ type binding struct {
 	base, stride, pixStep int
 	chanStep              int
 	src                   Source
+	// xstep is the per-output-sample input advance in pixels along x: 1
+	// for classic stencils, the index map's numerator for affine kernels
+	// with denominator 1 (row execution stays vectorized, just strided).
+	xstep int
+	// tbl is the bound stage-input table OpTableIn instructions read.
+	tbl []byte
 }
 
 // bindSource recognizes the concrete pixel backings and extracts their
@@ -189,19 +195,34 @@ func bindSource(src Source) binding {
 	switch s := src.(type) {
 	case PlaneSource:
 		pix, base, stride := s.P.Flat()
-		return binding{pix: pix, base: base, stride: stride, pixStep: 1}
+		return binding{pix: pix, base: base, stride: stride, pixStep: 1, xstep: 1}
 	case *PlaneSource:
 		pix, base, stride := s.P.Flat()
-		return binding{pix: pix, base: base, stride: stride, pixStep: 1}
+		return binding{pix: pix, base: base, stride: stride, pixStep: 1, xstep: 1}
 	case InterleavedSource:
 		pix, base, stride, pixStep := s.Im.Flat()
-		return binding{pix: pix, base: base, stride: stride, pixStep: pixStep, chanStep: 1}
+		return binding{pix: pix, base: base, stride: stride, pixStep: pixStep, chanStep: 1, xstep: 1}
 	case *InterleavedSource:
 		pix, base, stride, pixStep := s.Im.Flat()
-		return binding{pix: pix, base: base, stride: stride, pixStep: pixStep, chanStep: 1}
+		return binding{pix: pix, base: base, stride: stride, pixStep: pixStep, chanStep: 1, xstep: 1}
+	case TableSource:
+		bd := bindSource(s.Src)
+		bd.tbl = s.Tbl
+		return bd
 	}
-	return binding{src: src}
+	return binding{src: src, xstep: 1}
 }
+
+// TableSource pairs a pixel source with a bound stage-input table for
+// kernels whose programs contain OpTableIn instructions.  Sampling passes
+// through to the underlying source.
+type TableSource struct {
+	Src Source
+	Tbl []byte
+}
+
+// Sample delegates to the wrapped pixel source.
+func (s TableSource) Sample(x, y, c int) uint8 { return s.Src.Sample(x, y, c) }
 
 // flatOff is the flat-index delta of a tap under bd's geometry.
 func (bd *binding) flatOff(dx, dy, dc int32) int {
@@ -420,6 +441,13 @@ func (p *Program) run(bd *binding, st *progState, x, y, c int) (uint64, error) {
 				return 0, err
 			}
 			regs[in.dst] = v
+		case OpTableIn:
+			idx := int64(regs[in.a])
+			v, err := tableAt(bd.tbl, in.elem, idx)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.dst] = v
 		case OpIntToFP:
 			regs[in.dst] = math.Float64bits(float64(sx(regs[in.a], in.sh)))
 		case OpFPToInt:
@@ -499,7 +527,13 @@ func (p *Program) runRow(bd *binding, st *progState, xbase, y, c, width int) (in
 	if bd.pix != nil {
 		pos0 = bd.base + y*bd.stride + xbase*bd.pixStep + c*bd.chanStep
 	}
-	ps := bd.pixStep
+	xs := bd.xstep
+	if xs == 0 {
+		xs = 1
+	}
+	// Consecutive output samples read xstep pixels apart; tap offsets stay
+	// unscaled (they are deltas around each mapped position).
+	ps := bd.pixStep * xs
 	rows := st.rows
 	for i := range p.insts {
 		if n == 0 {
@@ -524,7 +558,7 @@ func (p *Program) runRow(bd *binding, st *progState, xbase, y, c, width int) (in
 					for x := range d {
 						idx := off + x*ps
 						if uint(idx) >= uint(len(bd.pix)) {
-							fail(x, errLoad(xbase+x+int(in.dx), y+int(in.dy), c+int(in.dc)))
+							fail(x, errLoad(xbase+x*xs+int(in.dx), y+int(in.dy), c+int(in.dc)))
 							break
 						}
 						d[x] = uint64(bd.pix[idx])
@@ -533,7 +567,7 @@ func (p *Program) runRow(bd *binding, st *progState, xbase, y, c, width int) (in
 			} else {
 				src := bd.src
 				for x := range d {
-					d[x] = uint64(src.Sample(xbase+x+int(in.dx), y+int(in.dy), c+int(in.dc)))
+					d[x] = uint64(src.Sample(xbase+x*xs+int(in.dx), y+int(in.dy), c+int(in.dc)))
 				}
 			}
 		case opSumTaps:
@@ -566,7 +600,7 @@ func (p *Program) runRow(bd *binding, st *progState, xbase, y, c, width int) (in
 						for _, off := range st.tapOffs[i] {
 							idx := base + off
 							if uint(idx) >= uint(len(pix)) {
-								fail(x, errLoad(xbase+x, y, c))
+								fail(x, errLoad(xbase+x*xs, y, c))
 								bad = true
 								break
 							}
@@ -583,7 +617,7 @@ func (p *Program) runRow(bd *binding, st *progState, xbase, y, c, width int) (in
 				for x := range d {
 					s := bias
 					for _, t := range in.taps {
-						s += uint64(src.Sample(xbase+x+int(t.dx), y+int(t.dy), c+int(t.dc)))
+						s += uint64(src.Sample(xbase+x*xs+int(t.dx), y+int(t.dy), c+int(t.dc)))
 					}
 					d[x] = s
 				}
@@ -856,6 +890,16 @@ func (p *Program) runRow(bd *binding, st *progState, xbase, y, c, width int) (in
 				}
 				d[x] = v
 			}
+		case OpTableIn:
+			a := rows[in.a][:n]
+			for x := range d {
+				v, err := tableAt(bd.tbl, in.elem, int64(a[x]))
+				if err != nil {
+					fail(x, err)
+					break
+				}
+				d[x] = v
+			}
 		case OpIntToFP:
 			a := rows[in.a][:n]
 			sh := in.sh
@@ -918,7 +962,26 @@ type CompiledKernel struct {
 	Name                          string
 	OutWidth, OutHeight, Channels int
 	OriginX, OriginY              int
-	Progs                         []*Program
+	// MapX and MapY are the kernel's affine output->input index maps
+	// (identity for classic stencils); see Kernel.MapX.
+	MapX, MapY AxisMap
+	Progs      []*Program
+}
+
+// Mapped reports whether the kernel carries a non-identity index map.
+func (ck *CompiledKernel) Mapped() bool { return !ck.MapX.Identity() || !ck.MapY.Identity() }
+
+// usesTableIn reports whether any channel program performs stage-input
+// table lookups (and therefore needs a table bound at evaluation time).
+func (ck *CompiledKernel) usesTableIn() bool {
+	for _, p := range ck.Progs {
+		for i := range p.insts {
+			if p.insts[i].op == OpTableIn {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Compile lowers every channel tree of the kernel.
@@ -930,6 +993,7 @@ func (k *Kernel) Compile() (*CompiledKernel, error) {
 		Name:     k.Name,
 		OutWidth: k.OutWidth, OutHeight: k.OutHeight, Channels: k.Channels,
 		OriginX: k.OriginX, OriginY: k.OriginY,
+		MapX: k.MapX, MapY: k.MapY,
 	}
 	for c, t := range k.Trees {
 		p, err := CompileExpr(t)
@@ -968,6 +1032,11 @@ func (ck *CompiledKernel) NewExecutor(src Source) *Executor {
 // beyond the proven minimum (0 keeps the width pass's choice).
 func (ck *CompiledKernel) newExecutor(src Source, rowWidth, lane int) *Executor {
 	ex := &Executor{k: ck, bd: bindSource(src)}
+	if num, den, _ := ck.MapX.Norm(); den == 1 {
+		// An integral x-map keeps row execution vectorized at a constant
+		// stride; fractional maps take the scalar tile path instead.
+		ex.bd.xstep = num
+	}
 	for _, p := range ck.Progs {
 		ex.scalar = append(ex.scalar, p.newState(&ex.bd, 0))
 		ex.rows = append(ex.rows, newRowExec(p, &ex.bd, rowWidth, lane))
@@ -984,7 +1053,7 @@ func (ex *Executor) shiftBase(delta int) { ex.bd.base += delta }
 // EvalAt evaluates channel c of output pixel (x, y) to one sample byte.
 func (ex *Executor) EvalAt(x, y, c int) (uint8, error) {
 	k := ex.k
-	v, err := k.Progs[c].run(&ex.bd, ex.scalar[c], x+k.OriginX, y+k.OriginY, c)
+	v, err := k.Progs[c].run(&ex.bd, ex.scalar[c], k.MapX.Apply(x)+k.OriginX, k.MapY.Apply(y)+k.OriginY, c)
 	return uint8(v), err
 }
 
@@ -1019,6 +1088,12 @@ func (ck *CompiledKernel) wrapTileError(e tileError) error {
 // least x1-x0.
 func (ex *Executor) evalTile(x0, x1, y0, y1 int, out []byte) tileError {
 	k := ex.k
+	if _, den, _ := k.MapX.Norm(); den != 1 {
+		// Fractional x-maps (upsampling) repeat input pixels at a
+		// non-uniform stride, so the row executors' constant advance does
+		// not apply; evaluate the tile per sample instead.
+		return ex.evalTileScalar(x0, x1, y0, y1, out)
+	}
 	w, ch := k.OutWidth, k.Channels
 	n := x1 - x0
 	for y := y0; y < y1; y++ {
@@ -1026,7 +1101,7 @@ func (ex *Executor) evalTile(x0, x1, y0, y1 int, out []byte) tileError {
 		errX, errC := -1, -1
 		var firstErr error
 		for c := 0; c < ch; c++ {
-			x, err := ex.rows[c].runRow(k.OriginX+x0, y+k.OriginY, c, n)
+			x, err := ex.rows[c].runRow(k.MapX.Apply(x0)+k.OriginX, k.MapY.Apply(y)+k.OriginY, c, n)
 			if err != nil && (errX < 0 || x < errX) {
 				errX, errC, firstErr = x, c, err
 			}
@@ -1036,6 +1111,29 @@ func (ex *Executor) evalTile(x0, x1, y0, y1 int, out []byte) tileError {
 		}
 		if firstErr != nil {
 			return tileError{x: x0 + errX, y: y, c: errC, err: firstErr}
+		}
+	}
+	return tileError{}
+}
+
+// evalTileScalar renders the tile one sample at a time through the scalar
+// programs, applying the index maps per coordinate.  The y-then-x-then-c
+// scan makes the first error it hits exactly the serial per-sample one.
+func (ex *Executor) evalTileScalar(x0, x1, y0, y1 int, out []byte) tileError {
+	k := ex.k
+	w, ch := k.OutWidth, k.Channels
+	for y := y0; y < y1; y++ {
+		yi := k.MapY.Apply(y) + k.OriginY
+		for x := x0; x < x1; x++ {
+			xi := k.MapX.Apply(x) + k.OriginX
+			base := (y*w + x) * ch
+			for c := 0; c < ch; c++ {
+				v, err := k.Progs[c].run(&ex.bd, ex.scalar[c], xi, yi, c)
+				if err != nil {
+					return tileError{x: x, y: y, c: c, err: err}
+				}
+				out[base+c] = uint8(v)
+			}
 		}
 	}
 	return tileError{}

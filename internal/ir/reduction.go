@@ -36,6 +36,11 @@ type Reduction struct {
 	Index *Expr
 	// Delta is the constant added per visit.
 	Delta uint64
+	// Suffix marks a cumulative reduction: each visit adds Delta to every
+	// bin from Index(x, y) through Bins-1, so the finished table is the
+	// running (prefix-summed) histogram — the CDF shape histogram
+	// equalization consumes.  Plain reductions update one bin per visit.
+	Suffix bool
 }
 
 // errRedIndex matches the generated backend's failure mode for an index
@@ -65,6 +70,16 @@ func (r *Reduction) Eval(src Source) ([]byte, error) {
 				return nil, fmt.Errorf("ir: kernel %s at (%d,%d): %w", r.Name, x, y, errRedIndex(idx, r.Bins))
 			}
 			bins[idx] = maskW(bins[idx]+r.Delta, r.Elem)
+		}
+	}
+	if r.Suffix {
+		// Each visit incremented bins[idx..Bins-1]; having counted only
+		// bins[idx] above, the running sum reconstructs the rest exactly
+		// (wraparound addition is associative and commutative).
+		var run uint64
+		for i := range bins {
+			run = maskW(run+bins[i]-r.Init[i], r.Elem)
+			bins[i] = maskW(r.Init[i]+run, r.Elem)
 		}
 	}
 	return r.serialize(bins), nil
@@ -98,6 +113,10 @@ func (r *Reduction) String() string {
 	} else {
 		b.WriteString("bins(t) = <per-bin init>\n")
 	}
-	fmt.Fprintf(&b, "bins[%s] += %d\n", r.Index, r.Delta)
+	if r.Suffix {
+		fmt.Fprintf(&b, "bins[%s .. %d] += %d\n", r.Index, r.Bins-1, r.Delta)
+	} else {
+		fmt.Fprintf(&b, "bins[%s] += %d\n", r.Index, r.Delta)
+	}
 	return b.String()
 }

@@ -197,6 +197,10 @@ func inferWidths(p *Program) widthInfo {
 			h = 1
 		case OpTable:
 			h = tableBound(in.table, in.elem)
+		case OpTableIn:
+			// The stage-input table is bound at evaluation time, so only
+			// the element width bounds its values.
+			h = widthMask(in.elem)
 		default:
 			// Floating point and anything unrecognized: full bit patterns,
 			// not lane-executable.

@@ -1,0 +1,208 @@
+package legacy
+
+import (
+	"helium/internal/asm"
+	"helium/internal/image"
+	"helium/internal/isa"
+	"helium/internal/vm"
+)
+
+// histEqBins is the equalizer's table size: one 4-byte bin per bucket of
+// eight sample values (index = value >> 3).
+const histEqBins = 32
+
+// histEqImgOff is the offset of the equalized image inside the destination
+// buffer; the gap past the bin table keeps the two written regions apart.
+const histEqImgOff = 16384
+
+// buildHistEq assembles the histogram-equalization legacy binary: the
+// filter zeroes a 32-bin dword table at the start of the destination
+// buffer, then for every source pixel increments every bin from the
+// pixel's bucket upward — the incremental form of a cumulative histogram,
+// leaving bins[j] = #pixels with bucket <= j — and finally remaps each
+// pixel through the table: out = cdf[in >> 3] * 255 / cdf[31], written at
+// histEqImgOff (the last cumulative bin holds the pixel count, so the
+// remap never references the image extent directly and the lifted kernel
+// generalizes to any size).  The remap loop is unrolled two ways with a
+// peeled remainder.  Lifting this needs a reduction stage ordered before a
+// stencil stage, with the stencil consuming the reduction's table.
+func buildHistEq() (*asm.Builder, *isa.Program) {
+	b := asm.New("histeq")
+
+	emitMain(b)
+	emitCopy(b)
+
+	eax := isa.RegOp(isa.EAX)
+	ebx := isa.RegOp(isa.EBX)
+	ecx := isa.RegOp(isa.ECX)
+	edx := isa.RegOp(isa.EDX)
+	esi := isa.RegOp(isa.ESI)
+	edi := isa.RegOp(isa.EDI)
+
+	src, dst, w, h, stride := asm.Arg(0), asm.Arg(1), asm.Arg(2), asm.Arg(3), asm.Arg(4)
+	y, drow := asm.Local(1), asm.Local(2)
+
+	// lane remaps one pixel at x = ecx+k through the cumulative table.
+	// div leaves the remainder in edx, so the output row pointer reloads
+	// from its local slot after the divide.
+	lane := func(k int32) {
+		b.Movzx(eax, isa.MemOp(isa.ESI, isa.ECX, 1, k, 1))
+		b.Shr(eax, 3)
+		b.Mov(eax, isa.MemOp(isa.EDI, isa.EAX, 4, 0, 4))
+		b.Imul3(isa.EAX, eax, 255)
+		b.Mov(ebx, isa.Mem(isa.EDI, (histEqBins-1)*4, 4))
+		b.Div(ebx)
+		b.Mov(edx, drow)
+		b.Mov(isa.MemOp(isa.EDX, isa.ECX, 1, k, 1), isa.RegOp(isa.AL))
+	}
+
+	b.Label("filter") // filter(src, dst, w, h, stride)
+	b.Prologue(8)
+	b.Mov(edi, dst)
+
+	// Zero the bin table.
+	b.Mov(ecx, isa.ImmOp(0))
+	b.Label("he_zero")
+	b.Cmp(ecx, isa.ImmOp(histEqBins))
+	b.Jcc(isa.JGE, "he_acc")
+	b.Mov(isa.MemOp(isa.EDI, isa.ECX, 4, 0, 4), isa.ImmOp(0))
+	b.Inc(ecx)
+	b.Jmp("he_zero")
+
+	// Accumulate: every pixel bumps its bucket and all buckets above it.
+	b.Label("he_acc")
+	b.Mov(y, isa.ImmOp(0))
+
+	b.Label("he_arow")
+	b.Mov(eax, y)
+	b.Cmp(eax, h)
+	b.Jcc(isa.JGE, "he_lut")
+	b.Mov(eax, y)
+	b.Imul(eax, stride)
+	b.Mov(esi, src)
+	b.Add(esi, eax)
+	b.Mov(ecx, isa.ImmOp(0))
+
+	b.Label("he_apix")
+	b.Cmp(ecx, w)
+	b.Jcc(isa.JGE, "he_arownext")
+	b.Movzx(eax, isa.MemOp(isa.ESI, isa.ECX, 1, 0, 1))
+	b.Shr(eax, 3)
+	b.Label("he_asuf")
+	b.Add(isa.MemOp(isa.EDI, isa.EAX, 4, 0, 4), isa.ImmOp(1))
+	b.Inc(eax)
+	b.Cmp(eax, isa.ImmOp(histEqBins))
+	b.Jcc(isa.JL, "he_asuf")
+	b.Inc(ecx)
+	b.Jmp("he_apix")
+
+	b.Label("he_arownext")
+	b.Inc(y)
+	b.Jmp("he_arow")
+
+	// Remap every pixel through the finished table.
+	b.Label("he_lut")
+	b.Mov(y, isa.ImmOp(0))
+
+	b.Label("he_lrow")
+	b.Mov(eax, y)
+	b.Cmp(eax, h)
+	b.Jcc(isa.JGE, "he_done")
+	b.Mov(eax, y)
+	b.Imul(eax, stride)
+	b.Mov(esi, src)
+	b.Add(esi, eax)
+	b.Mov(eax, y)
+	b.Imul(eax, stride)
+	b.Add(eax, dst)
+	b.Add(eax, isa.ImmOp(histEqImgOff))
+	b.Mov(drow, eax)
+	b.Mov(ecx, isa.ImmOp(0))
+
+	b.Label("he_lx2") // unrolled x2: while x+1 < w
+	b.Lea(isa.EAX, isa.Mem(isa.ECX, 1, 4))
+	b.Cmp(eax, w)
+	b.Jcc(isa.JGE, "he_lxrem")
+	lane(0)
+	lane(1)
+	b.Add(ecx, isa.ImmOp(2))
+	b.Jmp("he_lx2")
+
+	b.Label("he_lxrem") // peeled remainder: at most one pixel
+	b.Cmp(ecx, w)
+	b.Jcc(isa.JGE, "he_lrownext")
+	lane(0)
+	b.Inc(ecx)
+
+	b.Label("he_lrownext")
+	b.Inc(y)
+	b.Jmp("he_lrow")
+
+	b.Label("he_done")
+	b.Epilogue()
+
+	return b, b.MustBuild()
+}
+
+// histEqReference computes the expected equalized image in pure Go.
+func histEqReference(interior []byte, w, h int) []byte {
+	var cdf [histEqBins]uint32
+	for _, s := range interior {
+		cdf[s>>3]++
+	}
+	for i := 1; i < histEqBins; i++ {
+		cdf[i] += cdf[i-1]
+	}
+	npx := uint32(w * h)
+	out := make([]byte, len(interior))
+	for i, s := range interior {
+		out[i] = byte(cdf[s>>3] * 255 / npx)
+	}
+	return out
+}
+
+func histEqKernel() Kernel {
+	return Kernel{
+		Name:        "histeq",
+		Description: "histogram equalization: cumulative 32-bin table reduction feeding a per-pixel remap, unrolled x2",
+		Instantiate: func(cfg Config) *Instance {
+			builder, prog := buildHistEq()
+			pl := image.NewPlane(cfg.Width, cfg.Height, 0)
+			pl.FillPattern(cfg.Seed)
+			srcBytes := append([]byte(nil), pl.Pix...)
+			srcAddr, dstAddr := bufAddrs(len(srcBytes))
+
+			var pastTable []byte
+			if histEqImgOff < len(srcBytes) {
+				pastTable = srcBytes[histEqImgOff:]
+			}
+
+			inst := &Instance{
+				Name:          "histeq",
+				Prog:          prog,
+				FilterEntry:   mustFilterEntry(builder, prog),
+				Width:         cfg.Width,
+				Height:        cfg.Height,
+				Channels:      1,
+				InputInterior: pl.Interior(),
+				Reference:     histEqReference(pl.Interior(), cfg.Width, cfg.Height),
+				OffReference:  copyWindow(pastTable, pl.Stride, cfg.Width, cfg.Height),
+			}
+			inst.setup = func(m *vm.Machine, apply bool) {
+				m.Reset()
+				m.Mem.WriteBytes(srcAddr, srcBytes)
+				writeParams(m, apply, srcAddr, dstAddr,
+					cfg.Width, cfg.Height, pl.Stride,
+					srcAddr, dstAddr, len(srcBytes))
+			}
+			inst.readOutput = func(m *vm.Machine) []byte {
+				out := make([]byte, 0, cfg.Width*cfg.Height)
+				for yy := 0; yy < cfg.Height; yy++ {
+					out = append(out, m.Mem.ReadBytes(dstAddr+uint32(histEqImgOff+yy*pl.Stride), cfg.Width)...)
+				}
+				return out
+			}
+			return inst
+		},
+	}
+}

@@ -14,8 +14,10 @@
 // branch-free clamping over an interleaved RGB layout, blur2p pipelines
 // two separable blur passes through a private scratch plane (multi-stage
 // lifting), hist256 accumulates a 256-bin histogram table (reduction
-// lifting), and clampsharp clamps with real conditional branches
-// (predicated lifting).
+// lifting), clampsharp clamps with real conditional branches (predicated
+// lifting), downsample2x and upsample2x walk strided source rows (affine
+// index-map lifting), and histeq feeds a cumulative histogram table into a
+// per-pixel equalization pass (reduction-consuming stage lifting).
 package legacy
 
 import (
@@ -73,6 +75,11 @@ type Instance struct {
 	Width, Height, Channels int
 	Interleaved             bool
 
+	// RefW and RefH are the dimensions of the filtered output image when
+	// they differ from the input (resize kernels); zero means the output
+	// mirrors the input dimensions.
+	RefW, RefH int
+
 	// InputInterior is the row-major interior of the deterministic input
 	// (Width*Channels samples per row), the "known data" the buffer
 	// reconstruction searches for.
@@ -91,6 +98,15 @@ type Instance struct {
 
 	setup      func(m *vm.Machine, apply bool)
 	readOutput func(m *vm.Machine) []byte
+}
+
+// RefDims returns the filtered output dimensions: RefW x RefH when set,
+// the input dimensions otherwise.
+func (inst *Instance) RefDims() (w, h int) {
+	if inst.RefW > 0 && inst.RefH > 0 {
+		return inst.RefW, inst.RefH
+	}
+	return inst.Width, inst.Height
 }
 
 // Setup resets the machine and plays host: it loads the input buffers and
@@ -124,6 +140,7 @@ func Kernels() []Kernel {
 	return []Kernel{
 		brightenKernel(), boxBlurKernel(), sharpenKernel(),
 		blur2pKernel(), hist256Kernel(), clampSharpKernel(),
+		downsample2xKernel(), upsample2xKernel(), histEqKernel(),
 	}
 }
 

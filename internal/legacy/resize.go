@@ -1,0 +1,305 @@
+package legacy
+
+import (
+	"helium/internal/asm"
+	"helium/internal/image"
+	"helium/internal/isa"
+	"helium/internal/vm"
+)
+
+// upsampleRowPad is the extra destination bytes upsample2x leaves after
+// each output row; the gap keeps the written region visibly row-structured
+// so buffer reconstruction reads the output stride off the write runs.
+const upsampleRowPad = 4
+
+// copyWindow returns the bytes a ReadOutput window shows when only the
+// baseline copy ran: the source buffer copied into the destination, reads
+// past its end seeing the emulator's zero-filled memory.
+func copyWindow(srcBytes []byte, stride, rowBytes, rows int) []byte {
+	out := make([]byte, 0, rows*rowBytes)
+	for y := 0; y < rows; y++ {
+		for x := 0; x < rowBytes; x++ {
+			off := y*stride + x
+			if off < len(srcBytes) {
+				out = append(out, srcBytes[off])
+			} else {
+				out = append(out, 0)
+			}
+		}
+	}
+	return out
+}
+
+// buildDownsample2x assembles the 2x box downsampler.  Every output pixel
+// averages a 2x2 source block with rounding: out(x,y) = (in(2x,2y) +
+// in(2x+1,2y) + in(2x,2y+1) + in(2x+1,2y+1) + 2) / 4.  The source rows are
+// walked with a scaled index register (the strided addressing that defeats
+// coordinate-relative tap matching), the inner loop is unrolled two ways
+// with a peeled remainder, and output rows reuse the source stride, so the
+// written rows sit apart in memory.
+func buildDownsample2x() (*asm.Builder, *isa.Program) {
+	b := asm.New("downsample2x")
+
+	emitMain(b)
+	emitCopy(b)
+
+	eax := isa.RegOp(isa.EAX)
+	ebx := isa.RegOp(isa.EBX)
+	ecx := isa.RegOp(isa.ECX)
+	edx := isa.RegOp(isa.EDX)
+	esi := isa.RegOp(isa.ESI)
+	edi := isa.RegOp(isa.EDI)
+
+	src, dst, w, h, stride := asm.Arg(0), asm.Arg(1), asm.Arg(2), asm.Arg(3), asm.Arg(4)
+	y, outW, outH := asm.Local(1), asm.Local(2), asm.Local(3)
+
+	// lane averages the 2x2 block feeding output pixel x = ecx+k.  edx
+	// walks the two source rows of the block.
+	lane := func(k int32) {
+		b.Lea(isa.EDX, isa.MemOp(isa.ESI, isa.ECX, 2, 2*k, 4))
+		b.Movzx(eax, isa.Mem(isa.EDX, 0, 1))
+		b.Movzx(ebx, isa.Mem(isa.EDX, 1, 1))
+		b.Add(eax, ebx)
+		b.Add(edx, stride)
+		b.Movzx(ebx, isa.Mem(isa.EDX, 0, 1))
+		b.Add(eax, ebx)
+		b.Movzx(ebx, isa.Mem(isa.EDX, 1, 1))
+		b.Add(eax, ebx)
+		b.Add(eax, isa.ImmOp(2))
+		b.Shr(eax, 2)
+		b.Mov(isa.MemOp(isa.EDI, isa.ECX, 1, k, 1), isa.RegOp(isa.AL))
+	}
+
+	b.Label("filter") // filter(src, dst, w, h, stride)
+	b.Prologue(12)
+	b.Mov(eax, w)
+	b.Shr(eax, 1)
+	b.Mov(outW, eax)
+	b.Mov(eax, h)
+	b.Shr(eax, 1)
+	b.Mov(outH, eax)
+	b.Mov(y, isa.ImmOp(0))
+
+	b.Label("ds_row")
+	b.Mov(eax, y)
+	b.Cmp(eax, outH)
+	b.Jcc(isa.JGE, "ds_done")
+	// esi = src + (2y)*stride, edi = dst + y*stride
+	b.Mov(eax, y)
+	b.Add(eax, eax)
+	b.Imul(eax, stride)
+	b.Mov(esi, src)
+	b.Add(esi, eax)
+	b.Mov(eax, y)
+	b.Imul(eax, stride)
+	b.Mov(edi, dst)
+	b.Add(edi, eax)
+	b.Mov(ecx, isa.ImmOp(0))
+
+	b.Label("ds_x2") // unrolled x2: while x+1 < outW
+	b.Lea(isa.EAX, isa.Mem(isa.ECX, 1, 4))
+	b.Cmp(eax, outW)
+	b.Jcc(isa.JGE, "ds_xrem")
+	lane(0)
+	lane(1)
+	b.Add(ecx, isa.ImmOp(2))
+	b.Jmp("ds_x2")
+
+	b.Label("ds_xrem") // peeled remainder: at most one pixel
+	b.Cmp(ecx, outW)
+	b.Jcc(isa.JGE, "ds_rownext")
+	lane(0)
+	b.Inc(ecx)
+
+	b.Label("ds_rownext")
+	b.Inc(y)
+	b.Jmp("ds_row")
+
+	b.Label("ds_done")
+	b.Epilogue()
+
+	return b, b.MustBuild()
+}
+
+func downsample2xKernel() Kernel {
+	return Kernel{
+		Name:        "downsample2x",
+		Description: "2x box downsampler (2x2 block average), strided source rows, unrolled x2",
+		Instantiate: func(cfg Config) *Instance {
+			builder, prog := buildDownsample2x()
+			pl := image.NewPlane(cfg.Width, cfg.Height, 0)
+			pl.FillPattern(cfg.Seed)
+			srcBytes := append([]byte(nil), pl.Pix...)
+			srcAddr, dstAddr := bufAddrs(len(srcBytes))
+			outW, outH := cfg.Width/2, cfg.Height/2
+
+			ref := make([]byte, 0, outW*outH)
+			for yy := 0; yy < outH; yy++ {
+				for xx := 0; xx < outW; xx++ {
+					sum := int(pl.At(2*xx, 2*yy)) + int(pl.At(2*xx+1, 2*yy)) +
+						int(pl.At(2*xx, 2*yy+1)) + int(pl.At(2*xx+1, 2*yy+1))
+					ref = append(ref, byte((sum+2)/4))
+				}
+			}
+
+			inst := &Instance{
+				Name:          "downsample2x",
+				Prog:          prog,
+				FilterEntry:   mustFilterEntry(builder, prog),
+				Width:         cfg.Width,
+				Height:        cfg.Height,
+				Channels:      1,
+				RefW:          outW,
+				RefH:          outH,
+				InputInterior: pl.Interior(),
+				Reference:     ref,
+				OffReference:  copyWindow(srcBytes, pl.Stride, outW, outH),
+			}
+			inst.setup = func(m *vm.Machine, apply bool) {
+				m.Reset()
+				m.Mem.WriteBytes(srcAddr, srcBytes)
+				writeParams(m, apply, srcAddr, dstAddr,
+					cfg.Width, cfg.Height, pl.Stride,
+					srcAddr, dstAddr, len(srcBytes))
+			}
+			inst.readOutput = func(m *vm.Machine) []byte {
+				out := make([]byte, 0, outW*outH)
+				for yy := 0; yy < outH; yy++ {
+					out = append(out, m.Mem.ReadBytes(dstAddr+uint32(yy*pl.Stride), outW)...)
+				}
+				return out
+			}
+			return inst
+		},
+	}
+}
+
+// buildUpsample2x assembles the 2x nearest-neighbor upsampler: out(x,y) =
+// in(x/2, y/2).  The loop runs over source pixels and duplicates each one
+// into an output pair — the store-strided form optimized upsamplers take —
+// with the source row selected by shifting the output row index.  Output
+// rows are padded by upsampleRowPad bytes.
+func buildUpsample2x() (*asm.Builder, *isa.Program) {
+	b := asm.New("upsample2x")
+
+	emitMain(b)
+	emitCopy(b)
+
+	eax := isa.RegOp(isa.EAX)
+	ecx := isa.RegOp(isa.ECX)
+	esi := isa.RegOp(isa.ESI)
+	edi := isa.RegOp(isa.EDI)
+
+	src, dst, w, h, stride := asm.Arg(0), asm.Arg(1), asm.Arg(2), asm.Arg(3), asm.Arg(4)
+	y, outH, ostride := asm.Local(1), asm.Local(2), asm.Local(3)
+
+	// pair duplicates source pixel x = ecx+k into output pixels 2x, 2x+1.
+	pair := func(k int32) {
+		b.Movzx(eax, isa.MemOp(isa.ESI, isa.ECX, 1, k, 1))
+		b.Mov(isa.MemOp(isa.EDI, isa.ECX, 2, 2*k, 1), isa.RegOp(isa.AL))
+		b.Mov(isa.MemOp(isa.EDI, isa.ECX, 2, 2*k+1, 1), isa.RegOp(isa.AL))
+	}
+
+	b.Label("filter") // filter(src, dst, w, h, stride)
+	b.Prologue(12)
+	b.Mov(eax, h)
+	b.Add(eax, eax)
+	b.Mov(outH, eax)
+	b.Mov(eax, w)
+	b.Add(eax, eax)
+	b.Add(eax, isa.ImmOp(upsampleRowPad))
+	b.Mov(ostride, eax)
+	b.Mov(y, isa.ImmOp(0))
+
+	b.Label("us_row")
+	b.Mov(eax, y)
+	b.Cmp(eax, outH)
+	b.Jcc(isa.JGE, "us_done")
+	// esi = src + (y/2)*stride, edi = dst + y*ostride
+	b.Mov(eax, y)
+	b.Shr(eax, 1)
+	b.Imul(eax, stride)
+	b.Mov(esi, src)
+	b.Add(esi, eax)
+	b.Mov(eax, y)
+	b.Imul(eax, ostride)
+	b.Mov(edi, dst)
+	b.Add(edi, eax)
+	b.Mov(ecx, isa.ImmOp(0))
+
+	b.Label("us_x2") // unrolled x2 over source pixels: while x+1 < w
+	b.Lea(isa.EAX, isa.Mem(isa.ECX, 1, 4))
+	b.Cmp(eax, w)
+	b.Jcc(isa.JGE, "us_xrem")
+	pair(0)
+	pair(1)
+	b.Add(ecx, isa.ImmOp(2))
+	b.Jmp("us_x2")
+
+	b.Label("us_xrem") // peeled remainder: at most one source pixel
+	b.Cmp(ecx, w)
+	b.Jcc(isa.JGE, "us_rownext")
+	pair(0)
+	b.Inc(ecx)
+
+	b.Label("us_rownext")
+	b.Inc(y)
+	b.Jmp("us_row")
+
+	b.Label("us_done")
+	b.Epilogue()
+
+	return b, b.MustBuild()
+}
+
+func upsample2xKernel() Kernel {
+	return Kernel{
+		Name:        "upsample2x",
+		Description: "2x nearest-neighbor upsampler (pixel duplication), store-strided pairs, unrolled x2",
+		Instantiate: func(cfg Config) *Instance {
+			builder, prog := buildUpsample2x()
+			pl := image.NewPlane(cfg.Width, cfg.Height, 0)
+			pl.FillPattern(cfg.Seed)
+			srcBytes := append([]byte(nil), pl.Pix...)
+			srcAddr, dstAddr := bufAddrs(len(srcBytes))
+			outW, outH := 2*cfg.Width, 2*cfg.Height
+			ostride := outW + upsampleRowPad
+
+			ref := make([]byte, 0, outW*outH)
+			for yy := 0; yy < outH; yy++ {
+				for xx := 0; xx < outW; xx++ {
+					ref = append(ref, pl.At(xx/2, yy/2))
+				}
+			}
+
+			inst := &Instance{
+				Name:          "upsample2x",
+				Prog:          prog,
+				FilterEntry:   mustFilterEntry(builder, prog),
+				Width:         cfg.Width,
+				Height:        cfg.Height,
+				Channels:      1,
+				RefW:          outW,
+				RefH:          outH,
+				InputInterior: pl.Interior(),
+				Reference:     ref,
+				OffReference:  copyWindow(srcBytes, ostride, outW, outH),
+			}
+			inst.setup = func(m *vm.Machine, apply bool) {
+				m.Reset()
+				m.Mem.WriteBytes(srcAddr, srcBytes)
+				writeParams(m, apply, srcAddr, dstAddr,
+					cfg.Width, cfg.Height, pl.Stride,
+					srcAddr, dstAddr, len(srcBytes))
+			}
+			inst.readOutput = func(m *vm.Machine) []byte {
+				out := make([]byte, 0, outW*outH)
+				for yy := 0; yy < outH; yy++ {
+					out = append(out, m.Mem.ReadBytes(dstAddr+uint32(yy*ostride), outW)...)
+				}
+				return out
+			}
+			return inst
+		},
+	}
+}

@@ -51,6 +51,24 @@ func (o OutputDesc) Addr(x, y, c int) uint64 {
 type Buffers struct {
 	In  InputDesc
 	Out OutputDesc
+	// Tbl, when non-nil, describes a reduction table an earlier stage of
+	// the same filter produced: loads from it are lifted as stage-input
+	// table lookups (OpTableIn) rather than sliced through the
+	// accumulation that built it.
+	Tbl *TableDesc
+}
+
+// TableDesc locates an earlier reduction stage's finished table in memory
+// for the stages that consume it.
+type TableDesc struct {
+	// Base and Size delimit the table's bytes.
+	Base uint64
+	Size int
+	// Elem is the slot width in bytes.
+	Elem int
+	// LastWrite is the trace position of the final write into the table;
+	// reads before it observe a partially built table and are rejected.
+	LastWrite int
 }
 
 // ReconstructBuffers recovers the input and output buffer geometry (paper

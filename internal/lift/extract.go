@@ -111,6 +111,14 @@ func Extract(tr *trace.InstTrace, prog *isa.Program, bufs *Buffers) ([]SampleTre
 // of worker count: trees land at their sample's row-major position and the
 // reported error is the one a serial scan would have hit first.
 func ExtractWorkers(tr *trace.InstTrace, prog *isa.Program, bufs *Buffers, workers int) ([]SampleTree, error) {
+	return extractTrees(tr, prog, bufs, workers, false)
+}
+
+// extractTrees is the extraction driver behind Extract/ExtractWorkers.
+// With abs set, input loads carry absolute input coordinates instead of
+// output-relative offsets — the mode the affine refit uses when the
+// relative trees refused to collapse.
+func extractTrees(tr *trace.InstTrace, prog *isa.Program, bufs *Buffers, workers int, abs bool) ([]SampleTree, error) {
 	out := bufs.Out
 	total := out.Rows * out.RowBytes
 	trees := make([]SampleTree, total)
@@ -125,7 +133,7 @@ func ExtractWorkers(tr *trace.InstTrace, prog *isa.Program, bufs *Buffers, worke
 	// the hand-out cursor never dominates, and finer chunks balance the
 	// very uneven per-sample slicing cost.
 	err := par.For(total, 1, workers, func(int) func(int, int) error {
-		ex := &extractor{tr: tr, prog: prog, bufs: bufs, outWrites: outWrites}
+		ex := &extractor{tr: tr, prog: prog, bufs: bufs, outWrites: outWrites, abs: abs}
 		return func(start, end int) error {
 			for i := start; i < end; i++ {
 				y, b := i/out.RowBytes, i%out.RowBytes
@@ -214,6 +222,13 @@ func (ex *extractor) collectGuards(seq int) ([]Guard, error) {
 	start := 0
 	if i > 0 {
 		start = ex.outWrites[i-1] + 1
+	}
+	// Branches taken while an earlier stage's reduction was still filling
+	// its table belong to that stage, not to this sample: the first
+	// sample's window would otherwise swallow the whole accumulation
+	// phase, whose data-dependent loop bounds look like guards.
+	if tb := ex.bufs.Tbl; tb != nil && tb.LastWrite+1 > start {
+		start = tb.LastWrite + 1
 	}
 	var guards []Guard
 	byKey := make(map[string]int)
@@ -416,6 +431,16 @@ func (ex *extractor) refExpr(seq int, ref trace.Ref) (*ir.Expr, error) {
 			ex.nodes++
 			return e, nil
 		}
+	}
+
+	// Reads of an earlier stage's reduction table terminate the slice as
+	// stage-input table lookups, the same way input-region reads terminate
+	// as taps: the producing reduction is lifted separately, and slicing
+	// through its accumulation would drag the whole reduction into every
+	// consumer tree.
+	if tb := ex.bufs.Tbl; tb != nil && ref.Space == trace.SpaceMem &&
+		ref.Addr >= tb.Base && ref.Addr+uint64(ref.Width) <= tb.Base+uint64(tb.Size) {
+		return ex.tableInRef(seq, ref, tb)
 	}
 
 	// A previous traced write defines the value: slice through it.
@@ -721,6 +746,87 @@ func (ex *extractor) segmentRef(seq int, ref trace.Ref, seg *isa.Segment) (*ir.E
 		Elem:  int(ref.Width),
 		Args:  []*ir.Expr{index},
 	}, nil
+}
+
+// tableInRef lifts a read of an earlier stage's reduction table as a
+// stage-input table lookup: the slot index is reconstructed from the
+// access's scaled index register (mirroring the reduction recognizer's own
+// index reconstruction), and the base register plus displacement must
+// resolve to the table base so the index expression is in slots.  The
+// table must be finished: a read ordered before the table's final write
+// observes a partially built table, which no bind-at-eval-time table
+// input can model.
+func (ex *extractor) tableInRef(seq int, ref trace.Ref, tb *TableDesc) (*ir.Expr, error) {
+	di := &ex.tr.Insts[seq]
+	if seq < tb.LastWrite {
+		return nil, fmt.Errorf("%v at %#x (seq %d) reads the reduction table at %#x before the table is fully written (final table write at seq %d); a consuming stage must run after the whole reduction",
+			di.Op, di.Addr, seq, ref.Addr, tb.LastWrite)
+	}
+	if int(ref.Width) != tb.Elem {
+		return nil, fmt.Errorf("%v at %#x (seq %d) reads %d bytes of a reduction table with %d-byte slots; only whole-slot table reads are liftable",
+			di.Op, di.Addr, seq, ref.Width, tb.Elem)
+	}
+	if !di.HasMem || di.MemAddr != ref.Addr {
+		return nil, fmt.Errorf("%v at %#x (seq %d) reads the reduction table without an addressable memory operand", di.Op, di.Addr, seq)
+	}
+	pc, ok := ex.prog.Lookup(di.Addr)
+	if !ok {
+		return nil, fmt.Errorf("seq %d: traced address %#x is not in the program", seq, di.Addr)
+	}
+	inst := ex.prog.Insts[pc]
+	var memOp *isa.Operand
+	for _, o := range []*isa.Operand{&inst.Dst, &inst.Src, &inst.Src2} {
+		if o.Kind == isa.KindMem {
+			memOp = o
+			break
+		}
+	}
+	if memOp == nil {
+		return nil, fmt.Errorf("seq %d: table read without a memory operand", seq)
+	}
+
+	// Constant residual of the addressing, in slots: the base register's
+	// observed value plus the displacement, relative to the table base.
+	// The base register is the table pointer — loop-invariant host state —
+	// so its observed value stands in for its slice; a data-dependent base
+	// yields per-sample residuals whose trees cannot collapse, and
+	// unification rejects the stage downstream.
+	baseVal := int64(0)
+	if memOp.Base != isa.RegNone {
+		found := false
+		for _, r := range di.AddrRefs {
+			if r.Space == trace.SpaceReg && r.Addr == trace.RegAddr(memOp.Base) {
+				baseVal, found = int64(r.Val), true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("seq %d: table base register %v not captured", seq, memOp.Base)
+		}
+	}
+	residual := baseVal + int64(int32(memOp.Disp)) - int64(tb.Base)
+	if residual%int64(tb.Elem) != 0 {
+		return nil, fmt.Errorf("seq %d: table read residual %d is not slot-aligned (element width %d)", seq, residual, tb.Elem)
+	}
+
+	var idx *ir.Expr
+	if memOp.Index == isa.RegNone {
+		idx = ir.Const(residual / int64(tb.Elem))
+	} else {
+		if int(memOp.Scale) != tb.Elem {
+			return nil, fmt.Errorf("seq %d: table read scales its index by %d but slots are %d bytes wide", seq, memOp.Scale, tb.Elem)
+		}
+		e, err := ex.addrRegExpr(seq, di, memOp.Index)
+		if err != nil {
+			return nil, err
+		}
+		idx = e
+		if k := residual / int64(tb.Elem); k != 0 {
+			idx = ir.Bin(ir.OpAdd, 4, idx, ir.Const(k))
+		}
+	}
+	ex.nodes++
+	return &ir.Expr{Op: ir.OpTableIn, Elem: tb.Elem, Args: []*ir.Expr{idx}}, nil
 }
 
 // addrRegExpr resolves the captured pre-execution value reference of an

@@ -96,6 +96,7 @@ func Lift(name string, t Target) (*Result, error) {
 	stages := make([]Stage, 0, len(regions))
 	curIn := *in0
 	samples := 0
+	var tbl *TableDesc
 	for i, reg := range regions {
 		stageName := name
 		if len(regions) > 1 {
@@ -104,15 +105,20 @@ func Lift(name string, t Target) (*Result, error) {
 		if reg.maxWrites >= 2 {
 			// Bytes rewritten during the filter are accumulator slots, not
 			// image samples (stencil outputs are stored exactly once).
-			if i != len(regions)-1 {
-				return nil, reject(PhaseStages, fmt.Errorf("lift: intermediate region at %#x is rewritten like an accumulator table; reductions are only liftable as the final stage", reg.addrs[0]))
+			if tbl != nil {
+				return nil, reject(PhaseStages, fmt.Errorf("lift: filter builds two accumulator tables (at %#x and %#x); only one reduction stage is liftable", tbl.Base, reg.addrs[0]))
 			}
-			red, out, err := recognizeReduction(stageName, tres.Trace, t.Prog, curIn, reg, t.Known)
+			red, out, lastW, err := recognizeReduction(stageName, tres.Trace, t.Prog, curIn, reg, t.Known)
 			if err != nil {
 				return nil, reject(PhaseReduction, err)
 			}
 			stages = append(stages, Stage{Red: red, In: curIn, Out: *out})
 			samples += red.DomW * red.DomH
+			if i != len(regions)-1 {
+				// A non-final reduction's finished table feeds the later
+				// stages as a stage input; the image input stays as-is.
+				tbl = &TableDesc{Base: out.Base, Size: out.RowBytes, Elem: red.Elem, LastWrite: lastW}
+			}
 			continue
 		}
 
@@ -120,22 +126,30 @@ func Lift(name string, t Target) (*Result, error) {
 		if err != nil {
 			return nil, reject(PhaseBuffers, err)
 		}
-		bufs := &Buffers{In: curIn, Out: *out}
+		bufs := &Buffers{In: curIn, Out: *out, Tbl: tbl}
 		trees, err := Extract(tres.Trace, t.Prog, bufs)
 		if err != nil {
 			return nil, reject(PhaseExtract, err)
 		}
 		kernel, err := unify(stageName, bufs, trees)
 		if err != nil {
-			return nil, reject(PhaseUnify, err)
+			// The per-output trees differing by a translation is the
+			// signature of a resize loop: retry the stage as an affine-map
+			// stencil before giving up.
+			ak, aerr := liftAffine(stageName, tres.Trace, t.Prog, bufs)
+			if aerr != nil {
+				return nil, reject(PhaseUnify, fmt.Errorf("%w (affine retry: %v)", err, aerr))
+			}
+			kernel = ak
 		}
-		if i > 0 {
+		if i > 0 && stages[i-1].Red == nil {
 			if err := checkStageFootprint(kernel, stages[i-1].Out); err != nil {
 				return nil, reject(PhaseUnify, err)
 			}
 		}
 		stages = append(stages, Stage{Kernel: kernel, In: curIn, Out: *out})
 		samples += len(trees)
+		tbl = nil
 		curIn = stageInput(*out, t.Known.Interleaved)
 	}
 
@@ -450,10 +464,13 @@ func footprint(k *ir.Kernel) (xlo, xhi, ylo, yhi, dclo, dchi int) {
 			dclo, dchi = min(dclo, l.DC), max(dchi, l.DC)
 		})
 	}
-	xlo = k.OriginX + minDX
-	xhi = k.OutWidth - 1 + k.OriginX + maxDX
-	ylo = k.OriginY + minDY
-	yhi = k.OutHeight - 1 + k.OriginY + maxDY
+	// The axis maps are monotonically nondecreasing in the output
+	// coordinate, so the extreme input columns/rows come from the extreme
+	// output ones (identity maps reduce to the familiar slope-1 box).
+	xlo = k.MapX.Apply(0) + k.OriginX + minDX
+	xhi = k.MapX.Apply(k.OutWidth-1) + k.OriginX + maxDX
+	ylo = k.MapY.Apply(0) + k.OriginY + minDY
+	yhi = k.MapY.Apply(k.OutHeight-1) + k.OriginY + maxDY
 	return xlo, xhi, ylo, yhi, dclo, dchi
 }
 
@@ -590,7 +607,14 @@ func (r *Result) chain(src ir.Source, outW, outH int,
 			}
 		}
 		if i+1 < len(r.Stages) {
-			src = stagePlaneSource(out, w, h)
+			if st.Red != nil {
+				// A reduction's bytes are the finished table, not an image:
+				// later stages keep reading the same pixel source and bind
+				// the table for their OpTableIn lookups.
+				src = ir.TableSource{Src: src, Tbl: out}
+			} else {
+				src = stagePlaneSource(out, w, h)
+			}
 		}
 	}
 	return out, nil

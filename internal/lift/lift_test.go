@@ -46,16 +46,48 @@ var goldenIR = map[string][]string{
 		"out(x, y, c) = ((in(x-1, y) + in(x, y) + in(x+1, y) + 1) / 3)",
 		"out(x, y, c) = ((in(x, y-1) + in(x, y) + in(x, y+1) + 1) / 3)",
 	},
-	"hist256":    {"bins[in(x, y)] += 1"},
-	"clampsharp": {"out(x, y, c) = min(max((((((in(x, y) * 5) - in(x-1, y)) - in(x+1, y)) - in(x, y-1)) - in(x, y+1)), 0), 255)"},
+	"hist256":      {"bins[in(x, y)] += 1"},
+	"clampsharp":   {"out(x, y, c) = min(max((((((in(x, y) * 5) - in(x-1, y)) - in(x+1, y)) - in(x, y-1)) - in(x, y+1)), 0), 255)"},
+	"downsample2x": {"out(x, y, c) = byte0(((in(x, y) + in(x, y+1) + in(x+1, y) + in(x+1, y+1) + 2) >> 2)) @ x' = 2*x, y' = 2*y"},
+	"upsample2x":   {"out(x, y, c) = in(x, y) @ x' = (x)/2, y' = (y)/2"},
+	"histeq": {
+		"bins[(in(x, y) >> 3)..] += 1",
+		"out(x, y, c) = byte0(((tbl[(in(x, y) >> 3)] * 255) / tbl[31]))",
+	},
 }
 
-// stageIR renders one lifted stage the way the goldens pin it.
+// axisIR renders one index map the way the goldens pin it (the same
+// formula ir.AxisMap renders, with the axis named).
+func axisIR(m ir.AxisMap, axis string) string {
+	num, den, off := m.Norm()
+	s := axis
+	if num != 1 {
+		s = fmt.Sprintf("%d*%s", num, axis)
+	}
+	if off != 0 {
+		s = fmt.Sprintf("%s+%d", s, off)
+	}
+	if den != 1 {
+		s = fmt.Sprintf("(%s)/%d", s, den)
+	}
+	return s
+}
+
+// stageIR renders one lifted stage the way the goldens pin it: cumulative
+// reductions mark their suffix range, resize stages append their index
+// maps.
 func stageIR(st *lift.Stage) string {
 	if st.Red != nil {
+		if st.Red.Suffix {
+			return fmt.Sprintf("bins[%s..] += %d", st.Red.Index, st.Red.Delta)
+		}
 		return fmt.Sprintf("bins[%s] += %d", st.Red.Index, st.Red.Delta)
 	}
-	return fmt.Sprintf("out(x, y, c) = %s", st.Kernel.Trees[0])
+	s := fmt.Sprintf("out(x, y, c) = %s", st.Kernel.Trees[0])
+	if st.Kernel.Mapped() {
+		s += fmt.Sprintf(" @ x' = %s, y' = %s", axisIR(st.Kernel.MapX, "x"), axisIR(st.Kernel.MapY, "y"))
+	}
+	return s
 }
 
 // TestLiftEndToEnd runs the full pipeline on every corpus kernel and image
@@ -260,6 +292,12 @@ func TestExtractWorkersDeterministic(t *testing.T) {
 				// A reduction has no per-sample trees to extract; its
 				// recognizer is single-threaded by construction.
 				t.Skip("reduction kernels do not go through sample extraction")
+			}
+			if k.Name == "histeq" {
+				// The remap stage only extracts once Lift threads the
+				// reduction's table descriptor into Buffers; the raw
+				// ReconstructBuffers geometry here has no table stage.
+				t.Skip("reduction-consuming kernels need the table descriptor Lift builds")
 			}
 			tgt, _, tres, bufs := traceFor(t, k, liftConfigs[0])
 			serial, err := lift.ExtractWorkers(tres.Trace, tgt.Prog, bufs, 1)

@@ -27,15 +27,20 @@ type redEvent struct {
 // recognizeReduction lifts an accumulator region written by the filter
 // into an ir.Reduction.  in is the stage's input geometry (the image whose
 // pixels drive the updates), reg the clustered write region, known the
-// injected input.
-func recognizeReduction(name string, tr *trace.InstTrace, prog *isa.Program, in InputDesc, reg writeRegion, known KnownInput) (*ir.Reduction, *OutputDesc, error) {
+// injected input.  Two accumulation shapes are recognized: one update per
+// pixel (the plain histogram) and one run of consecutive updates ending at
+// the last bin per pixel (the cumulative/suffix histogram).  Alongside the
+// reduction it returns the trace position of the final table write, which
+// gates later stages' reads of the table.
+func recognizeReduction(name string, tr *trace.InstTrace, prog *isa.Program, in InputDesc, reg writeRegion, known KnownInput) (*ir.Reduction, *OutputDesc, int, error) {
 	if known.Interleaved {
-		return nil, nil, fmt.Errorf("lift: reduction over an interleaved input is not supported")
+		return nil, nil, 0, fmt.Errorf("lift: reduction over an interleaved input is not supported")
 	}
 	base := reg.addrs[0]
 	size := len(reg.addrs)
+	lastWrite := 0
 	if last := reg.addrs[size-1]; last-base+1 != uint64(size) {
-		return nil, nil, fmt.Errorf("lift: accumulator region at %#x has %d holes; a reduction table is contiguous",
+		return nil, nil, 0, fmt.Errorf("lift: accumulator region at %#x has %d holes; a reduction table is contiguous",
 			base, int(last-base+1)-size)
 	}
 
@@ -54,12 +59,13 @@ func recognizeReduction(name string, tr *trace.InstTrace, prog *isa.Program, in 
 			if elem == 0 {
 				elem = int(d.Width)
 			} else if int(d.Width) != elem {
-				return nil, nil, fmt.Errorf("lift: accumulator writes mix %d- and %d-byte widths at %#x", elem, d.Width, d.Addr)
+				return nil, nil, 0, fmt.Errorf("lift: accumulator writes mix %d- and %d-byte widths at %#x", elem, d.Width, d.Addr)
 			}
 			if (d.Addr-base)%uint64(elem) != 0 {
-				return nil, nil, fmt.Errorf("lift: accumulator write at %#x is not slot-aligned (element width %d)", d.Addr, elem)
+				return nil, nil, 0, fmt.Errorf("lift: accumulator write at %#x is not slot-aligned (element width %d)", d.Addr, elem)
 			}
 			ev := redEvent{seq: di.Seq, slot: int(d.Addr-base) / elem}
+			lastWrite = max(lastWrite, di.Seq)
 			if ef.Op == trace.OpIdentity {
 				initSeqs = append(initSeqs, ev)
 			} else {
@@ -68,7 +74,7 @@ func recognizeReduction(name string, tr *trace.InstTrace, prog *isa.Program, in 
 		}
 	}
 	if elem == 0 || size%elem != 0 {
-		return nil, nil, fmt.Errorf("lift: accumulator region size %d is not a multiple of its %d-byte slots", size, elem)
+		return nil, nil, 0, fmt.Errorf("lift: accumulator region size %d is not a multiple of its %d-byte slots", size, elem)
 	}
 	bins := size / elem
 
@@ -82,36 +88,50 @@ func recognizeReduction(name string, tr *trace.InstTrace, prog *isa.Program, in 
 		di := &tr.Insts[ev.seq]
 		ef := findEffect(di, base+uint64(ev.slot*elem), uint8(elem))
 		if ef == nil {
-			return nil, nil, fmt.Errorf("lift: initializer at seq %d writes only part of slot %d", ev.seq, ev.slot)
+			return nil, nil, 0, fmt.Errorf("lift: initializer at seq %d writes only part of slot %d", ev.seq, ev.slot)
 		}
 		c, err := ex.sliceConst(di.Seq, ef.Srcs[0])
 		if err != nil {
-			return nil, nil, fmt.Errorf("lift: slot %d initializer: %w", ev.slot, err)
+			return nil, nil, 0, fmt.Errorf("lift: slot %d initializer: %w", ev.slot, err)
 		}
 		init[ev.slot] = uint64(c)
 		seenInit[ev.slot] = true
 	}
 	for s, ok := range seenInit {
 		if !ok {
-			return nil, nil, fmt.Errorf("lift: accumulator slot %d is updated but never initialized by the filter", s)
+			return nil, nil, 0, fmt.Errorf("lift: accumulator slot %d is updated but never initialized by the filter", s)
 		}
 	}
 
 	// Accumulate events: slot += constant, with the slot index addressed
-	// through an input-dependent register.
+	// through an input-dependent register.  An event count equal to the
+	// pixel count is the plain one-update-per-pixel histogram; otherwise
+	// the events must group into suffix runs, one per pixel, whose first
+	// update carries the pixel's index.
 	var indexExpr *ir.Expr
 	delta := uint64(0)
 	haveDelta := false
 	seen := make(map[[2]int]int)
-	for _, ev := range updSeqs {
+
+	suffix := false
+	firsts := updSeqs
+	if len(updSeqs) > 0 && len(updSeqs) != known.Width*known.Height {
+		runs, err := suffixRuns(updSeqs, bins)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		suffix, firsts = true, runs
+	}
+
+	updateDelta := func(ev redEvent) error {
 		di := &tr.Insts[ev.seq]
 		slotAddr := base + uint64(ev.slot*elem)
 		ef := findEffect(di, slotAddr, uint8(elem))
 		if ef == nil {
-			return nil, nil, fmt.Errorf("lift: update at seq %d writes only part of slot %d", ev.seq, ev.slot)
+			return fmt.Errorf("lift: update at seq %d writes only part of slot %d", ev.seq, ev.slot)
 		}
 		if ef.Op != trace.OpAdd || len(ef.Srcs) != 2 {
-			return nil, nil, fmt.Errorf("lift: update %v at %#x (seq %d) is %v; only additive accumulation (add/inc into the slot) is liftable",
+			return fmt.Errorf("lift: update %v at %#x (seq %d) is %v; only additive accumulation (add/inc into the slot) is liftable",
 				di.Op, di.Addr, ev.seq, ef.Op)
 		}
 		// One operand reads the slot back (the accumulator), the other is
@@ -123,32 +143,49 @@ func recognizeReduction(name string, tr *trace.InstTrace, prog *isa.Program, in 
 			}
 		}
 		if acc < 0 {
-			return nil, nil, fmt.Errorf("lift: update %v at %#x (seq %d) does not read its own slot back; not an accumulation",
+			return fmt.Errorf("lift: update %v at %#x (seq %d) does not read its own slot back; not an accumulation",
 				di.Op, di.Addr, ev.seq)
 		}
 		d, err := ex.sliceConst(di.Seq, ef.Srcs[1-acc])
 		if err != nil {
-			return nil, nil, fmt.Errorf("lift: update at seq %d: %w", ev.seq, err)
+			return fmt.Errorf("lift: update at seq %d: %w", ev.seq, err)
 		}
 		if haveDelta && uint64(d) != delta {
-			return nil, nil, fmt.Errorf("lift: updates add different constants (%d vs %d); only uniform deltas are liftable", delta, d)
+			return fmt.Errorf("lift: updates add different constants (%d vs %d); only uniform deltas are liftable", delta, d)
 		}
 		delta, haveDelta = uint64(d), true
+		return nil
+	}
 
+	updateIndex := func(ev redEvent) error {
+		di := &tr.Insts[ev.seq]
+		slotAddr := base + uint64(ev.slot*elem)
 		idx, px, py, err := ex.indexExpr(di, slotAddr, base, elem)
 		if err != nil {
-			return nil, nil, fmt.Errorf("lift: update at seq %d: %w", ev.seq, err)
+			return fmt.Errorf("lift: update at seq %d: %w", ev.seq, err)
 		}
 		if indexExpr == nil {
 			indexExpr = idx
 		} else if indexExpr.Key() != idx.Key() {
-			return nil, nil, fmt.Errorf("lift: update at seq %d computes index %s, others %s; index expressions did not collapse",
+			return fmt.Errorf("lift: update at seq %d computes index %s, others %s; index expressions did not collapse",
 				ev.seq, idx, indexExpr)
 		}
 		seen[[2]int{px, py}]++
+		return nil
+	}
+
+	for _, ev := range updSeqs {
+		if err := updateDelta(ev); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	for _, ev := range firsts {
+		if err := updateIndex(ev); err != nil {
+			return nil, nil, 0, err
+		}
 	}
 	if indexExpr == nil {
-		return nil, nil, fmt.Errorf("lift: accumulator region at %#x has initializers but no updates", base)
+		return nil, nil, 0, fmt.Errorf("lift: accumulator region at %#x has initializers but no updates", base)
 	}
 
 	// Every interior pixel must contribute exactly once: the reduction
@@ -157,23 +194,24 @@ func recognizeReduction(name string, tr *trace.InstTrace, prog *isa.Program, in 
 		for x := 0; x < known.Width; x++ {
 			switch n := seen[[2]int{x, y}]; {
 			case n == 0:
-				return nil, nil, fmt.Errorf("lift: input pixel (%d,%d) contributed no table update; the reduction domain is not the whole image", x, y)
+				return nil, nil, 0, fmt.Errorf("lift: input pixel (%d,%d) contributed no table update; the reduction domain is not the whole image", x, y)
 			case n > 1:
-				return nil, nil, fmt.Errorf("lift: input pixel (%d,%d) contributed %d updates; only one update per pixel is liftable", x, y, n)
+				return nil, nil, 0, fmt.Errorf("lift: input pixel (%d,%d) contributed %d updates; only one update per pixel is liftable", x, y, n)
 			}
 		}
 	}
 	if len(seen) != known.Width*known.Height {
-		return nil, nil, fmt.Errorf("lift: %d update pixels fall outside the %dx%d input interior", len(seen)-known.Width*known.Height, known.Width, known.Height)
+		return nil, nil, 0, fmt.Errorf("lift: %d update pixels fall outside the %dx%d input interior", len(seen)-known.Width*known.Height, known.Width, known.Height)
 	}
 
 	red := &ir.Reduction{
 		Name: name,
 		DomW: known.Width, DomH: known.Height,
 		Bins: bins, Elem: elem,
-		Init:  init,
-		Index: indexExpr,
-		Delta: delta & (1<<(8*elem) - 1),
+		Init:   init,
+		Index:  indexExpr,
+		Delta:  delta & (1<<(8*elem) - 1),
+		Suffix: suffix,
 	}
 	out := &OutputDesc{
 		Base:     base,
@@ -182,7 +220,29 @@ func recognizeReduction(name string, tr *trace.InstTrace, prog *isa.Program, in 
 		Rows:     1,
 		Channels: 1,
 	}
-	return red, out, nil
+	return red, out, lastWrite, nil
+}
+
+// suffixRuns groups the accumulate events into maximal runs of
+// consecutive ascending slots, each ending at the last bin — the trace
+// shape of the cumulative histogram, where every pixel updates
+// bins[idx..bins-1] in order.  It returns each run's first event, which
+// carries the pixel's index.
+func suffixRuns(upd []redEvent, bins int) ([]redEvent, error) {
+	var firsts []redEvent
+	for i := 0; i < len(upd); {
+		j := i
+		for j+1 < len(upd) && upd[j].slot != bins-1 && upd[j+1].slot == upd[j].slot+1 {
+			j++
+		}
+		if upd[j].slot != bins-1 {
+			return nil, fmt.Errorf("lift: accumulator updates are neither one per input pixel nor suffix runs: the run starting at seq %d (slot %d) stops at slot %d of %d bins",
+				upd[i].seq, upd[i].slot, upd[j].slot, bins)
+		}
+		firsts = append(firsts, upd[i])
+		i = j + 1
+	}
+	return firsts, nil
 }
 
 // sliceConst slices a reference and demands it canonicalize to an integer

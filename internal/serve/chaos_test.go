@@ -51,7 +51,10 @@ func newChaosServer(t *testing.T) (*Server, *httptest.Server, []chaosTarget) {
 	t.Cleanup(ts.Close)
 
 	var targets []chaosTarget
-	for _, kernel := range []string{"brighten", "boxblur3"} {
+	// histeq rides along: its reduction-fed pipeline exercises the
+	// table-consuming stage under every fault, and its degraded interp
+	// answers must stay bit-exact to the generated chain head's.
+	for _, kernel := range []string{"brighten", "boxblur3", "histeq"} {
 		for _, g := range []struct {
 			w, h int
 			seed uint64
@@ -102,6 +105,7 @@ func TestChaosContract(t *testing.T) {
 				}
 			}
 			counts := map[int]int{}
+			degraded := 0
 			for i := 0; i < 200; i++ {
 				tgt := targets[i%len(targets)]
 				var pixels []byte
@@ -119,11 +123,21 @@ func TestChaosContract(t *testing.T) {
 				if r.status == 200 && !bytes.Equal(r.body, tgt.want) {
 					t.Fatalf("request %d (%s %dx%d): a 200 response carries wrong pixels", i, tgt.kernel, tgt.w, tgt.h)
 				}
+				// A degraded 200 — X-Helium-Degraded names the fallback
+				// trail — is held to the same bit-exactness as a clean one;
+				// the bytes.Equal above already ran, this records that the
+				// scenario actually exercised a degraded answer.
+				if r.status == 200 && r.degraded != "" {
+					degraded++
+				}
 				if r.status == 503 && r.retryAfter == "" {
 					t.Fatalf("request %d: shed 503 without Retry-After", i)
 				}
 			}
 			faultpoint.Reset()
+			if strings.Contains(sc.name, "slow-backend") && degraded == 0 {
+				t.Fatalf("%s: no 200 carried an X-Helium-Degraded trail; the scenario never tested degraded bit-exactness", sc.name)
+			}
 
 			// The process must still be healthy, and — whatever breakers the
 			// storm tripped — the generated chain head must recover within a

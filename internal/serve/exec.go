@@ -244,7 +244,7 @@ func (e *entry) vmWindow(full []byte, req *request, outW, outH int) ([]byte, err
 		return full, nil
 	}
 	c := e.channels
-	fw, fh := req.inst.Width, req.inst.Height
+	fw, fh := req.inst.RefDims()
 	if len(full) != fw*fh*c || e.vmOX+outW > fw || e.vmOY+outH > fh {
 		return nil, fmt.Errorf("vm output window (%d,%d)+%dx%d does not fit the %dx%dx%d interior",
 			e.vmOX, e.vmOY, outW, outH, fw, fh, c)

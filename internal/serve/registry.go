@@ -17,6 +17,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"helium/internal/ir"
 	"helium/internal/legacy"
 	"helium/internal/lift"
 	"helium/internal/liftedkernels"
@@ -164,15 +165,19 @@ type entry struct {
 	gk    *liftedkernels.Kernel
 	tuned *schedule.Schedule
 
-	// Geometry deltas: every extent is affine in the requested config
-	// geometry with slope 1, so four constants place any request.
-	dOutW, dOutH int // request extents minus response extents
-	dInW, dInH   int // input interior extents minus request extents
-	channels     int
-	interleaved  bool
-	pad          int // planar clamp padding covering the stencil footprint
-	isRed        bool
-	bins         int // reduction response length in 4-byte bins
+	// Geometry model: response extents are rational in the requested
+	// config geometry — outW = floor(w*mulW/divW) + offW — with the
+	// slope read off the final stage's affine index map (an identity
+	// map gives the classic slope-1 delta) and the offset calibrated at
+	// lift geometry.  Input interior extents stay slope-1.
+	mulW, divW, offW int
+	mulH, divH, offH int
+	dInW, dInH       int // input interior extents minus request extents
+	channels         int
+	interleaved      bool
+	pad              int // planar clamp padding covering the stencil footprint
+	isRed            bool
+	bins             int // reduction response length in 4-byte bins
 
 	// vm terminal backend: the lifted output window's offset inside the
 	// instance's full output interior, discovered at init by matching the
@@ -270,7 +275,19 @@ func (e *entry) init() {
 
 	cfg := e.reg.opts
 	outW0, outH0 := res.EvalDims()
-	e.dOutW, e.dOutH = cfg.LiftWidth-outW0, cfg.LiftHeight-outH0
+	// The final stencil's index map fixes the response slope (identity
+	// maps give 1/1 — the classic delta model); pipelines ending in a
+	// reduction keep the identity slope for their domain extents.
+	var mx, my ir.AxisMap
+	if res.Kernel != nil {
+		mx, my = res.Kernel.MapX, res.Kernel.MapY
+	}
+	nx, dx, _ := mx.Norm()
+	ny, dy, _ := my.Norm()
+	e.mulW, e.divW = dx, nx
+	e.mulH, e.divH = dy, ny
+	e.offW = outW0 - cfg.LiftWidth*e.mulW/e.divW
+	e.offH = outH0 - cfg.LiftHeight*e.mulH/e.divH
 	e.dInW, e.dInH = inst.Width-cfg.LiftWidth, inst.Height-cfg.LiftHeight
 	e.channels, e.interleaved = inst.Channels, inst.Interleaved
 	e.isRed = res.Reduction != nil
@@ -354,12 +371,13 @@ func findVMWindow(inst *legacy.Instance, want []byte, outW0, outH0 int, isRed bo
 		return 0, 0, bytes.Equal(inst.Reference, want)
 	}
 	c := inst.Channels
+	refW, refH := inst.RefDims()
 	if len(want) != outW0*outH0*c {
 		return 0, 0, false
 	}
-	for oy = 0; oy+outH0 <= inst.Height; oy++ {
-		for ox = 0; ox+outW0 <= inst.Width; ox++ {
-			if vmWindowAt(inst.Reference, inst.Width, c, want, ox, oy, outW0, outH0) {
+	for oy = 0; oy+outH0 <= refH; oy++ {
+		for ox = 0; ox+outW0 <= refW; ox++ {
+			if vmWindowAt(inst.Reference, refW, c, want, ox, oy, outW0, outH0) {
 				return ox, oy, true
 			}
 		}
@@ -385,7 +403,9 @@ func (e *entry) inputBytes(w, h int) int {
 	return (w + e.dInW) * (h + e.dInH) * e.channels
 }
 
-// outDims returns the response window extents for a request geometry.
+// outDims returns the response window extents for a request geometry:
+// rational in the request extents, matching the legacy binary's own loop
+// bounds at any size (a downsampler answers floor(w/2) columns).
 func (e *entry) outDims(w, h int) (int, int) {
-	return w - e.dOutW, h - e.dOutH
+	return w*e.mulW/e.divW + e.offW, h*e.mulH/e.divH + e.offH
 }

@@ -20,7 +20,7 @@ import (
 
 // corpusNames is the whole legacy corpus, pinned so a test failure names
 // the kernel.
-var corpusNames = []string{"blur2p", "boxblur3", "brighten", "clampsharp", "hist256", "sharpen"}
+var corpusNames = []string{"blur2p", "boxblur3", "brighten", "clampsharp", "downsample2x", "hist256", "histeq", "sharpen", "upsample2x"}
 
 // sharedServer lifts the corpus exactly once for every read-only test in
 // the package; tests that mutate global state (faultpoints, breakers,
