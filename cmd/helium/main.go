@@ -345,6 +345,11 @@ func run(k legacy.Kernel, cfg legacy.Config, backend string, workers int, verbos
 				res.Bufs.Out.Width(), res.Bufs.Out.Rows, res.Bufs.Out.Channels)
 			fmt.Printf("trace: %d dynamic instructions (of %d executed), %d KiB dumped, %d sample trees\n",
 				res.TraceInsts, res.TraceSteps, res.Dump.Size()/1024, res.Samples)
+			line := "phases:"
+			for _, pt := range res.PhaseTimes {
+				line += fmt.Sprintf(" %s=%s", pt.Phase, pt.Dur.Round(10*time.Microsecond))
+			}
+			fmt.Println(line)
 		}
 		printLifted(res)
 	}
@@ -536,6 +541,11 @@ type benchEntry struct {
 	Samples     int                `json:"samples"`
 	NsPerSample map[string]float64 `json:"ns_per_sample"`
 	Speedup     map[string]float64 `json:"speedup_vs_interp"`
+	// LiftPhases is the one-time lift cost split by pipeline phase, in
+	// milliseconds (localize, trace, extract, ... verify, compile) — the
+	// "how long until this binary serves" half of the report, next to the
+	// steady-state ns_per_sample half.
+	LiftPhases map[string]float64 `json:"lift_phases,omitempty"`
 	// Schedule is the tuned schedule the "scheduled" backend ran (JSON of
 	// schedule.Schedule; omitted for reduction-only kernels).
 	Schedule *schedule.Schedule `json:"schedule,omitempty"`
@@ -735,6 +745,12 @@ func runBench(kernels []legacy.Kernel, cfg legacy.Config, workers int, outPath, 
 			Samples:     samples,
 			NsPerSample: make(map[string]float64),
 			Speedup:     make(map[string]float64),
+			LiftPhases:  make(map[string]float64),
+		}
+		// res carries the spans of every phase run so far: the lift
+		// pipeline itself plus the Verify and VerifyCompiled calls above.
+		for _, pt := range res.PhaseTimes {
+			entry.LiftPhases[string(pt.Phase)] += float64(pt.Dur.Nanoseconds()) / 1e6
 		}
 		if !isRed {
 			entry.Schedule = tuned

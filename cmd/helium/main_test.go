@@ -93,6 +93,16 @@ func TestBenchBaselineCoversCorpus(t *testing.T) {
 				t.Errorf("%s: backend %q missing or nonpositive in baseline", k.Name, backend)
 			}
 		}
+		// Every entry records the one-time lift cost split by phase; the
+		// load-bearing phases can never be free.
+		if len(e.LiftPhases) == 0 {
+			t.Errorf("%s: baseline entry has no lift_phases", k.Name)
+		}
+		for _, phase := range []string{"localize", "trace", "verify", "compile"} {
+			if ms, ok := e.LiftPhases[phase]; !ok || ms <= 0 {
+				t.Errorf("%s: lift phase %q missing or nonpositive in baseline", k.Name, phase)
+			}
+		}
 		if isRed {
 			continue
 		}

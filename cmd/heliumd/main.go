@@ -12,6 +12,7 @@
 //	heliumd [-addr :8080] [-schedules schedules.json] [-workers N]
 //	        [-queue N] [-per-kernel N] [-timeout 10s] [-drain 10s]
 //	        [-warm] [-eval-workers N] [-fault-slow 25ms]
+//	        [-log-level info] [-pprof]
 //	heliumd -ref -kernel name [-width N] [-height N] [-seed N]
 //	heliumd -bench [-bench-out BENCH_serve.json] [-bench-kernel name]
 //	        [-bench-levels 1,4,16] [-bench-requests N]
@@ -25,6 +26,13 @@
 //	GET  /readyz    readiness (503 while warming or draining)
 //	GET  /v1/kernels  registry state, breaker states, per-backend counters
 //	GET  /v1/stats    global counters
+//	GET  /metrics     Prometheus text exposition of every instrument
+//	GET  /debug/pprof/  net/http/pprof (only with -pprof)
+//
+// Operational logs are structured key=value lines on stderr (-log-level
+// selects the threshold); every eval response carries an X-Helium-Trace
+// id naming its access-log line.  stdout stays reserved for payload
+// bytes (-ref) and the scripted lifecycle lines CI greps.
 //
 // -ref prints the ground-truth response bytes for a pattern-mode request
 // computed by re-emulating the legacy binary directly — independent of
@@ -46,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"helium/internal/obs"
 	"helium/internal/schedule"
 	"helium/internal/serve"
 )
@@ -64,6 +73,8 @@ func main() {
 		slow      = flag.Duration("fault-slow", 25*time.Millisecond, "injected delay of the serve.slow-backend faultpoint")
 		maxW      = flag.Int("max-width", 2048, "largest accepted request width")
 		maxH      = flag.Int("max-height", 2048, "largest accepted request height")
+		logLevel  = flag.String("log-level", "info", "stderr log threshold: debug, info, warn, error, off")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 
 		ref    = flag.Bool("ref", false, "print the vm ground-truth response for one request and exit")
 		kernel = flag.String("kernel", "boxblur3", "kernel for -ref")
@@ -79,7 +90,8 @@ func main() {
 	)
 	flag.Parse()
 
-	scheds, err := loadSchedules(*schedPath)
+	log := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel))
+	scheds, err := loadSchedules(*schedPath, log)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "heliumd: %v\n", err)
 		os.Exit(1)
@@ -95,6 +107,8 @@ func main() {
 		SlowBackendDelay: *slow,
 		MaxWidth:         *maxW,
 		MaxHeight:        *maxH,
+		Logger:           log,
+		EnablePprof:      *pprofOn,
 	}
 
 	switch {
@@ -138,21 +152,23 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d levels)\n", *benchOut, len(rep.Levels))
 	default:
-		if err := run(opts, *addr, *warm); err != nil {
+		if err := run(opts, *addr, *warm, log); err != nil {
 			fmt.Fprintf(os.Stderr, "heliumd: %v\n", err)
 			os.Exit(1)
 		}
 	}
 }
 
-// run serves until SIGINT/SIGTERM, then drains gracefully.
-func run(opts serve.Options, addr string, warm bool) error {
+// run serves until SIGINT/SIGTERM, then drains gracefully.  The final
+// "heliumd: drained, bye" stays a bare stdout line — the scripted
+// lifecycle marker CI greps for.
+func run(opts serve.Options, addr string, warm bool, log *obs.Logger) error {
 	s := serve.New(opts)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("heliumd: listening on %s\n", ln.Addr())
+	log.Info("listening", "addr", ln.Addr().String(), "pprof", opts.EnablePprof)
 
 	// Catch signals before the (multi-second) warm-up: a SIGTERM that
 	// lands mid-warm must still drain gracefully, not kill the process.
@@ -164,11 +180,8 @@ func run(opts serve.Options, addr string, warm bool) error {
 	if warm {
 		// Warm in the background so signals stay responsive; /readyz
 		// turns 200 only once the whole corpus's lift outcome is cached.
-		go func() {
-			start := time.Now()
-			s.Warm()
-			fmt.Printf("heliumd: corpus warmed in %v\n", time.Since(start).Round(time.Millisecond))
-		}()
+		// (Warm itself logs the "corpus warmed" line with the duration.)
+		go s.Warm()
 	} else {
 		s.MarkReady()
 	}
@@ -176,7 +189,7 @@ func run(opts serve.Options, addr string, warm bool) error {
 	case err := <-done:
 		return err
 	case got := <-sig:
-		fmt.Printf("heliumd: %v: draining in-flight requests (budget %v)\n", got, opts.DrainTimeout)
+		log.Info("draining", "signal", got.String(), "budget", opts.DrainTimeout)
 		if opts.DrainTimeout <= 0 {
 			opts.DrainTimeout = 10 * time.Second
 		}
@@ -192,9 +205,10 @@ func run(opts serve.Options, addr string, warm bool) error {
 
 // loadSchedules mirrors the CLI's exec-consumer policy: a missing file
 // means heuristic defaults, a parse failure is fatal, and a set tuned on
-// another machine class is dropped with the reason printed (the server
-// executes; it must not apply stale tuning).
-func loadSchedules(path string) (*schedule.Set, error) {
+// another machine class is dropped with the reason logged to stderr
+// (the server executes; it must not apply stale tuning — and stdout
+// stays clean for payload bytes).
+func loadSchedules(path string, log *obs.Logger) (*schedule.Set, error) {
 	set, err := schedule.Load(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -203,8 +217,8 @@ func loadSchedules(path string) (*schedule.Set, error) {
 		return nil, err
 	}
 	if host := schedule.HostMachineKey(); !set.MatchesMachine(host) {
-		fmt.Printf("heliumd: dropping %s: tuned for machine %q, this host is %q (re-run `helium tune`)\n",
-			path, set.Machine, host)
+		log.Warn("dropping schedules: machine mismatch (re-run `helium tune`)",
+			"path", path, "tuned_for", set.Machine, "host", host)
 		return nil, nil
 	}
 	return set, nil

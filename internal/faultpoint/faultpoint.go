@@ -51,6 +51,11 @@ var (
 	mu      sync.Mutex
 	points  = map[string]string{} // name -> doc
 	enabled = map[string]*mode{}
+	// fired counts, per point, how many Enabled checks actually fired.
+	// Cumulative for the process lifetime — Reset disarms points but does
+	// NOT clear counts, so metrics built on them stay monotonic (a
+	// Prometheus counter must never go backward).
+	fired = map[string]uint64{}
 	// rand drives the probabilistic mode.  Deterministically seeded: two
 	// runs of one binary draw the same stream, so a flaky chaos test can
 	// be replayed.  Seed guards determinism for tests that re-seed.
@@ -126,18 +131,34 @@ func Enabled(name string) bool {
 	mu.Lock()
 	defer mu.Unlock()
 	m := enabled[name]
+	fire := false
 	switch {
 	case m == nil:
-		return false
 	case m.always:
-		return true
+		fire = true
 	case m.after > 0:
 		m.hits++
-		return m.hits >= m.after
+		fire = m.hits >= m.after
 	case m.prob > 0:
-		return float64(rand.next()>>11)/(1<<53) < m.prob
+		fire = float64(rand.next()>>11)/(1<<53) < m.prob
 	}
-	return false
+	if fire {
+		fired[name]++
+	}
+	return fire
+}
+
+// TriggerCounts returns, per point name, how many Enabled checks have
+// fired since process start.  Counts are cumulative (Reset does not
+// clear them) so scrape hooks can mirror them into monotonic counters.
+func TriggerCounts() map[string]uint64 {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make(map[string]uint64, len(fired))
+	for k, v := range fired {
+		out[k] = v
+	}
+	return out
 }
 
 // Enable arms a point always-on programmatically.

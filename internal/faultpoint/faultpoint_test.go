@@ -118,6 +118,27 @@ func TestProbabilistic(t *testing.T) {
 	}
 }
 
+// TestTriggerCounts asserts fired checks are counted per point, that
+// quiet checks are not, and that Reset leaves the counts alone (they
+// back monotonic Prometheus counters).
+func TestTriggerCounts(t *testing.T) {
+	defer Reset()
+	base := TriggerCounts()["test.count"]
+	Enable("test.count")
+	for i := 0; i < 3; i++ {
+		Enabled("test.count")
+	}
+	Disable("test.count")
+	Enabled("test.count") // disarmed: checked but must not count
+	if got := TriggerCounts()["test.count"]; got != base+3 {
+		t.Fatalf("trigger count = %d, want %d", got, base+3)
+	}
+	Reset()
+	if got := TriggerCounts()["test.count"]; got != base+3 {
+		t.Fatalf("Reset cleared trigger counts: %d, want %d", got, base+3)
+	}
+}
+
 // TestModesReplaceAndReset asserts re-arming replaces the previous mode
 // (including its hit counter) and Reset disarms everything.
 func TestModesReplaceAndReset(t *testing.T) {

@@ -18,10 +18,22 @@ const (
 	PhaseStages    Phase = "stage-discovery"
 	PhaseExtract   Phase = "extract"
 	PhaseUnify     Phase = "unify"
+	PhaseCanon     Phase = "canon"
 	PhaseReduction Phase = "reduction"
 	PhaseCompile   Phase = "compile"
 	PhaseVerify    Phase = "verify"
 )
+
+// Phases returns every pipeline phase in execution order.  Metric layers
+// pre-register one instrument per phase from this list, so rejection and
+// timing series exist (at zero) before the first lift runs.
+func Phases() []Phase {
+	return []Phase{
+		PhaseLocalize, PhaseTrace, PhaseBuffers, PhaseStages,
+		PhaseExtract, PhaseUnify, PhaseCanon, PhaseReduction,
+		PhaseCompile, PhaseVerify,
+	}
+}
 
 // Rejection is the typed diagnostic the pipeline returns for a target
 // outside its pattern language.  It is the lifter's graceful-degradation

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"helium/internal/faultpoint"
 	"helium/internal/image"
@@ -47,6 +48,45 @@ type Result struct {
 	// Samples is the number of output samples whose trees were extracted
 	// (domain pixels for reductions), summed over stages.
 	Samples int
+	// PhaseTimes holds the accumulated wall time per pipeline phase, in
+	// execution order of first occurrence.  Lift fills the analysis
+	// phases; Verify, Compile and VerifyCompiled accumulate onto it as
+	// they run.  Not safe for concurrent mutation — callers drive the
+	// pipeline sequentially.
+	PhaseTimes []PhaseTime
+}
+
+// PhaseTime is one pipeline phase's measured wall-clock span.
+type PhaseTime struct {
+	Phase Phase
+	Dur   time.Duration
+}
+
+// addSpan accumulates d into the phase's span in a span list.
+func addSpan(spans []PhaseTime, p Phase, d time.Duration) []PhaseTime {
+	for i := range spans {
+		if spans[i].Phase == p {
+			spans[i].Dur += d
+			return spans
+		}
+	}
+	return append(spans, PhaseTime{Phase: p, Dur: d})
+}
+
+// addPhase accumulates d into the result's span for phase p.
+func (r *Result) addPhase(p Phase, d time.Duration) {
+	r.PhaseTimes = addSpan(r.PhaseTimes, p, d)
+}
+
+// PhaseDur returns the accumulated wall time of one phase (zero when the
+// phase never ran).
+func (r *Result) PhaseDur(p Phase) time.Duration {
+	for _, pt := range r.PhaseTimes {
+		if pt.Phase == p {
+			return pt.Dur
+		}
+	}
+	return 0
 }
 
 // Lift runs the whole pipeline against a target: localize the filter by
@@ -59,18 +99,23 @@ type Result struct {
 // (the paper's test that unrolled, peeled, tiled and branch-diverged
 // copies really collapsed to one stencil).
 func Lift(name string, t Target) (*Result, error) {
+	var spans []PhaseTime
+	t0 := time.Now()
 	loc, err := Localize(t)
+	spans = addSpan(spans, PhaseLocalize, time.Since(t0))
 	if err != nil {
 		return nil, err
 	}
 
 	m := vm.NewMachine(t.Prog)
 	t.Setup(m, true)
+	t0 = time.Now()
 	tres, err := m.RunTrace(vm.TraceOptions{
 		FilterEntry:   loc.FilterEntry,
 		MaxSteps:      t.MaxSteps,
 		MaxTraceInsts: t.MaxTraceInsts,
 	})
+	spans = addSpan(spans, PhaseTrace, time.Since(t0))
 	if err != nil {
 		return nil, reject(PhaseTrace, fmt.Errorf("lift: trace run: %w", err))
 	}
@@ -78,14 +123,18 @@ func Lift(name string, t Target) (*Result, error) {
 		return nil, reject(PhaseTrace, fmt.Errorf("lift: localized filter %#x was never entered during tracing", loc.FilterEntry))
 	}
 
+	t0 = time.Now()
 	in0, err := locateInput(t.Known, tres.Dump)
+	spans = addSpan(spans, PhaseBuffers, time.Since(t0))
 	if err != nil {
 		return nil, reject(PhaseBuffers, err)
 	}
 	if faultpoint.Enabled(fpCorruptInput) {
 		in0.Stride++
 	}
+	t0 = time.Now()
 	regions, err := stageRegions(loc.MemTrace)
+	spans = addSpan(spans, PhaseStages, time.Since(t0))
 	if err != nil {
 		return nil, reject(PhaseStages, err)
 	}
@@ -108,7 +157,9 @@ func Lift(name string, t Target) (*Result, error) {
 			if tbl != nil {
 				return nil, reject(PhaseStages, fmt.Errorf("lift: filter builds two accumulator tables (at %#x and %#x); only one reduction stage is liftable", tbl.Base, reg.addrs[0]))
 			}
+			t0 = time.Now()
 			red, out, lastW, err := recognizeReduction(stageName, tres.Trace, t.Prog, curIn, reg, t.Known)
+			spans = addSpan(spans, PhaseReduction, time.Since(t0))
 			if err != nil {
 				return nil, reject(PhaseReduction, err)
 			}
@@ -122,16 +173,22 @@ func Lift(name string, t Target) (*Result, error) {
 			continue
 		}
 
+		t0 = time.Now()
 		out, err := regionGeometry(reg.addrs, t.Known)
+		spans = addSpan(spans, PhaseBuffers, time.Since(t0))
 		if err != nil {
 			return nil, reject(PhaseBuffers, err)
 		}
 		bufs := &Buffers{In: curIn, Out: *out, Tbl: tbl}
+		t0 = time.Now()
 		trees, err := Extract(tres.Trace, t.Prog, bufs)
+		spans = addSpan(spans, PhaseExtract, time.Since(t0))
 		if err != nil {
 			return nil, reject(PhaseExtract, err)
 		}
-		kernel, err := unify(stageName, bufs, trees)
+		var canonDur time.Duration
+		t0 = time.Now()
+		kernel, err := unify(stageName, bufs, trees, &canonDur)
 		if err != nil {
 			// The per-output trees differing by a translation is the
 			// signature of a resize loop: retry the stage as an affine-map
@@ -142,6 +199,8 @@ func Lift(name string, t Target) (*Result, error) {
 			}
 			kernel = ak
 		}
+		spans = addSpan(spans, PhaseUnify, time.Since(t0)-canonDur)
+		spans = addSpan(spans, PhaseCanon, canonDur)
 		if i > 0 && stages[i-1].Red == nil {
 			if err := checkStageFootprint(kernel, stages[i-1].Out); err != nil {
 				return nil, reject(PhaseUnify, err)
@@ -164,6 +223,7 @@ func Lift(name string, t Target) (*Result, error) {
 		TraceInsts: len(tres.Trace.Insts),
 		TraceSteps: tres.Steps,
 		Samples:    samples,
+		PhaseTimes: spans,
 	}, nil
 }
 
@@ -207,14 +267,16 @@ func groupKey(exprKey string, guards map[string]guardVal) string {
 // select trees, demands a single tree per channel, and assembles the
 // lifted kernel with stencil offsets centered on the input pixel
 // corresponding to each output pixel.
-func unify(name string, bufs *Buffers, trees []SampleTree) (*ir.Kernel, error) {
+func unify(name string, bufs *Buffers, trees []SampleTree, canonDur *time.Duration) (*ir.Kernel, error) {
 	channels := bufs.Out.Channels
 	groups := make([]map[string]*gtree, channels)
 	for c := range groups {
 		groups[c] = make(map[string]*gtree)
 	}
 	for _, st := range trees {
+		tc := time.Now()
 		canon := Canonicalize(st.Expr)
+		*canonDur += time.Since(tc)
 		guards := make(map[string]guardVal, len(st.Guards))
 		for _, g := range st.Guards {
 			guards[g.Key] = guardVal{cond: g.Cond, taken: g.Taken}
@@ -243,7 +305,9 @@ func unify(name string, bufs *Buffers, trees []SampleTree) (*ir.Kernel, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lift: channel %d: %w", c, err)
 		}
+		tc := time.Now()
 		reps[c] = Canonicalize(merged)
+		*canonDur += time.Since(tc)
 	}
 
 	// Center the stencil: shift all load offsets so the output pixel sits
@@ -640,6 +704,8 @@ func (r *Result) EvalIRAt(src ir.Source, outW, outH int) ([]byte, error) {
 // the legacy binary actually left in that stage's region.  A nil error
 // means the lifted IR is pixel-exact.
 func (r *Result) Verify() error {
+	start := time.Now()
+	defer func() { r.addPhase(PhaseVerify, time.Since(start)) }()
 	w, h := r.EvalDims()
 	_, err := r.chain(r.InputSource(), w, h,
 		func(_ int, k *ir.Kernel, s ir.Source) ([]byte, error) { return k.Eval(s) },
@@ -664,6 +730,8 @@ type CompiledResult struct {
 
 // Compile lowers every stencil stage of the result.
 func (r *Result) Compile() (*CompiledResult, error) {
+	start := time.Now()
+	defer func() { r.addPhase(PhaseCompile, time.Since(start)) }()
 	c := &CompiledResult{res: r, Stages: make([]*ir.CompiledKernel, len(r.Stages))}
 	for i := range r.Stages {
 		if r.Stages[i].Kernel == nil {
@@ -826,10 +894,12 @@ func (r *Result) VerifyCompiled(workers int) (*CompiledResult, error) {
 	if err != nil {
 		return nil, reject(PhaseVerify, err)
 	}
-	c, err := r.Compile()
+	c, err := r.Compile() // records its own compile span
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
+	defer func() { r.addPhase(PhaseVerify, time.Since(start)) }()
 	fusable := c.Fusable()
 	paths := []struct {
 		name string

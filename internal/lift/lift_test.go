@@ -116,6 +116,14 @@ func TestLiftEndToEnd(t *testing.T) {
 				if res.Samples == 0 || res.TraceInsts == 0 {
 					t.Errorf("implausible stats: %d samples, %d trace insts", res.Samples, res.TraceInsts)
 				}
+				// The flight recorder: every run of the full pipeline must
+				// leave phase spans behind (Verify/VerifyCompiled above
+				// accumulate theirs onto the same result).
+				for _, p := range []lift.Phase{lift.PhaseLocalize, lift.PhaseTrace, lift.PhaseBuffers, lift.PhaseVerify, lift.PhaseCompile} {
+					if res.PhaseDur(p) <= 0 {
+						t.Errorf("phase %s has no recorded wall time", p)
+					}
+				}
 			})
 		}
 	}

@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a log severity.  Lines below the logger's level are dropped
+// before any formatting work happens.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	// LevelOff drops everything; NopLogger uses it.
+	LevelOff
+)
+
+// String names the level as it appears in the level= field.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "off"
+	}
+}
+
+// ParseLevel maps a flag value to a Level; unknown strings mean info.
+func ParseLevel(s string) Level {
+	switch s {
+	case "debug":
+		return LevelDebug
+	case "warn":
+		return LevelWarn
+	case "error":
+		return LevelError
+	case "off":
+		return LevelOff
+	default:
+		return LevelInfo
+	}
+}
+
+// Logger writes leveled key=value lines (logfmt) to one writer.  The
+// hot path is Line: a pooled builder that appends with strconv — no fmt,
+// no allocation once the pool is warm.  A nil *Logger is valid and
+// silently drops everything, so call sites need no nil checks.
+type Logger struct {
+	mu    sync.Mutex // serializes writes so lines never interleave
+	w     io.Writer
+	level atomic.Int32
+	pool  sync.Pool
+}
+
+// NewLogger builds a logger writing to w at the given level.
+func NewLogger(w io.Writer, level Level) *Logger {
+	l := &Logger{w: w}
+	l.level.Store(int32(level))
+	l.pool.New = func() any {
+		return &Line{l: l, buf: make([]byte, 0, 256)}
+	}
+	return l
+}
+
+// NopLogger returns a logger that drops everything.
+func NopLogger() *Logger { return NewLogger(io.Discard, LevelOff) }
+
+// SetLevel changes the level at runtime.
+func (l *Logger) SetLevel(level Level) { l.level.Store(int32(level)) }
+
+// Enabled reports whether a line at this level would be written.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && int32(level) >= l.level.Load()
+}
+
+// Line starts a log line, or returns nil when the level is disabled.
+// Every Line method is nil-safe, so the builder chain costs nothing on
+// a dropped line:
+//
+//	log.Line(obs.LevelInfo, "eval").Str("kernel", k).Int("w", w).Log()
+func (l *Logger) Line(level Level, msg string) *Line {
+	if !l.Enabled(level) {
+		return nil
+	}
+	ln := l.pool.Get().(*Line)
+	ln.buf = ln.buf[:0]
+	ln.buf = append(ln.buf, "ts="...)
+	ln.buf = time.Now().UTC().AppendFormat(ln.buf, "2006-01-02T15:04:05.000Z")
+	ln.buf = append(ln.buf, " level="...)
+	ln.buf = append(ln.buf, level.String()...)
+	ln.buf = append(ln.buf, " msg="...)
+	ln.buf = appendValue(ln.buf, msg)
+	return ln
+}
+
+// Line is one in-flight log line.  Obtain via Logger.Line, finish with
+// Log; do not retain after Log returns.
+type Line struct {
+	l   *Logger
+	buf []byte
+}
+
+// Str appends a string field.
+func (ln *Line) Str(key, v string) *Line {
+	if ln == nil {
+		return nil
+	}
+	ln.key(key)
+	ln.buf = appendValue(ln.buf, v)
+	return ln
+}
+
+// Int appends an integer field.
+func (ln *Line) Int(key string, v int) *Line {
+	if ln == nil {
+		return nil
+	}
+	ln.key(key)
+	ln.buf = strconv.AppendInt(ln.buf, int64(v), 10)
+	return ln
+}
+
+// Uint64 appends an unsigned integer field.
+func (ln *Line) Uint64(key string, v uint64) *Line {
+	if ln == nil {
+		return nil
+	}
+	ln.key(key)
+	ln.buf = strconv.AppendUint(ln.buf, v, 10)
+	return ln
+}
+
+// Hex64 appends a fixed-width 16-digit lowercase hex field — the trace
+// id rendering, matching the X-Helium-Trace header byte for byte.
+func (ln *Line) Hex64(key string, v uint64) *Line {
+	if ln == nil {
+		return nil
+	}
+	ln.key(key)
+	ln.buf = AppendHex16(ln.buf, v)
+	return ln
+}
+
+// Dur appends a duration field in milliseconds with microsecond
+// resolution (e.g. queue_wait=0.135ms).
+func (ln *Line) Dur(key string, d time.Duration) *Line {
+	if ln == nil {
+		return nil
+	}
+	ln.key(key)
+	us := d.Microseconds()
+	ln.buf = strconv.AppendInt(ln.buf, us/1000, 10)
+	ln.buf = append(ln.buf, '.')
+	frac := us % 1000
+	ln.buf = append(ln.buf, byte('0'+frac/100), byte('0'+frac/10%10), byte('0'+frac%10))
+	ln.buf = append(ln.buf, "ms"...)
+	return ln
+}
+
+// Err appends an error field; a nil error appends nothing.
+func (ln *Line) Err(err error) *Line {
+	if ln == nil || err == nil {
+		return ln
+	}
+	return ln.Str("err", err.Error())
+}
+
+// Log terminates and writes the line, then recycles the builder.
+func (ln *Line) Log() {
+	if ln == nil {
+		return
+	}
+	ln.buf = append(ln.buf, '\n')
+	ln.l.mu.Lock()
+	ln.l.w.Write(ln.buf)
+	ln.l.mu.Unlock()
+	ln.l.pool.Put(ln)
+}
+
+func (ln *Line) key(key string) {
+	ln.buf = append(ln.buf, ' ')
+	ln.buf = append(ln.buf, key...)
+	ln.buf = append(ln.buf, '=')
+}
+
+// appendValue appends a logfmt value, quoting only when it contains
+// spaces, quotes, '=' or control characters.
+func appendValue(b []byte, v string) []byte {
+	if !needsQuoting(v) {
+		return append(b, v...)
+	}
+	b = append(b, '"')
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '"':
+			b = append(b, `\"`...)
+		case '\\':
+			b = append(b, `\\`...)
+		case '\n':
+			b = append(b, `\n`...)
+		default:
+			b = append(b, v[i])
+		}
+	}
+	return append(b, '"')
+}
+
+func needsQuoting(v string) bool {
+	if v == "" {
+		return true
+	}
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		if c <= ' ' || c == '"' || c == '=' || c == '\\' {
+			return true
+		}
+	}
+	return false
+}
+
+// Debug, Info, Warn and Error are the cold-path conveniences: variadic
+// key/value pairs, fmt-based fallback for arbitrary types.  Fine for
+// startup and shutdown lines; the request path uses Line.
+func (l *Logger) Debug(msg string, kv ...any) { l.emit(LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kv ...any) { l.emit(LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kv ...any) { l.emit(LevelWarn, msg, kv) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kv ...any) { l.emit(LevelError, msg, kv) }
+
+func (l *Logger) emit(level Level, msg string, kv []any) {
+	ln := l.Line(level, msg)
+	if ln == nil {
+		return
+	}
+	for i := 0; i+1 < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		switch v := kv[i+1].(type) {
+		case string:
+			ln.Str(key, v)
+		case int:
+			ln.Int(key, v)
+		case int64:
+			ln.Int(key, int(v))
+		case uint64:
+			ln.Uint64(key, v)
+		case time.Duration:
+			ln.Dur(key, v)
+		case error:
+			ln.Str(key, v.Error())
+		case bool:
+			if v {
+				ln.Str(key, "true")
+			} else {
+				ln.Str(key, "false")
+			}
+		default:
+			ln.Str(key, fmt.Sprint(v))
+		}
+	}
+	ln.Log()
+}

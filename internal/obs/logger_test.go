@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lockedBuf is a goroutine-safe writer for capturing log output.
+type lockedBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+func TestLineFormat(t *testing.T) {
+	var buf lockedBuf
+	log := NewLogger(&buf, LevelDebug)
+	log.Line(LevelInfo, "eval").
+		Str("kernel", "boxblur3").
+		Int("w", 52).
+		Uint64("n", 9).
+		Hex64("trace", 0xdeadbeef).
+		Dur("exec", 1234*time.Microsecond).
+		Err(errors.New("queue full")).
+		Log()
+	line := buf.String()
+	re := regexp.MustCompile(`^ts=\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z level=info msg=eval ` +
+		`kernel=boxblur3 w=52 n=9 trace=00000000deadbeef exec=1\.234ms err="queue full"\n$`)
+	if !re.MatchString(line) {
+		t.Errorf("line %q does not match %v", line, re)
+	}
+}
+
+func TestQuoting(t *testing.T) {
+	var buf lockedBuf
+	log := NewLogger(&buf, LevelDebug)
+	log.Info("m", "a", `x "y" z`, "b", "", "c", "plain")
+	line := buf.String()
+	for _, want := range []string{`a="x \"y\" z"`, `b=""`, `c=plain`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestLevelGating(t *testing.T) {
+	var buf lockedBuf
+	log := NewLogger(&buf, LevelWarn)
+	log.Info("dropped")
+	log.Debug("dropped")
+	log.Warn("kept")
+	out := buf.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, "kept") {
+		t.Errorf("level gating wrong: %q", out)
+	}
+	if log.Line(LevelInfo, "x") != nil {
+		t.Error("Line below level should return nil")
+	}
+}
+
+func TestNilLoggerSafe(t *testing.T) {
+	var log *Logger
+	// Every call must be a no-op, not a panic.
+	log.Info("x", "k", "v")
+	log.Line(LevelError, "y").Str("a", "b").Int("c", 1).Dur("d", time.Second).Log()
+	if log.Enabled(LevelError) {
+		t.Error("nil logger reports enabled")
+	}
+}
+
+func TestZeroAllocLine(t *testing.T) {
+	log := NewLogger(io.Discard, LevelInfo)
+	// Warm the pool.
+	for i := 0; i < 10; i++ {
+		log.Line(LevelInfo, "eval").Str("kernel", "brighten").Int("w", 40).
+			Hex64("trace", 123).Dur("exec", time.Millisecond).Log()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		log.Line(LevelInfo, "eval").Str("kernel", "brighten").Int("w", 40).
+			Hex64("trace", 123).Dur("exec", time.Millisecond).Log()
+	})
+	if allocs != 0 {
+		t.Errorf("Line hot path allocates %.1f/op, want 0", allocs)
+	}
+	// A dropped line must also be free.
+	allocs = testing.AllocsPerRun(100, func() {
+		log.Line(LevelDebug, "eval").Str("kernel", "brighten").Log()
+	})
+	if allocs != 0 {
+		t.Errorf("dropped Line allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestTraceIDs(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if id == 0 {
+			t.Fatal("zero trace id")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %x", id)
+		}
+		seen[id] = true
+	}
+	if s := TraceString(0xabc); s != "0000000000000abc" {
+		t.Errorf("TraceString = %q", s)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { NewTraceID() }); allocs != 0 {
+		t.Errorf("NewTraceID allocates %.1f/op", allocs)
+	}
+}

@@ -1,0 +1,358 @@
+// Package obs is the observability layer: a dependency-free metrics
+// registry (atomic counters, gauges and fixed-bucket latency histograms
+// with Prometheus text exposition), a leveled key=value logger whose hot
+// path allocates nothing, and per-request trace identifiers.
+//
+// The design contract is set by the serving hot path: every instrument
+// is pre-registered (registration takes a lock, may allocate, and
+// happens at startup or kernel-admission time), while every observation
+// is a handful of atomic operations — no locks, no allocations, no
+// formatting.  The serve package's AllocsPerRun == 0 steady-state gates
+// run with metrics and access logging enabled, so any allocation snuck
+// into an observation fails CI.
+package obs
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric label pair, fixed at registration time.  A series
+// is identified by its full label set; there is no dynamic labeling —
+// pre-register every combination you intend to observe.
+type Label struct{ Key, Value string }
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Store overwrites the value.  It exists for counters that mirror an
+// atomic maintained elsewhere (scrape hooks copy the source of truth in
+// at exposition time); regular counters should only Inc/Add.
+func (c *Counter) Store(n uint64) { c.v.Store(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket latency histogram.  Bucket upper bounds
+// are in seconds, ascending; an implicit +Inf bucket catches the rest.
+// Observation is a linear scan plus three atomic adds — for the bucket
+// counts involved this beats any search, and it allocates nothing.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; the last is +Inf
+	total  atomic.Uint64
+	sumNS  atomic.Int64
+}
+
+// ObserveDuration records one latency observation.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum reports the sum of all observations in seconds.
+func (h *Histogram) Sum() float64 { return float64(h.sumNS.Load()) / 1e9 }
+
+// LatencyBuckets is the default serving-latency bucket layout: 5µs to
+// 10s, roughly 2.5x apart — tight enough at the microsecond end to
+// resolve the zero-alloc fast path, wide enough at the top to catch a
+// degradation chain walking every backend.
+var LatencyBuckets = []float64{
+	5e-6, 10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10,
+}
+
+// series is one labeled instrument inside a family.
+type series struct {
+	labels string // pre-rendered {k="v",...} suffix, or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is one metric name: its metadata plus every registered series.
+type family struct {
+	name, help, typ string
+	series          []*series
+	byLabels        map[string]*series
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format.  Registration is idempotent: asking for an already
+// registered (name, labels) series returns the existing instrument, so
+// packages can register from multiple sites without coordination.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	hooks    []func()
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// OnScrape registers a hook run at the start of every exposition, before
+// any value is read.  Hooks copy externally maintained state into
+// instruments (queue depths, breaker states, faultpoint trigger counts)
+// so gauges are fresh at scrape time without polling.
+func (r *Registry) OnScrape(f func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hooks = append(r.hooks, f)
+}
+
+// lookup interns a (name, labels) series of the given type.
+func (r *Registry) lookup(name, help, typ string, labels []Label) *series {
+	ls := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, byLabels: map[string]*series{}}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic("obs: metric " + name + " registered as both " + f.typ + " and " + typ)
+	}
+	s := f.byLabels[ls]
+	if s == nil {
+		s = &series{labels: ls}
+		f.byLabels[ls] = s
+		f.series = append(f.series, s)
+	}
+	return s
+}
+
+// Counter registers (or returns) the counter series with these labels.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.lookup(name, help, "counter", labels)
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge registers (or returns) the gauge series with these labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.lookup(name, help, "gauge", labels)
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// Histogram registers (or returns) the histogram series with these
+// labels.  bounds are upper bucket bounds in seconds, ascending; nil
+// selects LatencyBuckets.  The bounds of an already registered series
+// win — a second registration's bounds are ignored.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = LatencyBuckets
+	}
+	s := r.lookup(name, help, "histogram", labels)
+	if s.h == nil {
+		s.h = &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	}
+	return s.h
+}
+
+// Write renders the registry in Prometheus text exposition format
+// (version 0.0.4): families sorted by name, series in registration
+// order.  Scrape hooks run first.
+func (r *Registry) Write(w io.Writer) error {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.Unlock()
+	for _, f := range hooks {
+		f()
+	}
+
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	var b []byte
+	for _, f := range fams {
+		b = append(b, "# HELP "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = appendEscapedHelp(b, f.help)
+		b = append(b, "\n# TYPE "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = append(b, f.typ...)
+		b = append(b, '\n')
+		for _, s := range f.series {
+			switch {
+			case s.c != nil:
+				b = append(b, f.name...)
+				b = append(b, s.labels...)
+				b = append(b, ' ')
+				b = strconv.AppendUint(b, s.c.Value(), 10)
+				b = append(b, '\n')
+			case s.g != nil:
+				b = append(b, f.name...)
+				b = append(b, s.labels...)
+				b = append(b, ' ')
+				b = strconv.AppendFloat(b, s.g.Value(), 'g', -1, 64)
+				b = append(b, '\n')
+			case s.h != nil:
+				b = appendHistogram(b, f.name, s)
+			}
+		}
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// appendHistogram renders one histogram series: cumulative buckets, sum
+// and count, with the le label merged into the series labels.
+func appendHistogram(b []byte, name string, s *series) []byte {
+	cum := uint64(0)
+	for i := range s.h.counts {
+		cum += s.h.counts[i].Load()
+		b = append(b, name...)
+		b = append(b, "_bucket"...)
+		le := "+Inf"
+		if i < len(s.h.bounds) {
+			le = strconv.FormatFloat(s.h.bounds[i], 'g', -1, 64)
+		}
+		b = appendMergedLabels(b, s.labels, "le", le)
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, cum, 10)
+		b = append(b, '\n')
+	}
+	b = append(b, name...)
+	b = append(b, "_sum"...)
+	b = append(b, s.labels...)
+	b = append(b, ' ')
+	b = strconv.AppendFloat(b, s.h.Sum(), 'g', -1, 64)
+	b = append(b, '\n')
+	b = append(b, name...)
+	b = append(b, "_count"...)
+	b = append(b, s.labels...)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, s.h.Count(), 10)
+	b = append(b, '\n')
+	return b
+}
+
+// appendMergedLabels appends a label set with one extra pair tacked on.
+func appendMergedLabels(b []byte, labels, key, value string) []byte {
+	if labels == "" {
+		b = append(b, '{')
+	} else {
+		b = append(b, labels[:len(labels)-1]...) // drop the closing }
+		b = append(b, ',')
+	}
+	b = append(b, key...)
+	b = append(b, `="`...)
+	b = appendEscapedValue(b, value)
+	b = append(b, `"}`...)
+	return b
+}
+
+// renderLabels pre-renders a label set as its exposition suffix.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.Write(appendEscapedValue(nil, l.Value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// appendEscapedValue escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func appendEscapedValue(b []byte, v string) []byte {
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b = append(b, `\\`...)
+		case '"':
+			b = append(b, `\"`...)
+		case '\n':
+			b = append(b, `\n`...)
+		default:
+			b = append(b, v[i])
+		}
+	}
+	return b
+}
+
+// appendEscapedHelp escapes help text: backslash and newline.
+func appendEscapedHelp(b []byte, v string) []byte {
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b = append(b, `\\`...)
+		case '\n':
+			b = append(b, `\n`...)
+		default:
+			b = append(b, v[i])
+		}
+	}
+	return b
+}
+
+// Handler serves the registry at GET /metrics in text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.Write(w)
+	})
+}

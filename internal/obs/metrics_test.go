@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden pins the full text exposition of a registry with
+// one instrument of each kind, including label-value escaping.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+
+	c := reg.Counter("test_requests_total", "Requests served.", L("status", "200"))
+	c.Add(3)
+	reg.Counter("test_requests_total", "Requests served.", L("status", "503")).Inc()
+
+	g := reg.Gauge("test_queue_depth", "Jobs waiting.")
+	g.Set(2.5)
+
+	h := reg.Histogram("test_latency_seconds", "Request latency.", []float64{0.001, 0.01}, L("backend", "generated"))
+	h.ObserveDuration(500 * time.Microsecond) // <= 0.001
+	h.ObserveDuration(5 * time.Millisecond)   // <= 0.01
+	h.ObserveDuration(50 * time.Millisecond)  // +Inf
+
+	reg.Counter("test_escapes_total", `Help with \ and
+newline.`, L("path", "a\"b\\c\nd")).Inc()
+
+	var sb strings.Builder
+	if err := reg.Write(&sb); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	want := `# HELP test_escapes_total Help with \\ and\nnewline.
+# TYPE test_escapes_total counter
+test_escapes_total{path="a\"b\\c\nd"} 1
+# HELP test_latency_seconds Request latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{backend="generated",le="0.001"} 1
+test_latency_seconds_bucket{backend="generated",le="0.01"} 2
+test_latency_seconds_bucket{backend="generated",le="+Inf"} 3
+test_latency_seconds_sum{backend="generated"} 0.0555
+test_latency_seconds_count{backend="generated"} 3
+# HELP test_queue_depth Jobs waiting.
+# TYPE test_queue_depth gauge
+test_queue_depth 2.5
+# HELP test_requests_total Requests served.
+# TYPE test_requests_total counter
+test_requests_total{status="200"} 3
+test_requests_total{status="503"} 1
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistrationIdempotent verifies re-registering returns the same
+// instrument, so observation sites never double-count.
+func TestRegistrationIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "x", L("k", "v"))
+	b := reg.Counter("x_total", "x", L("k", "v"))
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	other := reg.Counter("x_total", "x", L("k", "w"))
+	if a == other {
+		t.Fatal("distinct labels returned the same counter")
+	}
+}
+
+// TestScrapeHook verifies OnScrape hooks run before values render.
+func TestScrapeHook(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("hooked", "set at scrape")
+	reg.OnScrape(func() { g.Set(7) })
+	var sb strings.Builder
+	reg.Write(&sb)
+	if !strings.Contains(sb.String(), "hooked 7") {
+		t.Fatalf("hook did not run before render:\n%s", sb.String())
+	}
+}
+
+// TestHandler checks the HTTP surface: content type and body.
+func TestHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("h_total", "h").Add(9)
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "h_total 9") {
+		t.Errorf("body missing counter:\n%s", rec.Body.String())
+	}
+}
+
+// TestHistogramBucketEdges pins the le boundary convention: an
+// observation exactly on a bound lands in that bound's bucket.
+func TestHistogramBucketEdges(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("edge_seconds", "e", []float64{0.001})
+	h.ObserveDuration(time.Millisecond) // exactly the bound: le="0.001"
+	var sb strings.Builder
+	reg.Write(&sb)
+	if !strings.Contains(sb.String(), `edge_seconds_bucket{le="0.001"} 1`) {
+		t.Fatalf("boundary observation not cumulative in its bucket:\n%s", sb.String())
+	}
+}

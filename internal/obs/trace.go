@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Trace ids are 64-bit, generated at request admission, never zero.  A
+// process-local counter mixed through splitmix64 gives well-distributed
+// ids without coordination or an entropy syscall per request; the boot
+// seed keeps ids from colliding across restarts.
+var (
+	traceSeed = uint64(time.Now().UnixNano()) | 1
+	traceCtr  atomic.Uint64
+)
+
+// NewTraceID returns the next trace id.  Safe for concurrent use and
+// allocation-free.
+func NewTraceID() uint64 {
+	for {
+		id := splitmix64(traceSeed + traceCtr.Add(1)*0x9e3779b97f4a7c15)
+		if id != 0 {
+			return id
+		}
+	}
+}
+
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+const hexDigits = "0123456789abcdef"
+
+// AppendHex16 appends v as exactly 16 lowercase hex digits.
+func AppendHex16(dst []byte, v uint64) []byte {
+	var tmp [16]byte
+	for i := 15; i >= 0; i-- {
+		tmp[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	return append(dst, tmp[:]...)
+}
+
+// TraceString renders a trace id as its 16-hex-digit string — the
+// X-Helium-Trace header value.  Allocates; use AppendHex16 on hot paths.
+func TraceString(v uint64) string {
+	return string(AppendHex16(nil, v))
+}

@@ -2,10 +2,12 @@ package serve
 
 import (
 	"context"
+	"io"
 	"runtime"
 	"testing"
 
 	"helium/internal/faultpoint"
+	"helium/internal/obs"
 )
 
 // TestZeroAllocSteadyState is the acceptance gate on the hot serving
@@ -57,5 +59,54 @@ func TestZeroAllocSteadyState(t *testing.T) {
 	}
 	if allocs != 0 {
 		t.Fatalf("steady-state request allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestZeroAllocWithObservability re-runs the steady-state gate with the
+// full flight recorder armed — metrics observing and an enabled
+// info-level access logger — proving instrumentation costs no
+// allocations on the hot serving path.
+func TestZeroAllocWithObservability(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation defeats sync.Pool reuse")
+	}
+	faultpoint.Reset()
+	s := New(Options{
+		Workers: 1,
+		Logger:  obs.NewLogger(io.Discard, obs.LevelInfo),
+		Metrics: obs.NewRegistry(),
+	})
+	s.Start()
+	t.Cleanup(func() { s.Shutdown(context.Background()) })
+
+	n, err := s.InputSpec("brighten", 40, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pixels := make([]byte, n)
+	for i := range pixels {
+		pixels[i] = byte(i * 31)
+	}
+	req := request{w: 40, h: 24, pixels: pixels}
+	var status int
+	emit := func(r *result) { status = r.status }
+
+	ctx := context.Background()
+	for i := 0; i < 50; i++ {
+		s.do(ctx, "brighten", &req, emit)
+		if status != 200 {
+			t.Fatalf("warmup request %d: status %d", i, status)
+		}
+	}
+
+	runtime.GC()
+	allocs := testing.AllocsPerRun(200, func() {
+		s.do(ctx, "brighten", &req, emit)
+	})
+	if status != 200 {
+		t.Fatalf("measured request finished with status %d", status)
+	}
+	if allocs != 0 {
+		t.Fatalf("instrumented steady-state request allocates %.1f objects, want 0", allocs)
 	}
 }

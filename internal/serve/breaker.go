@@ -26,6 +26,11 @@ type breaker struct {
 	skips   int // requests skipped since opening (or since last probe)
 	probing bool
 	trips   uint64
+
+	// onOpen/onClose observe the closed->open trip and the probe-success
+	// close.  Optional; called under mu, so hooks must only do lock-free
+	// work (the metric layer's atomic increments).
+	onOpen, onClose func()
 }
 
 // allow reports whether the caller may attempt the backend on this
@@ -57,6 +62,9 @@ func (b *breaker) report(ok bool) {
 		if ok {
 			b.open = false
 			b.fails = 0
+			if b.onClose != nil {
+				b.onClose()
+			}
 		}
 		return
 	}
@@ -73,6 +81,9 @@ func (b *breaker) report(ok bool) {
 		b.open = true
 		b.skips = 0
 		b.trips++
+		if b.onOpen != nil {
+			b.onOpen()
+		}
 	}
 }
 

@@ -36,6 +36,7 @@ type request struct {
 	w, h   int    // config-geometry extents (what helium -width/-height take)
 	seed   uint64 // deterministic pattern seed, pattern mode only
 	pixels []byte // client input interior; nil selects pattern mode
+	trace  uint64 // trace id; do generates one when the caller left it 0
 
 	inst *legacy.Instance // pattern-mode instance, built during execute
 }
@@ -52,6 +53,10 @@ type result struct {
 	errMsg     string
 	phase      string // lift rejection phase on 422
 	retryAfter int    // seconds, on 429/503
+
+	trace     uint64        // stamped by finish from the request
+	queueWait time.Duration // admission-to-worker latency (admitted jobs)
+	exec      time.Duration // worker execution wall time
 }
 
 // reqScratch is the pooled per-request working set: the pixel backing the
@@ -74,7 +79,8 @@ type reqScratch struct {
 func (e *entry) execute(ctx context.Context, rs *reqScratch, req *request) (res result) {
 	defer func() {
 		if p := recover(); p != nil {
-			e.panics.Add(1)
+			e.panicsC.Inc()
+			e.reg.met.panics.Inc()
 			res = result{status: 500, errMsg: fmt.Sprintf("request panicked: %v", p)}
 		}
 	}()
@@ -122,7 +128,7 @@ func (e *entry) execute(ctx context.Context, rs *reqScratch, req *request) (res 
 			rs.notes = append(rs.notes, backendNames[be]+":breaker-open")
 			continue
 		}
-		out, err := e.runBackend(be, rs, req, outW, outH)
+		out, err := e.attempt(be, rs, req, outW, outH)
 		br.report(err == nil)
 		if err == nil {
 			return e.okResult(rs, be, out, outW, outH)
@@ -138,7 +144,7 @@ func (e *entry) execute(ctx context.Context, rs *reqScratch, req *request) (res 
 		}
 		br := &e.breakers[beVM]
 		if br.allow() {
-			out, err := e.runBackend(beVM, rs, req, outW, outH)
+			out, err := e.attempt(beVM, rs, req, outW, outH)
 			br.report(err == nil)
 			if err == nil {
 				return e.okResult(rs, beVM, out, outW, outH)
@@ -152,7 +158,8 @@ func (e *entry) execute(ctx context.Context, rs *reqScratch, req *request) (res 
 	if ctx.Err() != nil {
 		return e.timeoutResult(rs)
 	}
-	e.failed.Add(1)
+	e.failedC.Inc()
+	e.reg.met.failed.Inc()
 	return result{
 		status:   500,
 		degraded: strings.Join(rs.notes, ", "),
@@ -160,13 +167,27 @@ func (e *entry) execute(ctx context.Context, rs *reqScratch, req *request) (res 
 	}
 }
 
+// attempt wraps one backend try with the per-backend attempt metrics.
+func (e *entry) attempt(be backendID, rs *reqScratch, req *request, outW, outH int) ([]byte, error) {
+	m := e.reg.met
+	t0 := time.Now()
+	out, err := e.runBackend(be, rs, req, outW, outH)
+	m.beLat[be].ObserveDuration(time.Since(t0))
+	if err == nil {
+		m.beOK[be].Inc()
+	} else {
+		m.beErr[be].Inc()
+	}
+	return out, err
+}
+
 // okResult assembles a 200, noting the degradation trail when the serving
 // backend was not the chain head.
 func (e *entry) okResult(rs *reqScratch, be backendID, out []byte, outW, outH int) result {
-	e.served[be].Add(1)
+	e.servedC[be].Inc()
 	res := result{status: 200, backend: backendNames[be], body: out, outW: outW, outH: outH, bins: e.bins}
 	if len(rs.notes) > 0 {
-		e.degraded.Add(1)
+		e.degradedC.Inc()
 		res.degraded = strings.Join(rs.notes, ", ")
 	}
 	return res
@@ -187,7 +208,8 @@ func (e *entry) timeoutResult(rs *reqScratch) result {
 func (e *entry) runBackend(be backendID, rs *reqScratch, req *request, outW, outH int) (out []byte, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			e.panics.Add(1)
+			e.panicsC.Inc()
+			e.reg.met.panics.Inc()
 			err = fmt.Errorf("backend panicked: %v", p)
 		}
 	}()

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"strconv"
+
+	"helium/internal/faultpoint"
+	"helium/internal/lift"
+	"helium/internal/obs"
+)
+
+// evalStatuses is every status the eval path can produce; the request
+// counter pre-registers one series per status so the hot path is a map
+// read plus an atomic add.
+var evalStatuses = []int{200, 400, 404, 405, 413, 422, 429, 500, 503, 504}
+
+// metrics bundles the server's pre-registered instruments.  Everything
+// the request path touches is resolved here, once, at construction:
+// observing is atomic adds only, keeping the AllocsPerRun == 0 serve
+// gates green with metrics enabled.
+type metrics struct {
+	reg *obs.Registry
+
+	status      map[int]*obs.Counter // helium_requests_total{status=...}
+	statusOther *obs.Counter
+
+	queueDepth *obs.Gauge
+	queueWait  *obs.Histogram
+	execute    *obs.Histogram
+
+	beOK  [numBackends]*obs.Counter
+	beErr [numBackends]*obs.Counter
+	beLat [numBackends]*obs.Histogram
+
+	brkOpen  [numBackends]*obs.Counter
+	brkClose [numBackends]*obs.Counter
+
+	shed, limited, timeouts  *obs.Counter
+	panics, degraded, failed *obs.Counter
+
+	warmSeconds  *obs.Gauge
+	liftOK       *obs.Counter
+	liftFailed   *obs.Counter
+	liftRejected map[lift.Phase]*obs.Counter
+	liftSeconds  *obs.Histogram
+
+	fpoints map[string]*obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	m := &metrics{reg: reg, status: map[int]*obs.Counter{}}
+
+	const reqHelp = "Eval requests by final HTTP status."
+	for _, code := range evalStatuses {
+		m.status[code] = reg.Counter("helium_requests_total", reqHelp,
+			obs.L("status", strconv.Itoa(code)))
+	}
+	m.statusOther = reg.Counter("helium_requests_total", reqHelp, obs.L("status", "other"))
+
+	m.queueDepth = reg.Gauge("helium_queue_depth", "Jobs waiting in the admission queue (sampled at scrape).")
+	m.queueWait = reg.Histogram("helium_queue_wait_seconds", "Time jobs spent queued before a worker claimed them.", nil)
+	m.execute = reg.Histogram("helium_execute_seconds", "Wall time of request execution (degradation chain included).", nil)
+
+	const attHelp = "Backend attempts by outcome."
+	const latHelp = "Per-backend attempt latency."
+	const brkHelp = "Circuit breaker transitions by backend."
+	for be := backendID(0); be < numBackends; be++ {
+		name := backendNames[be]
+		m.beOK[be] = reg.Counter("helium_backend_attempts_total", attHelp,
+			obs.L("backend", name), obs.L("outcome", "ok"))
+		m.beErr[be] = reg.Counter("helium_backend_attempts_total", attHelp,
+			obs.L("backend", name), obs.L("outcome", "error"))
+		m.beLat[be] = reg.Histogram("helium_backend_seconds", latHelp, nil, obs.L("backend", name))
+		m.brkOpen[be] = reg.Counter("helium_breaker_transitions_total", brkHelp,
+			obs.L("backend", name), obs.L("to", "open"))
+		m.brkClose[be] = reg.Counter("helium_breaker_transitions_total", brkHelp,
+			obs.L("backend", name), obs.L("to", "closed"))
+	}
+
+	m.shed = reg.Counter("helium_shed_total", "Requests shed by admission (draining or full queue).")
+	m.limited = reg.Counter("helium_limited_total", "Requests refused by the per-kernel concurrency limit.")
+	m.timeouts = reg.Counter("helium_timeouts_total", "Requests abandoned by an expired deadline before execution finished.")
+	m.panics = reg.Counter("helium_panics_total", "Panics recovered inside request execution or lifting.")
+	m.degraded = reg.Counter("helium_degraded_total", "Requests served after at least one fallback step.")
+	m.failed = reg.Counter("helium_failed_total", "Requests that exhausted every eligible backend.")
+
+	m.warmSeconds = reg.Gauge("helium_warm_seconds", "Wall time of the last corpus warm.")
+	const liftHelp = "Lift pipeline outcomes."
+	m.liftOK = reg.Counter("helium_lifts_total", liftHelp, obs.L("outcome", "ok"))
+	m.liftFailed = reg.Counter("helium_lifts_total", liftHelp, obs.L("outcome", "failed"))
+	m.liftRejected = map[lift.Phase]*obs.Counter{}
+	for _, p := range lift.Phases() {
+		m.liftRejected[p] = reg.Counter("helium_lift_rejections_total",
+			"Typed lift rejections by pipeline phase.", obs.L("phase", string(p)))
+	}
+	m.liftSeconds = reg.Histogram("helium_lift_seconds", "Wall time of one-time kernel lifts (verify and compile included).", nil)
+
+	m.fpoints = map[string]*obs.Counter{}
+	for _, name := range faultpoint.Names() {
+		m.fpoints[name] = reg.Counter("helium_faultpoint_triggers_total",
+			"Faultpoint fires since process start (process-wide, mirrored at scrape).",
+			obs.L("point", name))
+	}
+	return m
+}
+
+// observeStatus counts one finished request under its status series.
+func (m *metrics) observeStatus(code int) {
+	c, ok := m.status[code]
+	if !ok {
+		c = m.statusOther
+	}
+	c.Inc()
+}
+
+// breakerStateCode maps breaker state names onto the gauge encoding
+// (0 closed, 1 open, 2 half-open).
+func breakerStateCode(state string) float64 {
+	switch state {
+	case "open":
+		return 1
+	case "half-open":
+		return 2
+	}
+	return 0
+}
+
+// installScrapeHook wires the scrape-time mirrors: queue depth, breaker
+// state gauges, and the process-wide faultpoint trigger counts.
+func (s *Server) installScrapeHook() {
+	s.met.reg.OnScrape(func() {
+		s.met.queueDepth.Set(float64(len(s.jobs)))
+		for _, e := range s.reg.entries() {
+			for be := range e.brkState {
+				if e.brkState[be] != nil {
+					e.brkState[be].Set(breakerStateCode(e.breakers[be].state()))
+				}
+			}
+		}
+		counts := faultpoint.TriggerCounts()
+		for name, c := range s.met.fpoints {
+			c.Store(counts[name])
+		}
+	})
+}

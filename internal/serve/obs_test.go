@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"helium/internal/faultpoint"
+	"helium/internal/obs"
+)
+
+// syncBuf is a goroutine-safe log sink for tests.
+type syncBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// scrape fetches /metrics and returns the exposition body.
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("GET /metrics: content type %q is not the text exposition format", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricValue extracts one sample value from an exposition body; the
+// series must match a full "name{labels}" prefix exactly.
+func metricValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		rest, ok := strings.CutPrefix(line, series+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("series %s: unparsable value %q", series, rest)
+		}
+		return v
+	}
+	t.Fatalf("series %s not present in /metrics:\n%s", series, body)
+	return 0
+}
+
+// TestMetricsEndpoint pins the /metrics surface: after a known request
+// mix the status counters, latency histogram counts, backend attempt
+// counters, lift outcome counters and per-kernel series must all report
+// exactly what happened.
+func TestMetricsEndpoint(t *testing.T) {
+	faultpoint.Reset()
+	s := New(Options{Workers: 2})
+	s.Start()
+	t.Cleanup(func() { s.Shutdown(t.Context()) })
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < 3; i++ {
+		if r := eval(t, ts, "brighten", 40, 24, 1, nil); r.status != 200 {
+			t.Fatalf("request %d: status %d", i, r.status)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/eval?kernel=no-such-kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown kernel: status %d, want 404", resp.StatusCode)
+	}
+
+	body := scrape(t, ts)
+	checks := []struct {
+		series string
+		want   float64
+	}{
+		{`helium_requests_total{status="200"}`, 3},
+		{`helium_requests_total{status="404"}`, 1},
+		{`helium_requests_total{status="500"}`, 0},
+		{`helium_queue_wait_seconds_count`, 3},
+		{`helium_execute_seconds_count`, 3},
+		{`helium_backend_attempts_total{backend="generated",outcome="ok"}`, 3},
+		{`helium_backend_attempts_total{backend="generated",outcome="error"}`, 0},
+		{`helium_backend_seconds_count{backend="generated"}`, 3},
+		{`helium_lifts_total{outcome="ok"}`, 1},
+		{`helium_lifts_total{outcome="failed"}`, 0},
+		{`helium_lift_seconds_count`, 1},
+		{`helium_kernel_served_total{kernel="brighten",backend="generated"}`, 3},
+		{`helium_breaker_state{kernel="brighten",backend="generated"}`, 0},
+		{`helium_shed_total`, 0},
+		{`helium_degraded_total`, 0},
+		{`helium_failed_total`, 0},
+	}
+	for _, c := range checks {
+		if got := metricValue(t, body, c.series); got != c.want {
+			t.Errorf("%s = %v, want %v", c.series, got, c.want)
+		}
+	}
+	if v := metricValue(t, body, `helium_execute_seconds_sum`); v <= 0 {
+		t.Errorf("helium_execute_seconds_sum = %v, want > 0", v)
+	}
+	// Help/type metadata for a histogram family renders once.
+	if n := strings.Count(body, "# TYPE helium_execute_seconds histogram"); n != 1 {
+		t.Errorf("helium_execute_seconds TYPE line appears %d times, want 1", n)
+	}
+}
+
+// TestTraceHeaderMatchesAccessLog pins the trace contract: every
+// response carries X-Helium-Trace, and the id names exactly one eval
+// access-log line recording the same status.
+func TestTraceHeaderMatchesAccessLog(t *testing.T) {
+	faultpoint.Reset()
+	var sink syncBuf
+	s := New(Options{Workers: 1, Logger: obs.NewLogger(&sink, obs.LevelInfo)})
+	s.Start()
+	t.Cleanup(func() { s.Shutdown(t.Context()) })
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	hexID := regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+	// One success and one validation failure: both surfaces must stitch.
+	cases := []struct {
+		url    string
+		status int
+	}{
+		{"/v1/eval?kernel=brighten&width=40&height=24&seed=1", 200},
+		{"/v1/eval?kernel=brighten&width=4&height=4", 400},
+	}
+	for _, c := range cases {
+		resp, err := http.Get(ts.URL + c.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != c.status {
+			t.Fatalf("%s: status %d, want %d", c.url, resp.StatusCode, c.status)
+		}
+		trace := resp.Header.Get("X-Helium-Trace")
+		if !hexID.MatchString(trace) {
+			t.Fatalf("%s: X-Helium-Trace %q is not a 16-hex-digit id", c.url, trace)
+		}
+		var line string
+		for _, ln := range strings.Split(sink.String(), "\n") {
+			if strings.Contains(ln, "trace="+trace) {
+				line = ln
+				break
+			}
+		}
+		if line == "" {
+			t.Fatalf("%s: no access-log line carries trace=%s; log:\n%s", c.url, trace, sink.String())
+		}
+		if !strings.Contains(line, "msg=eval") || !strings.Contains(line, "status="+strconv.Itoa(c.status)) {
+			t.Fatalf("%s: access-log line %q does not record msg=eval status=%d", c.url, line, c.status)
+		}
+	}
+}
+
+// TestBreakerAndFaultpointMetrics extends the chaos suite onto the
+// metrics surface: tripping and recovering a breaker must move the
+// transition counters and state gauge, and armed faultpoints must move
+// their trigger counters (process-wide, so asserted as deltas).
+func TestBreakerAndFaultpointMetrics(t *testing.T) {
+	s, ts, _ := newChaosServer(t)
+
+	before := scrape(t, ts)
+	openBefore := metricValue(t, before, `helium_breaker_transitions_total{backend="generated",to="open"}`)
+	closeBefore := metricValue(t, before, `helium_breaker_transitions_total{backend="generated",to="closed"}`)
+	fpBefore := metricValue(t, before, `helium_faultpoint_triggers_total{point="serve.slow-backend"}`)
+
+	faultpoint.Enable(fpSlowBackend)
+	for i := 0; i < s.opts.TripAfter; i++ {
+		if r := eval(t, ts, "brighten", 40, 24, 1, nil); r.status != 200 {
+			t.Fatalf("degraded request %d: status %d", i, r.status)
+		}
+	}
+
+	mid := scrape(t, ts)
+	if got := metricValue(t, mid, `helium_breaker_transitions_total{backend="generated",to="open"}`); got != openBefore+1 {
+		t.Errorf("open transitions after trip: %v, want %v", got, openBefore+1)
+	}
+	if got := metricValue(t, mid, `helium_breaker_state{kernel="brighten",backend="generated"}`); got != 1 {
+		t.Errorf("breaker state gauge after trip: %v, want 1 (open)", got)
+	}
+	if got := metricValue(t, mid, `helium_faultpoint_triggers_total{point="serve.slow-backend"}`); got < fpBefore+float64(s.opts.TripAfter) {
+		t.Errorf("slow-backend trigger counter: %v, want >= %v", got, fpBefore+float64(s.opts.TripAfter))
+	}
+	if got := metricValue(t, mid, `helium_degraded_total`); got < float64(s.opts.TripAfter) {
+		t.Errorf("helium_degraded_total = %v, want >= %v", got, s.opts.TripAfter)
+	}
+
+	// Clear the fault and drive the half-open probe to success.
+	faultpoint.Reset()
+	recovered := false
+	for i := 0; i < s.opts.ProbeAfter+3 && !recovered; i++ {
+		r := eval(t, ts, "brighten", 40, 24, 1, nil)
+		recovered = r.status == 200 && r.backend == "generated"
+	}
+	if !recovered {
+		t.Fatal("generated backend did not recover after the fault cleared")
+	}
+	after := scrape(t, ts)
+	if got := metricValue(t, after, `helium_breaker_transitions_total{backend="generated",to="closed"}`); got != closeBefore+1 {
+		t.Errorf("close transitions after recovery: %v, want %v", got, closeBefore+1)
+	}
+	if got := metricValue(t, after, `helium_breaker_state{kernel="brighten",backend="generated"}`); got != 0 {
+		t.Errorf("breaker state gauge after recovery: %v, want 0 (closed)", got)
+	}
+}
+
+// TestPprofMount pins the -pprof wiring: disabled by default, mounted
+// under /debug/pprof/ when enabled.
+func TestPprofMount(t *testing.T) {
+	faultpoint.Reset()
+	off := httptest.NewServer(New(Options{}).Handler())
+	t.Cleanup(off.Close)
+	resp, err := http.Get(off.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Fatal("pprof served without EnablePprof")
+	}
+
+	on := httptest.NewServer(New(Options{EnablePprof: true}).Handler())
+	t.Cleanup(on.Close)
+	resp, err = http.Get(on.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof cmdline with EnablePprof: status %d", resp.StatusCode)
+	}
+}

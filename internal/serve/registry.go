@@ -15,12 +15,13 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"helium/internal/ir"
 	"helium/internal/legacy"
 	"helium/internal/lift"
 	"helium/internal/liftedkernels"
+	"helium/internal/obs"
 	"helium/internal/schedule"
 )
 
@@ -47,15 +48,17 @@ var backendNames = [numBackends]string{"generated", "compiled", "interp", "vm"}
 // every name resolving to the same binary shares the entry.
 type Registry struct {
 	opts Options
+	met  *metrics
 
 	mu     sync.Mutex
 	byName map[string]*entry
 	byHash map[string]*entry
 }
 
-func newRegistry(opts Options) *Registry {
+func newRegistry(opts Options, met *metrics) *Registry {
 	return &Registry{
 		opts:   opts,
+		met:    met,
 		byName: map[string]*entry{},
 		byHash: map[string]*entry{},
 	}
@@ -199,10 +202,14 @@ type entry struct {
 	sem      chan struct{} // per-kernel concurrency slots
 	scratch  sync.Pool     // *reqScratch
 
-	served   [numBackends]atomic.Uint64
-	degraded atomic.Uint64
-	panics   atomic.Uint64
-	failed   atomic.Uint64 // requests that exhausted every backend
+	// Per-kernel instruments, registered once at entry creation so the
+	// request path only does atomic adds.  The same counters back both
+	// /v1/kernels and /metrics — the surfaces cannot disagree.
+	servedC   [numBackends]*obs.Counter
+	degradedC *obs.Counter
+	panicsC   *obs.Counter
+	failedC   *obs.Counter // requests that exhausted every backend
+	brkState  [numBackends]*obs.Gauge
 }
 
 func newEntry(r *Registry, name string, k legacy.Kernel, inst *legacy.Instance, hash string) *entry {
@@ -216,7 +223,24 @@ func newEntry(r *Registry, name string, k legacy.Kernel, inst *legacy.Instance, 
 	}
 	for i := range e.breakers {
 		e.breakers[i] = breaker{tripAfter: r.opts.TripAfter, probeAfter: r.opts.ProbeAfter}
+		be := backendID(i)
+		e.breakers[i].onOpen = func() { r.met.brkOpen[be].Inc() }
+		e.breakers[i].onClose = func() { r.met.brkClose[be].Inc() }
 	}
+	mreg := r.opts.Metrics
+	kl := obs.L("kernel", name)
+	for be := backendID(0); be < numBackends; be++ {
+		e.servedC[be] = mreg.Counter("helium_kernel_served_total",
+			"Successful responses by kernel and serving backend.", kl, obs.L("backend", backendNames[be]))
+		e.brkState[be] = mreg.Gauge("helium_breaker_state",
+			"Breaker state by kernel and backend (0 closed, 1 open, 2 half-open).", kl, obs.L("backend", backendNames[be]))
+	}
+	e.degradedC = mreg.Counter("helium_kernel_degraded_total",
+		"Responses served after at least one fallback step, by kernel.", kl)
+	e.panicsC = mreg.Counter("helium_kernel_panics_total",
+		"Recovered panics (lift or request execution), by kernel.", kl)
+	e.failedC = mreg.Counter("helium_kernel_failed_total",
+		"Requests that exhausted every eligible backend, by kernel.", kl)
 	e.scratch.New = func() any { return &reqScratch{} }
 	return e
 }
@@ -233,11 +257,14 @@ func (e *entry) ensure() { e.once.Do(e.init) }
 func (e *entry) init() {
 	inst := e.inst0
 	e.inst0 = nil
+	start := time.Now()
 	defer func() {
 		if p := recover(); p != nil {
-			e.panics.Add(1)
+			e.panicsC.Inc()
+			e.reg.met.panics.Inc()
 			e.err = fmt.Errorf("lift panicked: %v", p)
 		}
+		e.recordLiftOutcome(time.Since(start))
 	}()
 
 	tgt := lift.Target{
@@ -334,6 +361,44 @@ func (e *entry) poison(err error) {
 		return
 	}
 	e.err = err
+}
+
+// recordLiftOutcome counts the one-time lift under its outcome series,
+// observes its wall time, and writes the per-kernel lift log line with
+// the pipeline's phase spans.
+func (e *entry) recordLiftOutcome(d time.Duration) {
+	met := e.reg.met
+	state := "ready"
+	switch {
+	case e.rej != nil:
+		state = "poisoned"
+		if c := met.liftRejected[e.rej.Phase]; c != nil {
+			c.Inc()
+		} else {
+			met.liftFailed.Inc()
+		}
+	case e.err != nil:
+		state = "failed"
+		met.liftFailed.Inc()
+	default:
+		met.liftOK.Inc()
+	}
+	met.liftSeconds.ObserveDuration(d)
+
+	ln := e.reg.opts.Logger.Line(obs.LevelInfo, "lift").
+		Str("kernel", e.name).Str("state", state).Dur("total", d)
+	if e.res != nil {
+		for _, pt := range e.res.PhaseTimes {
+			ln = ln.Dur(string(pt.Phase), pt.Dur)
+		}
+	}
+	switch {
+	case e.rej != nil:
+		ln = ln.Str("phase", string(e.rej.Phase)).Err(e.rej.Err)
+	case e.err != nil:
+		ln = ln.Err(e.err)
+	}
+	ln.Log()
 }
 
 // selfCheck runs each lifted backend through the serving path's own

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync"
@@ -15,6 +16,7 @@ import (
 
 	"helium/internal/faultpoint"
 	"helium/internal/legacy"
+	"helium/internal/obs"
 	"helium/internal/schedule"
 )
 
@@ -67,6 +69,18 @@ type Options struct {
 	// SlowBackendDelay is the injected latency of the serve.slow-backend
 	// faultpoint (default 25ms).
 	SlowBackendDelay time.Duration
+
+	// Logger receives operational and access-log lines (default: drop
+	// everything).  The access-log hot path is allocation-free.
+	Logger *obs.Logger
+	// Metrics is the registry the server's instruments live in and that
+	// GET /metrics exposes.  Default: a fresh per-server registry.  Two
+	// servers sharing one registry would share (and double-count) its
+	// instruments — give each server its own.
+	Metrics *obs.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// server's own mux.
+	EnablePprof bool
 }
 
 func (o Options) withDefaults() Options {
@@ -102,6 +116,12 @@ func (o Options) withDefaults() Options {
 	if o.SlowBackendDelay <= 0 {
 		o.SlowBackendDelay = 25 * time.Millisecond
 	}
+	if o.Logger == nil {
+		o.Logger = obs.NopLogger()
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
 	return o
 }
 
@@ -123,6 +143,8 @@ type Stats struct {
 type Server struct {
 	opts Options
 	reg  *Registry
+	log  *obs.Logger
+	met  *metrics
 
 	jobs    chan *job
 	jobPool sync.Pool
@@ -132,10 +154,6 @@ type Server struct {
 	draining atomic.Bool
 	warmed   atomic.Bool
 
-	requests, ok, errs   atomic.Uint64
-	degraded, panics     atomic.Uint64
-	shed, limited, tmout atomic.Uint64
-
 	mux  *http.ServeMux
 	http *http.Server
 }
@@ -143,9 +161,12 @@ type Server struct {
 // New builds a Server.  Call Start (or Serve) before submitting requests.
 func New(opts Options) *Server {
 	o := opts.withDefaults()
+	met := newMetrics(o.Metrics)
 	s := &Server{
 		opts: o,
-		reg:  newRegistry(o),
+		log:  o.Logger,
+		met:  met,
+		reg:  newRegistry(o, met),
 		jobs: make(chan *job, o.QueueDepth),
 	}
 	s.jobPool.New = func() any { return &job{done: make(chan struct{}, 1)} }
@@ -155,6 +176,17 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/v1/eval", s.handleEval)
 	s.mux.HandleFunc("/v1/kernels", s.handleKernels)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.Handle("/metrics", o.Metrics.Handler())
+	if o.EnablePprof {
+		// Mounted explicitly on the private mux; the DefaultServeMux
+		// registrations of the pprof package's init are never served.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	s.installScrapeHook()
 	return s
 }
 
@@ -172,7 +204,11 @@ func (s *Server) Start() {
 // Warm lifts the whole corpus up front so /readyz means "every kernel's
 // lift outcome is cached".
 func (s *Server) Warm() {
+	start := time.Now()
 	s.reg.warm()
+	d := time.Since(start)
+	s.met.warmSeconds.Set(d.Seconds())
+	s.log.Info("corpus warmed", "kernels", len(s.reg.entries()), "dur", d)
 	s.warmed.Store(true)
 }
 
@@ -216,18 +252,30 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// Stats snapshots the global counters.
+// Stats snapshots the global counters.  The snapshot is computed from
+// the same obs instruments /metrics exposes, so the two surfaces can
+// never disagree.
 func (s *Server) Stats() Stats {
-	return Stats{
-		Requests: s.requests.Load(),
-		OK:       s.ok.Load(),
-		Errors:   s.errs.Load(),
-		Degraded: s.degraded.Load(),
-		Panics:   s.panics.Load(),
-		Shed:     s.shed.Load(),
-		Limited:  s.limited.Load(),
-		Timeouts: s.tmout.Load(),
+	st := Stats{
+		Degraded: s.met.degraded.Value(),
+		Panics:   s.met.panics.Value(),
+		Shed:     s.met.shed.Value(),
+		Limited:  s.met.limited.Value(),
+		Timeouts: s.met.timeouts.Value(),
 	}
+	for code, c := range s.met.status {
+		v := c.Value()
+		st.Requests += v
+		if code == 200 {
+			st.OK += v
+		} else {
+			st.Errors += v
+		}
+	}
+	v := s.met.statusOther.Value()
+	st.Requests += v
+	st.Errors += v
+	return st
 }
 
 // Registry exposes the kernel registry (for warmers and the -ref mode).
@@ -291,6 +339,7 @@ type job struct {
 	req   request
 	rs    *reqScratch
 	res   result
+	enq   time.Time // when admission queued the job
 	done  chan struct{}
 }
 
@@ -309,8 +358,13 @@ func (s *Server) worker() {
 			s.release(j)
 			continue
 		}
+		wait := time.Since(j.enq)
+		s.met.queueWait.ObserveDuration(wait)
 		j.rs = j.e.scratch.Get().(*reqScratch)
+		t0 := time.Now()
 		j.res = j.e.execute(j.ctx, j.rs, &j.req)
+		j.res.queueWait, j.res.exec = wait, time.Since(t0)
+		s.met.execute.ObserveDuration(j.res.exec)
 		if j.state.CompareAndSwap(statePending, stateDone) {
 			j.done <- struct{}{}
 		} else {
@@ -335,32 +389,38 @@ func (s *Server) release(j *job) {
 // do submits one request through admission, the bounded queue and the
 // worker pool, then calls emit with the outcome.  emit runs exactly once;
 // a 200's body aliases pooled scratch and is only valid inside emit.
+// The request's trace id (generated here when the caller did not admit
+// one) rides on the result and stitches the access-log line to the
+// X-Helium-Trace header.
 func (s *Server) do(ctx context.Context, kernel string, req *request, emit func(*result)) {
-	s.requests.Add(1)
+	start := time.Now()
+	if req.trace == 0 {
+		req.trace = obs.NewTraceID()
+	}
 	if s.draining.Load() {
-		s.shed.Add(1)
+		s.met.shed.Inc()
 		r := result{status: 503, errMsg: "server is draining", retryAfter: 1}
-		s.finish(emit, &r)
+		s.finish(kernel, req, start, emit, &r)
 		return
 	}
 	e, err := s.reg.resolve(kernel)
 	if err != nil {
 		r := result{status: 404, errMsg: err.Error()}
-		s.finish(emit, &r)
+		s.finish(kernel, req, start, emit, &r)
 		return
 	}
 	// Per-kernel concurrency limit.
 	select {
 	case e.sem <- struct{}{}:
 	default:
-		s.limited.Add(1)
+		s.met.limited.Inc()
 		r := result{status: 429, errMsg: "kernel concurrency limit reached", retryAfter: 1}
-		s.finish(emit, &r)
+		s.finish(kernel, req, start, emit, &r)
 		return
 	}
 	j := s.jobPool.Get().(*job)
 	j.state.Store(statePending)
-	j.ctx, j.e, j.req = ctx, e, *req
+	j.ctx, j.e, j.req, j.enq = ctx, e, *req, start
 	// Bounded admission: a full queue (or the injected overload) sheds
 	// rather than queueing unbounded latency.
 	shed := faultpoint.Enabled(fpShed)
@@ -374,39 +434,49 @@ func (s *Server) do(ctx context.Context, kernel string, req *request, emit func(
 	if shed {
 		j.rs = nil
 		s.release(j)
-		s.shed.Add(1)
+		s.met.shed.Inc()
 		r := result{status: 503, errMsg: "admission queue is full", retryAfter: 1}
-		s.finish(emit, &r)
+		s.finish(kernel, req, start, emit, &r)
 		return
 	}
 	select {
 	case <-j.done:
-		s.finish(emit, &j.res)
+		s.finish(kernel, req, start, emit, &j.res)
 		s.release(j)
 	case <-ctx.Done():
 		if j.state.CompareAndSwap(statePending, stateAbandoned) {
-			s.tmout.Add(1)
+			s.met.timeouts.Inc()
 			r := result{status: 504, errMsg: "request deadline expired before execution finished"}
-			s.finish(emit, &r)
+			s.finish(kernel, req, start, emit, &r)
 			// The worker (or queue drain) releases the job.
 			return
 		}
 		// The worker finished first; take the handoff normally.
 		<-j.done
-		s.finish(emit, &j.res)
+		s.finish(kernel, req, start, emit, &j.res)
 		s.release(j)
 	}
 }
 
-// finish updates outcome counters and invokes emit.
-func (s *Server) finish(emit func(*result), r *result) {
-	if r.status == 200 {
-		s.ok.Add(1)
-	} else {
-		s.errs.Add(1)
-	}
+// finish stamps the trace id, updates outcome counters, writes the
+// access-log line and invokes emit.  Allocation-free in steady state.
+func (s *Server) finish(kernel string, req *request, start time.Time, emit func(*result), r *result) {
+	r.trace = req.trace
+	s.met.observeStatus(r.status)
 	if r.degraded != "" {
-		s.degraded.Add(1)
+		s.met.degraded.Inc()
+	}
+	if ln := s.log.Line(obs.LevelInfo, "eval"); ln != nil {
+		ln.Hex64("trace", req.trace).
+			Str("kernel", kernel).
+			Int("w", req.w).Int("h", req.h).
+			Int("status", r.status).
+			Str("backend", r.backend).
+			Str("degraded", r.degraded).
+			Dur("queue_wait", r.queueWait).
+			Dur("exec", r.exec).
+			Dur("total", time.Since(start)).
+			Log()
 	}
 	emit(r)
 }
@@ -443,31 +513,45 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // window.  Without a body (or with GET) the server generates the
 // deterministic seed pattern — exactly `helium run`'s workload.
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	// Trace admission: every response — validation failures included —
+	// carries the id that names its access-log line.
+	trace := obs.NewTraceID()
+	w.Header().Set("X-Helium-Trace", obs.TraceString(trace))
+	fail := func(status int, msg, kernel string, width, height int) {
+		s.met.observeStatus(status)
+		s.log.Line(obs.LevelInfo, "eval").
+			Hex64("trace", trace).Str("kernel", kernel).
+			Int("w", width).Int("h", height).Int("status", status).
+			Str("err", msg).Log()
+		httpError(w, status, msg, "")
+	}
 	if r.Method != http.MethodPost && r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "use GET or POST", "")
+		fail(http.StatusMethodNotAllowed, "use GET or POST", "", 0, 0)
 		return
 	}
 	q := r.URL.Query()
 	kernel := q.Get("kernel")
 	if kernel == "" {
-		httpError(w, http.StatusBadRequest, "missing kernel parameter", "")
+		fail(http.StatusBadRequest, "missing kernel parameter", "", 0, 0)
 		return
 	}
 	width, err1 := intParam(q.Get("width"), s.opts.LiftWidth)
 	height, err2 := intParam(q.Get("height"), s.opts.LiftHeight)
 	seed, err3 := uintParam(q.Get("seed"), s.opts.LiftSeed)
 	if err1 != nil || err2 != nil || err3 != nil {
-		httpError(w, http.StatusBadRequest, "width, height and seed must be integers", "")
+		fail(http.StatusBadRequest, "width, height and seed must be integers", kernel, 0, 0)
 		return
 	}
 	if width < s.opts.MinWidth || height < s.opts.MinHeight {
-		httpError(w, http.StatusBadRequest,
-			fmt.Sprintf("dimensions %dx%d below the %dx%d minimum", width, height, s.opts.MinWidth, s.opts.MinHeight), "")
+		fail(http.StatusBadRequest,
+			fmt.Sprintf("dimensions %dx%d below the %dx%d minimum", width, height, s.opts.MinWidth, s.opts.MinHeight),
+			kernel, width, height)
 		return
 	}
 	if width > s.opts.MaxWidth || height > s.opts.MaxHeight {
-		httpError(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("dimensions %dx%d exceed the %dx%d limit", width, height, s.opts.MaxWidth, s.opts.MaxHeight), "")
+		fail(http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("dimensions %dx%d exceed the %dx%d limit", width, height, s.opts.MaxWidth, s.opts.MaxHeight),
+			kernel, width, height)
 		return
 	}
 
@@ -478,7 +562,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		maxBody := int64(s.opts.MaxWidth+16)*int64(s.opts.MaxHeight+16)*4 + 1
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 		if err != nil {
-			httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds the input size limit", "")
+			fail(http.StatusRequestEntityTooLarge, "request body exceeds the input size limit", kernel, width, height)
 			return
 		}
 		pixels = body
@@ -486,7 +570,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
 	defer cancel()
-	req := request{w: width, h: height, seed: seed, pixels: pixels}
+	req := request{w: width, h: height, seed: seed, pixels: pixels, trace: trace}
 	s.do(ctx, kernel, &req, func(res *result) {
 		h := w.Header()
 		if res.backend != "" {
@@ -531,8 +615,8 @@ func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
 		info := kernelInfo{
 			Name:     e.name,
 			Hash:     e.hash[:12],
-			Degraded: e.degraded.Load(),
-			Panics:   e.panics.Load(),
+			Degraded: e.degradedC.Value(),
+			Panics:   e.panicsC.Value(),
 		}
 		switch {
 		case e.inst0 != nil:
@@ -547,11 +631,11 @@ func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
 			info.Backends = map[string]any{}
 			info.Breakers = map[string]string{}
 			for _, be := range e.chain {
-				info.Backends[backendNames[be]] = e.served[be].Load()
+				info.Backends[backendNames[be]] = e.servedC[be].Value()
 				info.Breakers[backendNames[be]] = e.breakers[be].state()
 			}
 			if e.vmOK {
-				info.Backends["vm"] = e.served[beVM].Load()
+				info.Backends["vm"] = e.servedC[beVM].Value()
 				info.Breakers["vm"] = e.breakers[beVM].state()
 			}
 		}

@@ -295,7 +295,8 @@ func TestKernelsAndStatsEndpoints(t *testing.T) {
 // TestRegistryInternsAndSingleflights asserts concurrent first requests
 // share one lift and one entry.
 func TestRegistryInternsAndSingleflights(t *testing.T) {
-	reg := newRegistry(Options{}.withDefaults())
+	opts := Options{}.withDefaults()
+	reg := newRegistry(opts, newMetrics(opts.Metrics))
 	const n = 8
 	entries := make([]*entry, n)
 	var wg sync.WaitGroup
